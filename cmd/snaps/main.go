@@ -1,0 +1,261 @@
+// Command snaps runs the SNAPS family-pedigree-search pipeline end to end:
+// it simulates (or loads) a vital-records data set, resolves entities with
+// the unsupervised graph-based ER process, builds the pedigree graph and
+// indexes, and either answers a single query, evaluates linkage quality, or
+// serves the web interface.
+//
+// Usage:
+//
+//	snaps -dataset ios -serve :8080            # web interface
+//	snaps -dataset ios -query "mary macdonald" # one-off query + pedigree
+//	snaps -dataset kil -eval                   # linkage-quality report
+//	snaps -dataset ios -anonymize -serve :8080 # anonymised deployment
+//	snaps -dataset ios -save out.snaps         # persist resolved snapshot
+//	snaps -load out.snaps -serve :8080         # serve without re-resolving
+//	snaps -births b.csv -deaths d.csv -marriages m.csv -serve :8080
+//	snaps -dataset ios -feedback fb.csv -eval  # apply expert corrections
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"github.com/snaps/snaps/internal/anonymize"
+	"github.com/snaps/snaps/internal/dataset"
+	"github.com/snaps/snaps/internal/depgraph"
+	"github.com/snaps/snaps/internal/er"
+	"github.com/snaps/snaps/internal/eval"
+	"github.com/snaps/snaps/internal/feedback"
+	"github.com/snaps/snaps/internal/geo"
+	"github.com/snaps/snaps/internal/model"
+	"github.com/snaps/snaps/internal/pedigree"
+	"github.com/snaps/snaps/internal/query"
+	"github.com/snaps/snaps/internal/report"
+	"github.com/snaps/snaps/internal/server"
+	"github.com/snaps/snaps/internal/store"
+	"github.com/snaps/snaps/internal/vitalio"
+)
+
+// loadCSVs builds a data set from whichever certificate CSVs were provided.
+func loadCSVs(births, deaths, marriages, census string) (*model.Dataset, error) {
+	r := vitalio.NewReader("imported")
+	read := func(path string, f func(src *os.File) error) error {
+		if path == "" {
+			return nil
+		}
+		src, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer src.Close()
+		return f(src)
+	}
+	if err := read(births, func(src *os.File) error { return r.ReadBirths(src) }); err != nil {
+		return nil, err
+	}
+	if err := read(deaths, func(src *os.File) error { return r.ReadDeaths(src) }); err != nil {
+		return nil, err
+	}
+	if err := read(marriages, func(src *os.File) error { return r.ReadMarriages(src) }); err != nil {
+		return nil, err
+	}
+	if err := read(census, func(src *os.File) error { return r.ReadCensus(src) }); err != nil {
+		return nil, err
+	}
+	return r.Dataset(), nil
+}
+
+func main() {
+	var (
+		dsName  = flag.String("dataset", "ios", "data set: ios, kil, ds, or bhic")
+		scale   = flag.Float64("scale", 0.25, "population scale factor")
+		anon    = flag.Bool("anonymize", false, "anonymise the data set before building indexes")
+		serve   = flag.String("serve", "", "serve the web interface on this address (e.g. :8080)")
+		queryNm = flag.String("query", "", "run one query: \"<first name> <surname>\"")
+		doEval  = flag.Bool("eval", false, "evaluate linkage quality against ground truth")
+
+		savePath = flag.String("save", "", "write the resolved snapshot to this file")
+		loadPath = flag.String("load", "", "load a resolved snapshot instead of generating and resolving")
+
+		birthsCSV    = flag.String("births", "", "load birth certificates from this CSV instead of simulating")
+		deathsCSV    = flag.String("deaths", "", "load death certificates from this CSV")
+		marriagesCSV = flag.String("marriages", "", "load marriage certificates from this CSV")
+		censusCSV    = flag.String("census-csv", "", "load census households from this CSV")
+
+		feedbackCSV = flag.String("feedback", "", "apply an expert feedback journal (CSV) after resolution")
+		census      = flag.Bool("census", false, "include decennial census households in the simulated data set")
+		reportPath  = flag.String("report", "", "write a Markdown linkage report to this file")
+	)
+	flag.Parse()
+
+	var (
+		d        *model.Dataset
+		entStore *er.EntityStore
+	)
+	switch {
+	case *loadPath != "":
+		snap, err := store.Load(*loadPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d = snap.Dataset
+		entStore = snap.Restore()
+		log.Printf("loaded snapshot %s: %d records, %d clusters", *loadPath, len(d.Records), len(snap.Clusters))
+	case *birthsCSV != "" || *deathsCSV != "" || *marriagesCSV != "" || *censusCSV != "":
+		var err error
+		if d, err = loadCSVs(*birthsCSV, *deathsCSV, *marriagesCSV, *censusCSV); err != nil {
+			log.Fatal(err)
+		}
+		geo.GeocodeDataset(d, geo.Skye())
+		log.Printf("imported %d certificates, %d records", len(d.Certificates), len(d.Records))
+	default:
+		cfg, err := datasetConfig(*dsName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg = cfg.Scaled(*scale)
+		if *census {
+			cfg = cfg.WithCensus()
+		}
+		log.Printf("generating %s population (scale %.2f)...", cfg.Name, *scale)
+		d = dataset.Generate(cfg).Dataset
+		log.Printf("%d certificates, %d records", len(d.Certificates), len(d.Records))
+	}
+
+	if entStore == nil {
+		log.Printf("resolving entities...")
+		pr := er.Run(d, depgraph.DefaultConfig(), er.DefaultConfig())
+		log.Printf("linked %d record pairs in %v (|N_A|=%d |N_R|=%d)",
+			pr.Result.MergedNodes, pr.Total(), len(pr.Graph.Atomics), len(pr.Graph.Nodes))
+		entStore = pr.Result.Store
+		if *reportPath != "" {
+			f, err := os.Create(*reportPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			report.Write(f, report.Input{Dataset: d, Pipeline: pr})
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("linkage report written to %s", *reportPath)
+		}
+	}
+
+	if *feedbackCSV != "" {
+		f, err := os.Open(*feedbackCSV)
+		if err != nil {
+			log.Fatal(err)
+		}
+		journal, err := feedback.Load(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		unlinked, linked := feedback.Apply(entStore, journal)
+		log.Printf("applied %d feedback decisions: %d unlinked, %d linked, %d still violated",
+			journal.Len(), unlinked, linked, len(feedback.Violations(entStore, journal)))
+	}
+
+	if *savePath != "" {
+		if err := store.Save(*savePath, store.FromResult(d, entStore)); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("snapshot saved to %s", *savePath)
+	}
+
+	if *doEval {
+		for _, rp := range []model.RolePair{
+			model.MakeRolePair(model.Bm, model.Bm),
+			model.MakeRolePair(model.Bf, model.Bf),
+			model.MakeRolePair(model.Bm, model.Dm),
+			model.MakeRolePair(model.Bf, model.Df),
+			model.MakeRolePair(model.Bb, model.Dd),
+		} {
+			q := eval.QualityOf(eval.Compare(entStore.MatchPairs(rp), d.TruePairs(rp)))
+			fmt.Printf("%-8v %v\n", rp, q)
+		}
+	}
+
+	if *anon {
+		log.Printf("anonymising...")
+		anonD, _ := anonymize.Anonymize(d, anonymize.DefaultConfig())
+		// Re-run the pipeline on the anonymised data so the served indexes
+		// never contain sensitive values.
+		d = anonD
+		entStore = er.Run(d, depgraph.DefaultConfig(), er.DefaultConfig()).Result.Store
+	}
+
+	g := pedigree.Build(d, entStore)
+	engine := server.BuildIndexes(g, 0.5)
+	log.Printf("pedigree graph: %d entities", len(g.Nodes))
+
+	if *queryNm != "" {
+		runQuery(engine, g, *queryNm)
+	}
+	if *serve != "" {
+		srv := server.New(engine)
+		srv.EnableStats()
+		srv.EnableFeedback()
+		srv.EnableExplain()
+		log.Printf("serving on %s", *serve)
+		log.Fatal(http.ListenAndServe(*serve, srv))
+	}
+	if *queryNm == "" && *serve == "" && !*doEval {
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -serve, -query, or -eval")
+		os.Exit(2)
+	}
+}
+
+func datasetConfig(name string) (dataset.Config, error) {
+	switch strings.ToLower(name) {
+	case "ios":
+		return dataset.IOS(), nil
+	case "kil":
+		return dataset.KIL(), nil
+	case "ds":
+		return dataset.DS(), nil
+	case "bhic":
+		return dataset.BHIC(1900), nil
+	}
+	return dataset.Config{}, fmt.Errorf("unknown dataset %q (want ios, kil, ds, or bhic)", name)
+}
+
+func runQuery(engine *query.Engine, g *pedigree.Graph, nameQuery string) {
+	// "first / surname" splits explicitly (needed for multi-token surnames
+	// like "van den berg"); otherwise the last token is the surname.
+	var first, sur string
+	if i := strings.Index(nameQuery, "/"); i >= 0 {
+		first = strings.TrimSpace(strings.ToLower(nameQuery[:i]))
+		sur = strings.TrimSpace(strings.ToLower(nameQuery[i+1:]))
+	} else {
+		parts := strings.Fields(strings.ToLower(nameQuery))
+		if len(parts) < 2 {
+			log.Fatalf("query must be \"<first name> <surname>\" or \"<first> / <surname>\", got %q", nameQuery)
+		}
+		first = strings.Join(parts[:len(parts)-1], " ")
+		sur = parts[len(parts)-1]
+	}
+	q := query.Query{FirstName: first, Surname: sur}
+	results := engine.Search(q)
+	if len(results) == 0 {
+		fmt.Println("no matches")
+		return
+	}
+	fmt.Printf("%-4s %-28s %-3s %-10s %-8s\n", "#", "name", "sex", "years", "score")
+	for i, r := range results {
+		n := g.Node(r.Entity)
+		years := ""
+		if n.MinYear != 0 {
+			years = fmt.Sprintf("%d-%d", n.MinYear, n.MaxYear)
+		}
+		fmt.Printf("%-4d %-28s %-3s %-10s %7.2f%%\n",
+			i+1, n.DisplayName(), n.Gender, years, r.Score)
+	}
+	ped := g.Extract(results[0].Entity, 2)
+	fmt.Println()
+	fmt.Print(g.RenderText(ped))
+}

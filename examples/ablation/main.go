@@ -1,0 +1,60 @@
+// Ablation walkthrough: shows how each SNAPS technique (PROP, AMB, REL,
+// REF) contributes to linkage quality on a small sample, mirroring Table 3
+// of the paper at interactive speed.
+package main
+
+import (
+	"fmt"
+
+	"github.com/snaps/snaps/internal/dataset"
+	"github.com/snaps/snaps/internal/depgraph"
+	"github.com/snaps/snaps/internal/er"
+	"github.com/snaps/snaps/internal/eval"
+	"github.com/snaps/snaps/internal/model"
+)
+
+func main() {
+	pop := dataset.Generate(dataset.IOS().Scaled(0.12))
+	d := pop.Dataset
+	rps := []model.RolePair{
+		model.MakeRolePair(model.Bm, model.Bm),
+		model.MakeRolePair(model.Bf, model.Bf),
+	}
+	truth := map[model.PairKey]bool{}
+	for _, rp := range rps {
+		for k := range d.TruePairs(rp) {
+			truth[k] = true
+		}
+	}
+
+	variants := []struct {
+		name string
+		mod  func(*er.Config)
+		why  string
+	}{
+		{"full SNAPS", func(c *er.Config) {}, "all techniques"},
+		{"without PROP", func(c *er.Config) { c.Propagation = false },
+			"no value/constraint propagation: changed surnames and addresses unlinkable"},
+		{"without AMB", func(c *er.Config) { c.Ambiguity = false },
+			"no disambiguation: common-name coincidences merge freely"},
+		{"without REL", func(c *er.Config) { c.Relations = false },
+			"no adaptive groups: one sibling pair vetoes a whole family"},
+		{"without REF", func(c *er.Config) { c.Refinement = false },
+			"no cluster refinement: wrong links persist in sparse clusters"},
+	}
+
+	fmt.Println("ablation on IOS sample, birth-parent links (Bp-Bp):")
+	for _, v := range variants {
+		cfg := er.DefaultConfig()
+		v.mod(&cfg)
+		pr := er.Run(d, depgraph.DefaultConfig(), cfg)
+		pred := map[model.PairKey]bool{}
+		for _, rp := range rps {
+			for k := range pr.Result.Store.MatchPairs(rp) {
+				pred[k] = true
+			}
+		}
+		q := eval.QualityOf(eval.Compare(pred, truth))
+		fmt.Printf("  %-14s %v\n                 (%s)\n", v.name, q, v.why)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/snaps/snaps
+
+go 1.22

@@ -1,0 +1,331 @@
+// Package blocking reduces the ER comparison space. SNAPS uses locality
+// sensitive hashing (LSH): each record's name string is shingled into
+// character bigrams, a MinHash signature is computed, and the signature is
+// split into bands; records whose band hashes collide land in the same
+// block and are compared. Pairs of very dissimilar records are unlikely to
+// collide in any band, so the quadratic comparison space shrinks to
+// near-linear.
+//
+// A simple Soundex-based blocker is also provided as a deterministic
+// cross-check for tests and for data sets too small to warrant LSH.
+package blocking
+
+import (
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/snaps/snaps/internal/model"
+	"github.com/snaps/snaps/internal/strsim"
+)
+
+// Candidate is a candidate record pair produced by a blocker.
+type Candidate struct {
+	A, B model.RecordID
+}
+
+// Blocker produces candidate record pairs from a data set.
+type Blocker interface {
+	// Pairs returns the deduplicated candidate pairs among the given
+	// records. Pairs are canonical: A < B.
+	Pairs(d *model.Dataset, ids []model.RecordID) []Candidate
+}
+
+// LSHConfig tunes the MinHash LSH blocker.
+type LSHConfig struct {
+	// Bands and Rows split the MinHash signature: signature length is
+	// Bands*Rows. More bands with fewer rows each admits lower-similarity
+	// pairs; the collision probability of a pair with Jaccard similarity s
+	// is 1-(1-s^Rows)^Bands.
+	Bands, Rows int
+	// Seed seeds the per-position hash mixers so runs are reproducible.
+	Seed uint64
+	// MaxBlockSize caps a block: larger blocks (stop-word-like names) are
+	// skipped to avoid quadratic blowup on very frequent values, mirroring
+	// standard blocking practice. Zero means no cap.
+	MaxBlockSize int
+}
+
+// DefaultLSHConfig returns the configuration used by SNAPS: 8 bands of 4
+// rows, which admits pairs with bigram Jaccard similarity around 0.35-0.4
+// with high probability.
+func DefaultLSHConfig() LSHConfig {
+	return LSHConfig{Bands: 8, Rows: 4, Seed: 0x5eed, MaxBlockSize: 400}
+}
+
+// LSH is a MinHash locality-sensitive-hashing blocker over the
+// concatenation of a record's first name and surname.
+type LSH struct {
+	cfg LSHConfig
+	// mixers are per-position multiplicative constants for the signature.
+	mixers []uint64
+}
+
+// NewLSH returns an LSH blocker with the given configuration.
+func NewLSH(cfg LSHConfig) *LSH {
+	if cfg.Bands <= 0 || cfg.Rows <= 0 {
+		cfg = DefaultLSHConfig()
+	}
+	n := cfg.Bands * cfg.Rows
+	mixers := make([]uint64, n)
+	x := cfg.Seed | 1
+	for i := range mixers {
+		// splitmix64 step to derive independent odd multipliers.
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		mixers[i] = (z ^ (z >> 31)) | 1
+	}
+	return &LSH{cfg: cfg, mixers: mixers}
+}
+
+// signature computes the MinHash signature of a record's name bigrams.
+func (l *LSH) signature(name string) []uint64 {
+	n := len(l.mixers)
+	sig := make([]uint64, n)
+	for i := range sig {
+		sig[i] = ^uint64(0)
+	}
+	if len(name) < 2 {
+		// Degenerate names hash as a single token so they still block
+		// together rather than being silently dropped.
+		h := fnvHash(name)
+		for i := range sig {
+			sig[i] = h * l.mixers[i]
+		}
+		return sig
+	}
+	for i := 0; i+2 <= len(name); i++ {
+		h := fnvHash(name[i : i+2])
+		for j := range sig {
+			v := h * l.mixers[j]
+			if v < sig[j] {
+				sig[j] = v
+			}
+		}
+	}
+	return sig
+}
+
+func fnvHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// blockKey identifies one band of one signature.
+type blockKey struct {
+	band int
+	hash uint64
+}
+
+// Pairs implements Blocker. Records with the same band hash in any band are
+// candidates; gender-incompatible pairs are filtered here already because no
+// downstream step can ever link them.
+//
+// Two signature passes run: one over the full name (first name + surname)
+// and one over the surname alone. The surname pass catches pairs whose
+// first names differ — nicknamed re-recordings of one person, and the
+// sibling pairs whose presence in node groups drives the REL technique.
+func (l *LSH) Pairs(d *model.Dataset, ids []model.RecordID) []Candidate {
+	// Band hashes are computed in parallel per record (the expensive part:
+	// MinHash over all bigrams), then collected serially so block contents
+	// stay in deterministic record order.
+	type recHashes struct {
+		full    []uint64 // one hash per band of the full-name signature
+		surname []uint64 // nil when the record has no surname
+	}
+	hashes := make([]recHashes, len(ids))
+	parallelRange(len(ids), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			rec := d.Record(ids[i])
+			hashes[i].full = l.bandHashes(nameKey(rec))
+			if rec.Surname != "" {
+				hashes[i].surname = l.bandHashes(rec.Surname)
+			}
+		}
+	})
+	blocks := make(map[blockKey][]model.RecordID)
+	for i, id := range ids {
+		for b, h := range hashes[i].full {
+			key := blockKey{band: b, hash: h}
+			blocks[key] = append(blocks[key], id)
+		}
+		for b, h := range hashes[i].surname {
+			key := blockKey{band: l.cfg.Bands + b, hash: h}
+			blocks[key] = append(blocks[key], id)
+		}
+	}
+	return emitPairs(d, blocks, l.cfg.MaxBlockSize, nil)
+}
+
+// PairsTouching blocks all records but emits only candidate pairs with at
+// least one endpoint in focus — the incremental-resolution workload, where
+// newly arrived records must be compared against the whole data set but
+// existing pairs need not be revisited.
+func (l *LSH) PairsTouching(d *model.Dataset, ids []model.RecordID, focus map[model.RecordID]bool) []Candidate {
+	all := l.Pairs(d, ids)
+	out := all[:0]
+	for _, c := range all {
+		if focus[c.A] || focus[c.B] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// bandHashes computes the per-band hashes of a name's MinHash signature.
+func (l *LSH) bandHashes(name string) []uint64 {
+	sig := l.signature(name)
+	out := make([]uint64, l.cfg.Bands)
+	for b := 0; b < l.cfg.Bands; b++ {
+		h := fnv.New64a()
+		var buf [8]byte
+		for r := 0; r < l.cfg.Rows; r++ {
+			v := sig[b*l.cfg.Rows+r]
+			for k := 0; k < 8; k++ {
+				buf[k] = byte(v >> (8 * k))
+			}
+			h.Write(buf[:])
+		}
+		out[b] = h.Sum64()
+	}
+	return out
+}
+
+// parallelRange splits [0,n) into GOMAXPROCS chunks run concurrently.
+func parallelRange(n int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// nameKey is the blocking string of a record.
+func nameKey(rec *model.Record) string { return rec.FirstName + "|" + rec.Surname }
+
+// emitPairs deduplicates pair emission across blocks and applies the
+// gender-compatibility filter. A non-nil keep filter restricts emission.
+func emitPairs(d *model.Dataset, blocks map[blockKey][]model.RecordID, maxBlock int, keep func(a, b model.RecordID) bool) []Candidate {
+	seen := make(map[model.PairKey]bool)
+	var out []Candidate
+	// Deterministic iteration: sort keys.
+	keys := make([]blockKey, 0, len(blocks))
+	for k := range blocks {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].band != keys[j].band {
+			return keys[i].band < keys[j].band
+		}
+		return keys[i].hash < keys[j].hash
+	})
+	for _, k := range keys {
+		blk := blocks[k]
+		if maxBlock > 0 && len(blk) > maxBlock {
+			continue
+		}
+		for i := 0; i < len(blk); i++ {
+			for j := i + 1; j < len(blk); j++ {
+				a, b := blk[i], blk[j]
+				if b < a {
+					a, b = b, a
+				}
+				if a == b {
+					continue
+				}
+				if keep != nil && !keep(a, b) {
+					continue
+				}
+				pk := model.MakePairKey(a, b)
+				if seen[pk] {
+					continue
+				}
+				seen[pk] = true
+				ra, rb := d.Record(a), d.Record(b)
+				if !GenderCompatible(ra, rb) {
+					continue
+				}
+				if ra.Cert == rb.Cert {
+					continue // two roles on one certificate are distinct people
+				}
+				out = append(out, Candidate{A: a, B: b})
+			}
+		}
+	}
+	return out
+}
+
+// GenderCompatible reports whether two records could refer to the same
+// person as far as recorded or role-implied gender goes.
+func GenderCompatible(a, b *model.Record) bool {
+	ga, gb := effectiveGender(a), effectiveGender(b)
+	if ga == model.GenderUnknown || gb == model.GenderUnknown {
+		return true
+	}
+	return ga == gb
+}
+
+func effectiveGender(r *model.Record) model.Gender {
+	if r.Gender != model.GenderUnknown {
+		return r.Gender
+	}
+	return model.RoleGender(r.Role)
+}
+
+// Soundex blocks records by the Soundex codes of their first name and
+// surname. It is exact for spelling variants that preserve the phonetic
+// skeleton and serves as a baseline blocker and a test oracle.
+type Soundex struct {
+	// MaxBlockSize caps block sizes as in LSH. Zero means no cap.
+	MaxBlockSize int
+	// Encode maps a name to its phonetic code; tests may substitute a stub.
+	Encode func(string) string
+}
+
+// Pairs implements Blocker.
+func (s *Soundex) Pairs(d *model.Dataset, ids []model.RecordID) []Candidate {
+	encode := s.Encode
+	if encode == nil {
+		encode = strsim.Soundex
+	}
+	blocks := make(map[blockKey][]model.RecordID)
+	intern := map[string]uint64{}
+	keyID := func(key string) uint64 {
+		if v, ok := intern[key]; ok {
+			return v
+		}
+		v := fnvHash(key)
+		intern[key] = v
+		return v
+	}
+	for _, id := range ids {
+		rec := d.Record(id)
+		k1 := encode(rec.FirstName) + "/" + encode(rec.Surname)
+		blocks[blockKey{band: 0, hash: keyID(k1)}] = append(blocks[blockKey{band: 0, hash: keyID(k1)}], id)
+		// Second pass on surname alone tolerates first-name nicknames.
+		k2 := encode(rec.Surname)
+		blocks[blockKey{band: 1, hash: keyID(k2)}] = append(blocks[blockKey{band: 1, hash: keyID(k2)}], id)
+	}
+	return emitPairs(d, blocks, s.MaxBlockSize, nil)
+}

@@ -1,0 +1,387 @@
+package dataset
+
+import (
+	"github.com/snaps/snaps/internal/model"
+)
+
+// emitBirth writes a birth certificate for the child born in the given
+// year: records for the baby (Bb), mother (Bm), and father (Bf).
+func (g *generator) emitBirth(child model.PersonID, year int) {
+	cp := &g.persons[child]
+	certID := model.CertID(len(g.dataset.Certificates))
+	cert := model.Certificate{
+		ID: certID, Type: model.Birth, Year: year,
+		Roles: map[model.Role]model.RecordID{}, Age: -1,
+	}
+	cert.Roles[model.Bb] = g.emitRecord(child, certID, model.Bb, year)
+	if cp.Mother != model.NoPerson {
+		cert.Roles[model.Bm] = g.emitRecord(cp.Mother, certID, model.Bm, year)
+	}
+	if cp.Father != model.NoPerson {
+		cert.Roles[model.Bf] = g.emitRecord(cp.Father, certID, model.Bf, year)
+	}
+	g.dataset.Certificates = append(g.dataset.Certificates, cert)
+}
+
+// emitDeath writes a death certificate: the deceased (Dd), their parents
+// (Dm, Df) as remembered by the informant, and the spouse (Ds) if married.
+func (g *generator) emitDeath(dead model.PersonID, year int) {
+	dp := &g.persons[dead]
+	certID := model.CertID(len(g.dataset.Certificates))
+	age := year - dp.BirthYear
+	cert := model.Certificate{
+		ID: certID, Type: model.Death, Year: year,
+		Roles: map[model.Role]model.RecordID{},
+		Cause: deathCauses[g.causeZipf.next()],
+		Age:   age,
+	}
+	ddID := g.emitRecord(dead, certID, model.Dd, year)
+	cert.Roles[model.Dd] = ddID
+	g.setBirthHint(ddID, dp.BirthYear)
+	// Parents appear on the death certificate whether or not they are still
+	// alive; informant recall makes these mentions noisier (extra typo
+	// chance applied inside emitRecord via the parent-role path).
+	if dp.Mother != model.NoPerson {
+		cert.Roles[model.Dm] = g.emitRecord(dp.Mother, certID, model.Dm, year)
+	}
+	if dp.Father != model.NoPerson {
+		cert.Roles[model.Df] = g.emitRecord(dp.Father, certID, model.Df, year)
+	}
+	if dp.Spouse != model.NoPerson {
+		cert.Roles[model.Ds] = g.emitRecord(dp.Spouse, certID, model.Ds, year)
+	}
+	g.dataset.Certificates = append(g.dataset.Certificates, cert)
+}
+
+// emitMarriage writes a marriage certificate: groom (Mm), bride (Mf), and
+// the four parents. The bride's surname on the certificate is her maiden
+// surname (she marries under it).
+func (g *generator) emitMarriage(h, w model.PersonID, year int) {
+	certID := model.CertID(len(g.dataset.Certificates))
+	cert := model.Certificate{
+		ID: certID, Type: model.Marriage, Year: year,
+		Roles: map[model.Role]model.RecordID{}, Age: -1,
+	}
+	cert.Roles[model.Mm] = g.emitRecord(h, certID, model.Mm, year)
+	cert.Roles[model.Mf] = g.emitRecordWithSurname(w, certID, model.Mf, year, g.persons[w].MaidenSurname)
+	hp, wp := &g.persons[h], &g.persons[w]
+	if hp.Mother != model.NoPerson {
+		cert.Roles[model.Mmm] = g.emitRecord(hp.Mother, certID, model.Mmm, year)
+	}
+	if hp.Father != model.NoPerson {
+		cert.Roles[model.Mmf] = g.emitRecord(hp.Father, certID, model.Mmf, year)
+	}
+	if wp.Mother != model.NoPerson {
+		cert.Roles[model.Mfm] = g.emitRecord(wp.Mother, certID, model.Mfm, year)
+	}
+	if wp.Father != model.NoPerson {
+		cert.Roles[model.Mff] = g.emitRecord(wp.Father, certID, model.Mff, year)
+	}
+	g.dataset.Certificates = append(g.dataset.Certificates, cert)
+}
+
+// emitRecord extracts a role record for a person onto a certificate,
+// applying the error model. The surname recorded is the person's current
+// surname (married women appear under their married name except as brides).
+func (g *generator) emitRecord(p model.PersonID, cert model.CertID, role model.Role, year int) model.RecordID {
+	return g.emitRecordWithSurname(p, cert, role, year, g.persons[p].Surname)
+}
+
+func (g *generator) emitRecordWithSurname(p model.PersonID, cert model.CertID, role model.Role, year int, surname string) model.RecordID {
+	pp := &g.persons[p]
+	id := model.RecordID(len(g.dataset.Records))
+	rec := model.Record{
+		ID: id, Cert: cert, Role: role, Gender: pp.Gender,
+		FirstName:  g.corruptName(pp.FirstName, true),
+		Surname:    g.corruptName(surname, false),
+		Address:    pp.Address,
+		Occupation: pp.Occupation,
+		Year:       year,
+		Truth:      pp.ID,
+	}
+	// Missing values per attribute.
+	if g.missing(model.FirstName) {
+		rec.FirstName = ""
+	}
+	if g.missing(model.Surname) {
+		rec.Surname = ""
+	}
+	if g.missing(model.Address) {
+		rec.Address = ""
+	}
+	if g.missing(model.Occupation) || rec.Occupation == "" {
+		rec.Occupation = ""
+	}
+	if rec.Address != "" && g.gazetteer != nil {
+		if lat, lon, ok := g.gazetteer.Resolve(rec.Address); ok {
+			rec.Lat, rec.Lon = lat, lon
+		}
+	}
+	g.dataset.Records = append(g.dataset.Records, rec)
+	return id
+}
+
+// setBirthHint stores the birth year a recorded age implies, with the
+// rounding and mis-statement noise typical of informant-supplied ages.
+func (g *generator) setBirthHint(id model.RecordID, birthYear int) {
+	hint := birthYear
+	switch r := g.hintRng.Float64(); {
+	case r < 0.05:
+		hint += 2 - g.hintRng.Intn(5) // ±2
+	case r < 0.35:
+		hint += 1 - g.hintRng.Intn(3) // ±1
+	}
+	g.dataset.Records[id].BirthHint = hint
+}
+
+func (g *generator) missing(a model.Attr) bool {
+	return g.rng.Float64() < g.cfg.MissingRate[a]
+}
+
+// corruptName applies the name error model: nickname substitution for first
+// names, then possibly a typographical edit.
+func (g *generator) corruptName(name string, isFirst bool) string {
+	if name == "" {
+		return ""
+	}
+	if isFirst && g.rng.Float64() < g.cfg.NicknameRate {
+		// Double forenames take the variant on their first component.
+		head, tail := name, ""
+		if i := indexByte(name, ' '); i >= 0 {
+			head, tail = name[:i], name[i:]
+		}
+		if vars, ok := g.cfg.Nicknames[head]; ok {
+			name = vars[g.rng.Intn(len(vars))] + tail
+		}
+	}
+	if g.rng.Float64() < g.cfg.TypoRate {
+		name = g.typo(name)
+	}
+	return name
+}
+
+// typo applies one random edit: substitution, deletion, insertion, or
+// transposition of adjacent characters.
+func (g *generator) typo(s string) string {
+	if len(s) < 2 {
+		return s
+	}
+	b := []byte(s)
+	switch g.rng.Intn(4) {
+	case 0: // substitution
+		i := g.rng.Intn(len(b))
+		b[i] = byte('a' + g.rng.Intn(26))
+	case 1: // deletion
+		i := g.rng.Intn(len(b))
+		b = append(b[:i], b[i+1:]...)
+	case 2: // insertion
+		i := g.rng.Intn(len(b) + 1)
+		c := byte('a' + g.rng.Intn(26))
+		b = append(b[:i], append([]byte{c}, b[i:]...)...)
+	default: // transposition
+		i := g.rng.Intn(len(b) - 1)
+		b[i], b[i+1] = b[i+1], b[i]
+	}
+	return string(b)
+}
+
+// Stats summarises a data set the way Table 1 of the paper does: per-QID
+// missing-value counts and value-frequency statistics over records of the
+// given roles (the paper reports deceased people, role Dd).
+type Stats struct {
+	Records int
+	PerAttr map[model.Attr]AttrStats
+}
+
+// AttrStats is one row of Table 1.
+type AttrStats struct {
+	Missing       int
+	MinFreq       int
+	AvgFreq       float64
+	MaxFreq       int
+	DistinctCount int
+}
+
+// ComputeStats derives Table 1 statistics for the records holding any of
+// the given roles.
+func ComputeStats(d *model.Dataset, roles ...model.Role) Stats {
+	ids := d.RecordsByRole(roles...)
+	s := Stats{Records: len(ids), PerAttr: map[model.Attr]AttrStats{}}
+	for _, a := range []model.Attr{model.FirstName, model.Surname, model.Address, model.Occupation} {
+		freq := map[string]int{}
+		missing := 0
+		for _, id := range ids {
+			v := d.Record(id).Value(a)
+			if v == "" {
+				missing++
+				continue
+			}
+			freq[v]++
+		}
+		st := AttrStats{Missing: missing, DistinctCount: len(freq)}
+		if len(freq) > 0 {
+			st.MinFreq = 1 << 30
+			total := 0
+			for _, c := range freq {
+				total += c
+				if c < st.MinFreq {
+					st.MinFreq = c
+				}
+				if c > st.MaxFreq {
+					st.MaxFreq = c
+				}
+			}
+			st.AvgFreq = float64(total) / float64(len(freq))
+		}
+		s.PerAttr[a] = st
+	}
+	return s
+}
+
+// TopValues returns the n most frequent values of the attribute among
+// records with the given roles, with their counts, most frequent first.
+// Ties break lexicographically for determinism. This regenerates the series
+// of Figure 2.
+func TopValues(d *model.Dataset, a model.Attr, n int, roles ...model.Role) []ValueCount {
+	ids := d.RecordsByRole(roles...)
+	freq := map[string]int{}
+	for _, id := range ids {
+		if v := d.Record(id).Value(a); v != "" {
+			freq[v]++
+		}
+	}
+	out := make([]ValueCount, 0, len(freq))
+	for v, c := range freq {
+		out = append(out, ValueCount{Value: v, Count: c})
+	}
+	sortValueCounts(out)
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// ValueCount pairs an attribute value with its record frequency.
+type ValueCount struct {
+	Value string
+	Count int
+}
+
+func sortValueCounts(vc []ValueCount) {
+	// Insertion-free stdlib sort with deterministic tie-break.
+	sortSlice(vc, func(i, j int) bool {
+		if vc[i].Count != vc[j].Count {
+			return vc[i].Count > vc[j].Count
+		}
+		return vc[i].Value < vc[j].Value
+	})
+}
+
+// BiasTruth simulates the paper's "incomplete and biased ground truth": it
+// returns a copy of the true pair set for the role pair with the given
+// fraction of pairs retained, preferring pairs whose records share a
+// surname (the curators' sibling-finding bias). Determinism comes from the
+// record ids, not a random source.
+func BiasTruth(d *model.Dataset, pairs map[model.PairKey]bool, keep float64) map[model.PairKey]bool {
+	if keep >= 1 {
+		out := make(map[model.PairKey]bool, len(pairs))
+		for k := range pairs {
+			out[k] = true
+		}
+		return out
+	}
+	keys := make([]model.PairKey, 0, len(pairs))
+	for k := range pairs {
+		keys = append(keys, k)
+	}
+	sortSlice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	target := int(float64(len(keys)) * keep)
+	out := map[model.PairKey]bool{}
+	// First pass: same-surname pairs (the bias).
+	for _, k := range keys {
+		if len(out) >= target {
+			break
+		}
+		a, b := k.Split()
+		if d.Record(a).Surname == d.Record(b).Surname {
+			out[k] = true
+		}
+	}
+	for _, k := range keys {
+		if len(out) >= target {
+			break
+		}
+		out[k] = true
+	}
+	return out
+}
+
+func indexByte(s string, c byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// emitCensus enumerates every household at a census year: the married (or
+// widowed) heads and their co-resident children — alive, unmarried, and
+// young enough to live at home. Up to six children are recorded, eldest
+// first, matching the fixed census child roles.
+func (g *generator) emitCensus(year int) {
+	// Children by mother for household assembly.
+	childrenOf := map[model.PersonID][]model.PersonID{}
+	for i := range g.persons {
+		p := &g.persons[i]
+		if p.Mother == model.NoPerson || p.DeathYear != 0 || p.Spouse != model.NoPerson {
+			continue
+		}
+		age := year - p.BirthYear
+		if age < 0 || age > 25 {
+			continue
+		}
+		childrenOf[p.Mother] = append(childrenOf[p.Mother], p.ID)
+	}
+	for _, h := range g.couples {
+		hp := &g.persons[h]
+		if hp.Spouse == model.NoPerson {
+			continue
+		}
+		w := hp.Spouse
+		wp := &g.persons[w]
+		hAlive := hp.DeathYear == 0 && hp.BirthYear < year
+		wAlive := wp.DeathYear == 0 && wp.BirthYear < year
+		if !hAlive && !wAlive {
+			continue
+		}
+		certID := model.CertID(len(g.dataset.Certificates))
+		cert := model.Certificate{
+			ID: certID, Type: model.Census, Year: year,
+			Roles: map[model.Role]model.RecordID{}, Age: -1,
+		}
+		if hAlive {
+			id := g.emitRecord(h, certID, model.Cf, year)
+			cert.Roles[model.Cf] = id
+			g.setBirthHint(id, hp.BirthYear)
+		}
+		if wAlive {
+			id := g.emitRecord(w, certID, model.Cm, year)
+			cert.Roles[model.Cm] = id
+			g.setBirthHint(id, wp.BirthYear)
+		}
+		kids := childrenOf[w]
+		// Eldest first; the generator creates persons in birth order, so
+		// ids are already ordered by birth year.
+		for i, kid := range kids {
+			if i >= len(model.CensusChildRoles) {
+				break
+			}
+			role := model.CensusChildRoles[i]
+			id := g.emitRecord(kid, certID, role, year)
+			cert.Roles[role] = id
+			g.setBirthHint(id, g.persons[kid].BirthYear)
+		}
+		g.dataset.Certificates = append(g.dataset.Certificates, cert)
+	}
+}

@@ -1,0 +1,88 @@
+package dataset
+
+// Dutch name and place pools for the BHIC (North Brabant) configuration
+// used by the scalability experiments. The civil registers of Brabant have
+// their own onomastic profile: Latin-baptismal and Dutch vernacular first
+// names, patronymic and toponymic surnames with tussenvoegsels, and
+// Brabant municipalities as places.
+
+var dutchMaleFirstNames = []string{
+	"johannes", "petrus", "adrianus", "cornelis", "wilhelmus", "antonius",
+	"henricus", "jacobus", "franciscus", "martinus", "lambertus", "gerardus",
+	"theodorus", "nicolaas", "hendrik", "jan", "piet", "kees", "willem",
+	"toon", "driek", "marinus", "christiaan", "josephus", "leonardus",
+	"bernardus", "arnoldus", "gijsbertus", "hubertus", "paulus", "simon",
+	"stephanus", "laurentius", "michiel", "dirk", "gerrit", "bart",
+	"egidius", "walterus", "godefridus", "norbertus", "victor", "august",
+	"eduardus", "ferdinand", "ludovicus", "mathijs", "quirinus", "rochus",
+	"sebastiaan", "tiberius", "urbanus", "vincentius", "xaverius", "zacharias",
+}
+
+var dutchFemaleFirstNames = []string{
+	"maria", "johanna", "adriana", "cornelia", "wilhelmina", "antonia",
+	"henrica", "petronella", "francisca", "martina", "lamberta", "gerarda",
+	"theodora", "anna", "catharina", "elisabeth", "hendrika", "jacoba",
+	"mie", "jans", "drika", "helena", "christina", "josepha", "leonarda",
+	"bernardina", "arnolda", "gijsberta", "huberta", "paulina", "geertruida",
+	"stephana", "laurentia", "mechelina", "dirkje", "gerritje", "barbara",
+	"aldegonda", "waltera", "godefrida", "norberta", "victoria", "augusta",
+	"eduarda", "ferdinanda", "ludovica", "mathilda", "quirina", "rosalia",
+	"sebastiana", "theresia", "ursula", "veronica", "walburga", "apollonia",
+}
+
+var dutchSurnames = []string{
+	"van den berg", "de vries", "jansen", "van dijk", "bakker", "visser",
+	"smulders", "van der heijden", "vermeulen", "van de ven", "smits",
+	"peters", "hendriks", "van boxtel", "schellekens", "verhoeven",
+	"van gestel", "de bruijn", "martens", "willems", "van rooij",
+	"timmermans", "schoenmakers", "kuijpers", "van best", "aarts",
+	"claessens", "damen", "evers", "franken", "geerts", "habraken",
+	"ijpelaar", "joosten", "ketelaars", "leijten", "maas", "nouwens",
+	"oomen", "pijnenburg", "quik", "roovers", "sanders", "teurlings",
+	"uijtdewilligen", "verbakel", "wouters", "zeegers", "van asten",
+	"van beek", "coppens", "van doorn", "engelen", "foolen", "goossens",
+	"van hout", "van iersel", "jacobs", "knoops", "van laarhoven",
+	"meijs", "van nunen", "van oirschot", "princen", "raaijmakers",
+	"spijkers", "van tilburg", "uijens", "vugts", "van wanrooij",
+}
+
+var dutchPlaces = []string{
+	"den bosch", "eindhoven", "tilburg", "breda", "helmond", "oss",
+	"roosendaal", "bergen op zoom", "waalwijk", "uden", "veghel", "boxtel",
+	"oisterwijk", "vught", "schijndel", "gemert", "deurne", "asten",
+	"someren", "bladel", "eersel", "oirschot", "best", "son", "nuenen",
+	"geldrop", "valkenswaard", "bergeijk", "hilvarenbeek", "goirle",
+	"dongen", "rijen", "oosterhout", "made", "zevenbergen", "fijnaart",
+	"steenbergen", "woensdrecht", "hoogerheide", "putte", "zundert",
+	"rucphen", "etten", "prinsenbeek", "teteringen", "chaam", "alphen",
+	"baarle", "reusel", "hapert", "duizel", "knegsel", "wintelre",
+	"oerle", "zeelst", "meerveldhoven", "aalst", "waalre", "heeze",
+	"leende", "maarheeze", "budel", "soerendonk", "gastel",
+}
+
+// dutchNicknames maps baptismal names to the vernacular forms the civil
+// registers alternate between.
+var dutchNicknames = map[string][]string{
+	"johannes":   {"jan", "hannes", "jo"},
+	"petrus":     {"piet", "peer"},
+	"adrianus":   {"janus", "aad", "arie"},
+	"cornelis":   {"kees", "cor", "nelis"},
+	"wilhelmus":  {"willem", "wim"},
+	"antonius":   {"toon", "anton", "teun"},
+	"henricus":   {"hendrik", "driek", "hein"},
+	"jacobus":    {"jaap", "koos", "sjaak"},
+	"franciscus": {"frans", "cis"},
+	"martinus":   {"tinus", "mart"},
+	"gerardus":   {"gerrit", "sjra", "geert"},
+	"theodorus":  {"dirk", "theo", "dorus"},
+	"maria":      {"mie", "mieke", "marie"},
+	"johanna":    {"jans", "jo", "anneke"},
+	"adriana":    {"jaantje", "sjaan"},
+	"cornelia":   {"kee", "neeltje", "cor"},
+	"wilhelmina": {"mina", "wil"},
+	"antonia":    {"tonia", "net"},
+	"petronella": {"nel", "pieta"},
+	"elisabeth":  {"bet", "lies", "betje"},
+	"catharina":  {"kaat", "trien", "toos"},
+	"henrica":    {"drika", "riek"},
+}

@@ -1,0 +1,9 @@
+package dataset
+
+import "sort"
+
+// sortSlice is a tiny generic wrapper over sort.Slice providing a stable
+// call site for the package's deterministic orderings.
+func sortSlice[T any](s []T, less func(i, j int) bool) {
+	sort.Slice(s, less)
+}

@@ -1,0 +1,404 @@
+// Package depgraph builds the dependency graph G_D of Sec. 4.1 of the
+// paper: atomic nodes represent pairs of QID values with their string
+// similarity, relational nodes represent candidate record pairs, and edges
+// connect relational nodes whose underlying records are related by the same
+// family relationship on both certificates.
+//
+// Relational nodes between one pair of certificates that are connected by
+// relationship edges form a node group (e.g. the aligned (baby,deceased),
+// (mother,mother), (father,father) pairs between a birth and a death
+// certificate). Groups are the unit of bootstrapping and merging in the
+// SNAPS ER process, because they carry the relationship evidence.
+package depgraph
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/snaps/snaps/internal/blocking"
+	"github.com/snaps/snaps/internal/constraint"
+	"github.com/snaps/snaps/internal/model"
+	"github.com/snaps/snaps/internal/strsim"
+)
+
+// compareAttrs lists the attributes compared during graph construction.
+var compareAttrs = []model.Attr{model.FirstName, model.Surname, model.Address, model.Occupation}
+
+// parallelRange splits [0,n) into chunks and runs fn on each concurrently.
+func parallelRange(workers, n int, fn func(lo, hi int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// AtomicKey identifies an atomic node: an attribute plus a canonical
+// (ordered) pair of values.
+type AtomicKey struct {
+	Attr model.Attr
+	A, B string
+}
+
+// MakeAtomicKey returns the canonical key for an attribute value pair.
+func MakeAtomicKey(attr model.Attr, a, b string) AtomicKey {
+	if b < a {
+		a, b = b, a
+	}
+	return AtomicKey{Attr: attr, A: a, B: b}
+}
+
+// AtomicNode is a pair of QID values with their similarity.
+type AtomicNode struct {
+	Key AtomicKey
+	Sim float64
+}
+
+// NodeID indexes a relational node within a Graph.
+type NodeID int32
+
+// RelationalNode is a candidate record pair.
+type RelationalNode struct {
+	ID   NodeID
+	A, B model.RecordID
+	// Atomic binds, per attribute, the atomic node currently supporting
+	// this relational node; -1 when the attribute contributes no atomic
+	// node (missing value or similarity below threshold).
+	Atomic [model.NumAttrs]int32
+	// Group is the node group this node belongs to.
+	Group GroupID
+	// Neighbours lists relational nodes connected by a shared family
+	// relationship, labelled with that relationship.
+	Neighbours []Neighbour
+	// Merged is set once the ER process links the pair.
+	Merged bool
+}
+
+// Neighbour is a relationship-labelled edge to another relational node.
+type Neighbour struct {
+	Node NodeID
+	Rel  model.Relationship
+}
+
+// GroupID indexes a node group within a Graph.
+type GroupID int32
+
+// Group is a set of relational nodes between one certificate pair connected
+// by relationship edges. Singleton groups contain one node.
+type Group struct {
+	ID    GroupID
+	Nodes []NodeID
+}
+
+// Config tunes dependency-graph construction.
+type Config struct {
+	// AtomicThreshold is t_a: minimum similarity for a QID value pair to
+	// become an atomic node (paper default 0.9).
+	AtomicThreshold float64
+	// GeoMaxKm converts geocoded address distance to similarity; used only
+	// for records with coordinates.
+	GeoMaxKm float64
+	// Workers bounds the goroutines used for the similarity computations
+	// of the atomic phase; 0 uses GOMAXPROCS. Results are deterministic
+	// regardless of worker count.
+	Workers int
+}
+
+// DefaultConfig returns the paper's parameters. GeoMaxKm is chosen so that
+// houses in the same settlement score high but below the atomic threshold
+// unless they are the same household.
+func DefaultConfig() Config { return Config{AtomicThreshold: 0.9, GeoMaxKm: 5} }
+
+// Graph is the dependency graph G_D.
+type Graph struct {
+	Dataset *model.Dataset
+	Config  Config
+
+	// Atomics stores the atomic nodes; AtomicIndex maps keys to indices.
+	Atomics     []AtomicNode
+	AtomicIndex map[AtomicKey]int32
+
+	Nodes  []RelationalNode
+	Groups []Group
+
+	// pairIndex maps a record pair to its relational node.
+	pairIndex map[model.PairKey]NodeID
+}
+
+// Node returns the relational node with the given id.
+func (g *Graph) Node(id NodeID) *RelationalNode { return &g.Nodes[id] }
+
+// Group returns the group with the given id.
+func (g *Graph) Group(id GroupID) *Group { return &g.Groups[id] }
+
+// NodeFor returns the relational node for a record pair, if any.
+func (g *Graph) NodeFor(a, b model.RecordID) (NodeID, bool) {
+	id, ok := g.pairIndex[model.MakePairKey(a, b)]
+	return id, ok
+}
+
+// AtomicSim returns the similarity of the atomic node bound to the given
+// attribute of a relational node, and whether one is bound.
+func (g *Graph) AtomicSim(n *RelationalNode, attr model.Attr) (float64, bool) {
+	idx := n.Atomic[attr]
+	if idx < 0 {
+		return 0, false
+	}
+	return g.Atomics[idx].Sim, true
+}
+
+// CompareAttr computes the similarity of two records' values for an
+// attribute using the attribute-appropriate comparison function: Jaro-
+// Winkler for names, geodesic or bigram-Jaccard similarity for addresses,
+// token-Jaccard for occupations. It returns ok=false when either value is
+// missing (missing values are no evidence, not negative evidence).
+func CompareAttr(cfg Config, a, b *model.Record, attr model.Attr) (sim float64, ok bool) {
+	switch attr {
+	case model.FirstName:
+		if a.FirstName == "" || b.FirstName == "" {
+			return 0, false
+		}
+		// NameSim extends Jaro-Winkler with Monge-Elkan token matching so
+		// transposed or partially recorded double forenames still compare.
+		return strsim.NameSim(a.FirstName, b.FirstName), true
+	case model.Surname:
+		if a.Surname == "" || b.Surname == "" {
+			return 0, false
+		}
+		// Token-aware comparison also handles multi-token surnames with
+		// tussenvoegsels ("van den berg") in the BHIC data.
+		return strsim.NameSim(a.Surname, b.Surname), true
+	case model.Address:
+		if a.Address == "" || b.Address == "" {
+			return 0, false
+		}
+		if a.Lat != 0 && b.Lat != 0 {
+			return strsim.GeoSim(a.Lat, a.Lon, b.Lat, b.Lon, cfg.GeoMaxKm), true
+		}
+		return strsim.Jaccard(a.Address, b.Address), true
+	case model.Occupation:
+		if a.Occupation == "" || b.Occupation == "" {
+			return 0, false
+		}
+		return strsim.TokenJaccard(a.Occupation, b.Occupation), true
+	}
+	return 0, false
+}
+
+// BuildStats reports the wall-clock time of the two graph-construction
+// phases, matching the "Generate N_A time" and "Generate N_R time" columns
+// of Table 6 of the paper.
+type BuildStats struct {
+	GenAtomic     time.Duration
+	GenRelational time.Duration
+}
+
+// Build constructs the dependency graph from blocking candidates. Candidate
+// pairs must already be gender-filtered; Build additionally applies the
+// constraint validator's pair filter (impossible role types and temporal
+// constraints, the paper's "two filtering steps") and requires at least one
+// supporting atomic node on a name attribute.
+func Build(d *model.Dataset, cfg Config, cands []blocking.Candidate) (*Graph, BuildStats) {
+	g := &Graph{
+		Dataset:     d,
+		Config:      cfg,
+		AtomicIndex: map[AtomicKey]int32{},
+		pairIndex:   map[model.PairKey]NodeID{},
+	}
+	var stats BuildStats
+
+	// Phase 1: atomic nodes — compare QID value pairs in parallel, then
+	// intern those at or above the threshold t_a serially (the interning
+	// map is shared, and serial interning keeps node ids deterministic).
+	t0 := time.Now()
+	sims := make([][model.NumAttrs]float64, len(cands))
+	present := make([][model.NumAttrs]bool, len(cands))
+	parallelRange(cfg.Workers, len(cands), func(lo, hi int) {
+		for ci := lo; ci < hi; ci++ {
+			c := cands[ci]
+			ra, rb := d.Record(c.A), d.Record(c.B)
+			for _, attr := range compareAttrs {
+				if s, ok := CompareAttr(cfg, ra, rb, attr); ok {
+					sims[ci][attr] = s
+					present[ci][attr] = true
+				}
+			}
+		}
+	})
+	atomicOf := make([][model.NumAttrs]int32, len(cands))
+	nameSupport := make([]bool, len(cands))
+	for ci, c := range cands {
+		ra, rb := d.Record(c.A), d.Record(c.B)
+		var atomic [model.NumAttrs]int32
+		for i := range atomic {
+			atomic[i] = -1
+		}
+		for _, attr := range compareAttrs {
+			if !present[ci][attr] || sims[ci][attr] < cfg.AtomicThreshold {
+				continue
+			}
+			atomic[attr] = g.addAtomic(attr, ra.Value(attr), rb.Value(attr), sims[ci][attr])
+			if attr == model.FirstName || attr == model.Surname {
+				nameSupport[ci] = true
+			}
+		}
+		atomicOf[ci] = atomic
+	}
+	stats.GenAtomic = time.Since(t0)
+
+	// Phase 2: relational nodes — filter impossible role pairs and
+	// temporal violations, then wire relationship edges and groups.
+	t1 := time.Now()
+	v := constraint.NewValidator(d)
+	for ci, c := range cands {
+		if !nameSupport[ci] || !v.BuildOK(c.A, c.B) {
+			continue
+		}
+		id := NodeID(len(g.Nodes))
+		g.Nodes = append(g.Nodes, RelationalNode{
+			ID: id, A: c.A, B: c.B, Atomic: atomicOf[ci], Group: -1,
+		})
+		g.pairIndex[model.MakePairKey(c.A, c.B)] = id
+	}
+	g.connectRelationships()
+	g.buildGroups()
+	stats.GenRelational = time.Since(t1)
+	return g, stats
+}
+
+// addAtomic interns an atomic node and returns its index.
+func (g *Graph) addAtomic(attr model.Attr, a, b string, sim float64) int32 {
+	key := MakeAtomicKey(attr, a, b)
+	if idx, ok := g.AtomicIndex[key]; ok {
+		return idx
+	}
+	idx := int32(len(g.Atomics))
+	g.Atomics = append(g.Atomics, AtomicNode{Key: key, Sim: sim})
+	g.AtomicIndex[key] = idx
+	return idx
+}
+
+// connectRelationships adds an edge between relational nodes (a1,b1) and
+// (a2,b2) when a1 and a2 are related on their certificate by the same
+// relationship as b1 and b2 on theirs (e.g. both are motherOf the records
+// of the other node).
+func (g *Graph) connectRelationships() {
+	d := g.Dataset
+	// relTo[cert] maps a record to its relationship-labelled certificate
+	// co-mentions: rel[from] = list of (to, rel).
+	type relEdge struct {
+		to  model.RecordID
+		rel model.Relationship
+	}
+	relOf := map[model.RecordID][]relEdge{}
+	for ci := range d.Certificates {
+		cert := &d.Certificates[ci]
+		for _, cr := range model.RelationsFor(cert.Type) {
+			from, okF := cert.Roles[cr.From]
+			to, okT := cert.Roles[cr.To]
+			if !okF || !okT {
+				continue
+			}
+			relOf[from] = append(relOf[from], relEdge{to: to, rel: cr.Rel})
+		}
+	}
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		for _, ea := range relOf[n.A] {
+			for _, eb := range relOf[n.B] {
+				if ea.rel != eb.rel {
+					continue
+				}
+				if other, ok := g.NodeFor(ea.to, eb.to); ok {
+					n.Neighbours = append(n.Neighbours, Neighbour{Node: other, Rel: ea.rel})
+				}
+			}
+		}
+	}
+	// Deduplicate and sort neighbour lists for determinism.
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		if len(n.Neighbours) < 2 {
+			continue
+		}
+		sort.Slice(n.Neighbours, func(a, b int) bool {
+			if n.Neighbours[a].Node != n.Neighbours[b].Node {
+				return n.Neighbours[a].Node < n.Neighbours[b].Node
+			}
+			return n.Neighbours[a].Rel < n.Neighbours[b].Rel
+		})
+		out := n.Neighbours[:1]
+		for _, nb := range n.Neighbours[1:] {
+			if nb != out[len(out)-1] {
+				out = append(out, nb)
+			}
+		}
+		n.Neighbours = out
+	}
+}
+
+// buildGroups forms node groups as connected components over relationship
+// edges, restricted to nodes between the same certificate pair so that a
+// group corresponds to one hypothesis "these two certificates mention the
+// same family".
+func (g *Graph) buildGroups() {
+	d := g.Dataset
+	certPair := func(n *RelationalNode) [2]model.CertID {
+		ca, cb := d.Record(n.A).Cert, d.Record(n.B).Cert
+		if cb < ca {
+			ca, cb = cb, ca
+		}
+		return [2]model.CertID{ca, cb}
+	}
+	visited := make([]bool, len(g.Nodes))
+	for i := range g.Nodes {
+		if visited[i] {
+			continue
+		}
+		gid := GroupID(len(g.Groups))
+		var members []NodeID
+		stack := []NodeID{NodeID(i)}
+		visited[i] = true
+		cp := certPair(&g.Nodes[i])
+		for len(stack) > 0 {
+			id := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			n := &g.Nodes[id]
+			n.Group = gid
+			members = append(members, id)
+			for _, nb := range n.Neighbours {
+				if visited[nb.Node] {
+					continue
+				}
+				if certPair(&g.Nodes[nb.Node]) != cp {
+					continue
+				}
+				visited[nb.Node] = true
+				stack = append(stack, nb.Node)
+			}
+		}
+		sort.Slice(members, func(a, b int) bool { return members[a] < members[b] })
+		g.Groups = append(g.Groups, Group{ID: gid, Nodes: members})
+	}
+}

@@ -1,0 +1,255 @@
+package depgraph
+
+import (
+	"testing"
+
+	"github.com/snaps/snaps/internal/blocking"
+	"github.com/snaps/snaps/internal/model"
+)
+
+// figure3Dataset reconstructs the running example of Figure 3 of the paper:
+// a birth certificate (baby r0, mother r1, father r2) and a death
+// certificate (deceased r3, mother r4, father r5, spouse r6) where the baby
+// plausibly became the deceased.
+func figure3Dataset() *model.Dataset {
+	d := &model.Dataset{Name: "fig3"}
+	add := func(role model.Role, cert model.CertID, first, sur string, year int, g model.Gender) model.RecordID {
+		id := model.RecordID(len(d.Records))
+		d.Records = append(d.Records, model.Record{
+			ID: id, Cert: cert, Role: role, Gender: g,
+			FirstName: first, Surname: sur, Year: year, Truth: model.NoPerson,
+		})
+		return id
+	}
+	// Birth certificate, 1861.
+	r0 := add(model.Bb, 0, "mary", "smith", 1861, model.Female)
+	r1 := add(model.Bm, 0, "flora", "smith", 1861, model.Female)
+	r2 := add(model.Bf, 0, "angus", "smith", 1861, model.Male)
+	d.Certificates = append(d.Certificates, model.Certificate{
+		ID: 0, Type: model.Birth, Year: 1861, Age: -1,
+		Roles: map[model.Role]model.RecordID{model.Bb: r0, model.Bm: r1, model.Bf: r2},
+	})
+	// Death certificate, 1899: the baby died as "mary taylor" (married).
+	r3 := add(model.Dd, 1, "mary", "taylor", 1899, model.Female)
+	r4 := add(model.Dm, 1, "flora", "smith", 1899, model.Female)
+	r5 := add(model.Df, 1, "angus", "smith", 1899, model.Male)
+	r6 := add(model.Ds, 1, "donald", "taylor", 1899, model.Male)
+	d.Certificates = append(d.Certificates, model.Certificate{
+		ID: 1, Type: model.Death, Year: 1899, Age: 38, Cause: "phthisis",
+		Roles: map[model.Role]model.RecordID{
+			model.Dd: r3, model.Dm: r4, model.Df: r5, model.Ds: r6,
+		},
+	})
+	return d
+}
+
+// allPairs emits every cross-certificate record pair as a candidate.
+func allPairs(d *model.Dataset) []blocking.Candidate {
+	var out []blocking.Candidate
+	for i := range d.Records {
+		for j := i + 1; j < len(d.Records); j++ {
+			out = append(out, blocking.Candidate{A: d.Records[i].ID, B: d.Records[j].ID})
+		}
+	}
+	return out
+}
+
+func TestBuildFigure3(t *testing.T) {
+	d := figure3Dataset()
+	g, _ := Build(d, DefaultConfig(), allPairs(d))
+
+	// The aligned family nodes must exist: (Bb,Dd) on first name, (Bm,Dm),
+	// (Bf,Df) exact.
+	for _, want := range [][2]model.RecordID{{0, 3}, {1, 4}, {2, 5}} {
+		if _, ok := g.NodeFor(want[0], want[1]); !ok {
+			t.Errorf("expected relational node (%d,%d)", want[0], want[1])
+		}
+	}
+	// Impossible alignments must not exist: baby as her own mother's spouse
+	// etc. (r1 Bm, r6 Ds male) was gender/name filtered.
+	if _, ok := g.NodeFor(1, 6); ok {
+		t.Error("node (Bm, Ds-male) must be filtered")
+	}
+	// Same-certificate pairs never become nodes.
+	if _, ok := g.NodeFor(0, 1); ok {
+		t.Error("same-certificate pair must be filtered")
+	}
+}
+
+func TestBuildGroupsFigure3(t *testing.T) {
+	d := figure3Dataset()
+	g, _ := Build(d, DefaultConfig(), allPairs(d))
+	id03, ok := g.NodeFor(0, 3)
+	if !ok {
+		t.Fatal("missing node (0,3)")
+	}
+	id14, ok := g.NodeFor(1, 4)
+	if !ok {
+		t.Fatal("missing node (1,4)")
+	}
+	id25, ok := g.NodeFor(2, 5)
+	if !ok {
+		t.Fatal("missing node (2,5)")
+	}
+	n03 := g.Node(id03)
+	if n03.Group != g.Node(id14).Group || n03.Group != g.Node(id25).Group {
+		t.Errorf("family-aligned nodes should share a group: %d, %d, %d",
+			n03.Group, g.Node(id14).Group, g.Node(id25).Group)
+	}
+	grp := g.Group(n03.Group)
+	if len(grp.Nodes) < 3 {
+		t.Errorf("group should contain the three aligned nodes, got %d", len(grp.Nodes))
+	}
+	// Relationship edges: (0,3) sees (1,4) as ChildOf (the baby/deceased is
+	// the child of the mothers), and (1,4) sees (0,3) as MotherOf.
+	hasEdge := func(n *RelationalNode, to NodeID, rel model.Relationship) bool {
+		for _, nb := range n.Neighbours {
+			if nb.Node == to && nb.Rel == rel {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasEdge(n03, id14, model.ChildOf) {
+		t.Error("missing ChildOf edge from (Bb,Dd) to (Bm,Dm)")
+	}
+	if !hasEdge(g.Node(id14), id03, model.MotherOf) {
+		t.Error("missing MotherOf edge from (Bm,Dm) to (Bb,Dd)")
+	}
+	if !hasEdge(g.Node(id14), id25, model.SpouseOf) {
+		t.Error("missing SpouseOf edge from (Bm,Dm) to (Bf,Df)")
+	}
+}
+
+func TestAtomicNodesInterned(t *testing.T) {
+	d := figure3Dataset()
+	g, _ := Build(d, DefaultConfig(), allPairs(d))
+	// (flora,flora) appears for both the (1,4) node; interning must not
+	// duplicate keys.
+	seen := map[AtomicKey]bool{}
+	for _, a := range g.Atomics {
+		if seen[a.Key] {
+			t.Errorf("duplicate atomic node %+v", a.Key)
+		}
+		seen[a.Key] = true
+		if a.Sim < g.Config.AtomicThreshold {
+			t.Errorf("atomic node %+v below threshold: %v", a.Key, a.Sim)
+		}
+	}
+}
+
+func TestAtomicKeyCanonical(t *testing.T) {
+	a := MakeAtomicKey(model.Surname, "smith", "taylor")
+	b := MakeAtomicKey(model.Surname, "taylor", "smith")
+	if a != b {
+		t.Errorf("atomic keys not canonical: %+v vs %+v", a, b)
+	}
+}
+
+func TestCompareAttrMissing(t *testing.T) {
+	cfg := DefaultConfig()
+	a := &model.Record{FirstName: "mary"}
+	b := &model.Record{FirstName: ""}
+	if _, ok := CompareAttr(cfg, a, b, model.FirstName); ok {
+		t.Error("missing value must report not-ok")
+	}
+	if s, ok := CompareAttr(cfg, a, a, model.FirstName); !ok || s != 1 {
+		t.Errorf("identical names = (%v,%v), want (1,true)", s, ok)
+	}
+}
+
+func TestCompareAttrGeocoded(t *testing.T) {
+	cfg := DefaultConfig()
+	a := &model.Record{Address: "5 portree", Lat: 57.41, Lon: -6.19}
+	b := &model.Record{Address: "7 uig", Lat: 57.58, Lon: -6.36}
+	s, ok := CompareAttr(cfg, a, b, model.Address)
+	if !ok {
+		t.Fatal("geocoded comparison should be ok")
+	}
+	if s != 0 {
+		t.Errorf("villages ~20km apart with GeoMaxKm=5 should score 0, got %v", s)
+	}
+	c := &model.Record{Address: "5 portree", Lat: 57.41, Lon: -6.19}
+	if s, _ := CompareAttr(cfg, a, c, model.Address); s != 1 {
+		t.Errorf("same location should score 1, got %v", s)
+	}
+}
+
+func TestCompareAttrFallbackJaccard(t *testing.T) {
+	cfg := DefaultConfig()
+	a := &model.Record{Address: "5 king street"}
+	b := &model.Record{Address: "5 king street"}
+	if s, ok := CompareAttr(cfg, a, b, model.Address); !ok || s != 1 {
+		t.Errorf("identical ungeocoded addresses = (%v,%v), want (1,true)", s, ok)
+	}
+}
+
+func TestBuildRequiresNameSupport(t *testing.T) {
+	d := &model.Dataset{Name: "tiny"}
+	d.Records = []model.Record{
+		{ID: 0, Cert: 0, Role: model.Bm, FirstName: "mary", Surname: "smith", Year: 1870, Gender: model.Female},
+		{ID: 1, Cert: 1, Role: model.Bm, FirstName: "ann", Surname: "brown", Year: 1872, Gender: model.Female},
+	}
+	g, _ := Build(d, DefaultConfig(), []blocking.Candidate{{A: 0, B: 1}})
+	if len(g.Nodes) != 0 {
+		t.Errorf("pair with no similar name should produce no relational node, got %d", len(g.Nodes))
+	}
+}
+
+func TestBuildStatsPopulated(t *testing.T) {
+	d := figure3Dataset()
+	_, stats := Build(d, DefaultConfig(), allPairs(d))
+	if stats.GenAtomic < 0 || stats.GenRelational < 0 {
+		t.Error("negative phase timings")
+	}
+}
+
+// TestSiblingNodesJoinGroups reproduces the partial-match-group structure of
+// Sec. 4.2.4: two siblings' birth certificates yield a group containing the
+// parent nodes AND the (unmergeable) sibling Bb-Bb node, whose low
+// similarity is the negative evidence the REL technique handles.
+func TestSiblingNodesJoinGroups(t *testing.T) {
+	d := &model.Dataset{Name: "siblings"}
+	add := func(role model.Role, cert model.CertID, first, sur string, year int, g model.Gender) model.RecordID {
+		id := model.RecordID(len(d.Records))
+		d.Records = append(d.Records, model.Record{
+			ID: id, Cert: cert, Role: role, Gender: g,
+			FirstName: first, Surname: sur, Year: year, Truth: model.NoPerson,
+		})
+		return id
+	}
+	add(model.Bb, 0, "john", "macrae", 1870, model.Male)
+	add(model.Bm, 0, "kirsty", "macrae", 1870, model.Female)
+	add(model.Bf, 0, "hector", "macrae", 1870, model.Male)
+	d.Certificates = append(d.Certificates, model.Certificate{
+		ID: 0, Type: model.Birth, Year: 1870, Age: -1,
+		Roles: map[model.Role]model.RecordID{model.Bb: 0, model.Bm: 1, model.Bf: 2},
+	})
+	add(model.Bb, 1, "angus", "macrae", 1873, model.Male)
+	add(model.Bm, 1, "kirsty", "macrae", 1873, model.Female)
+	add(model.Bf, 1, "hector", "macrae", 1873, model.Male)
+	d.Certificates = append(d.Certificates, model.Certificate{
+		ID: 1, Type: model.Birth, Year: 1873, Age: -1,
+		Roles: map[model.Role]model.RecordID{model.Bb: 3, model.Bm: 4, model.Bf: 5},
+	})
+
+	g, _ := Build(d, DefaultConfig(), allPairs(d))
+	sib, ok := g.NodeFor(0, 3)
+	if !ok {
+		t.Fatal("sibling Bb-Bb node missing from graph (surname support)")
+	}
+	mothers, ok := g.NodeFor(1, 4)
+	if !ok {
+		t.Fatal("mother node missing")
+	}
+	if g.Node(sib).Group != g.Node(mothers).Group {
+		t.Error("sibling node should share the parents' group")
+	}
+	// The sibling node has no first-name atomic binding.
+	if _, bound := g.AtomicSim(g.Node(sib), model.FirstName); bound {
+		t.Error("different first names must not bind a Must atomic node")
+	}
+	if _, bound := g.AtomicSim(g.Node(sib), model.Surname); !bound {
+		t.Error("shared surname should bind a Core atomic node")
+	}
+}

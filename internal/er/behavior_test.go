@@ -1,0 +1,196 @@
+package er
+
+import (
+	"testing"
+
+	"github.com/snaps/snaps/internal/blocking"
+	"github.com/snaps/snaps/internal/depgraph"
+	"github.com/snaps/snaps/internal/model"
+)
+
+// behaviourDataset builds two certificates with configurable fields so
+// individual merge-phase rules can be exercised in isolation.
+type certSpec struct {
+	role       model.Role
+	first, sur string
+	addr       string
+	year       int
+	gender     model.Gender
+	truth      model.PersonID
+}
+
+func buildCerts(t *testing.T, certs [][]certSpec, types []model.CertType) *model.Dataset {
+	t.Helper()
+	d := &model.Dataset{Name: "behaviour"}
+	for ci, specs := range certs {
+		cert := model.Certificate{
+			ID: model.CertID(ci), Type: types[ci], Year: specs[0].year,
+			Roles: map[model.Role]model.RecordID{}, Age: -1,
+		}
+		for _, sp := range specs {
+			id := model.RecordID(len(d.Records))
+			d.Records = append(d.Records, model.Record{
+				ID: id, Cert: model.CertID(ci), Role: sp.role, Gender: sp.gender,
+				FirstName: sp.first, Surname: sp.sur, Address: sp.addr,
+				Year: sp.year, Truth: sp.truth,
+			})
+			cert.Roles[sp.role] = id
+		}
+		d.Certificates = append(d.Certificates, cert)
+	}
+	return d
+}
+
+// TestExtraYearWindowVetoesCloseMismatch: same names, different addresses.
+// Two years apart the address disagreement is negative evidence and the
+// pair group must not merge; twenty years apart it is stale and the names
+// carry the decision.
+func TestExtraYearWindowVetoesCloseMismatch(t *testing.T) {
+	mk := func(year2 int) *model.Dataset {
+		return buildCerts(t, [][]certSpec{
+			{
+				{model.Bb, "torquil", "macsween", "5 uig", 1870, model.Male, 1},
+				{model.Bm, "oighrig", "macsween", "5 uig", 1870, model.Female, 2},
+				{model.Bf, "ewen", "macsween", "5 uig", 1870, model.Male, 3},
+			},
+			{
+				{model.Bb, "una", "macsween", "9 elgol", year2, model.Female, 4},
+				{model.Bm, "oighrig", "macsween", "9 elgol", year2, model.Female, 5},
+				{model.Bf, "ewen", "macsween", "9 elgol", year2, model.Male, 6},
+			},
+		}, []model.CertType{model.Birth, model.Birth})
+	}
+
+	// Close in time: different addresses are negative evidence. Bootstrap
+	// is vetoed (strict scoring) and the merge phase scores the extras at
+	// zero weight-with-presence, keeping the average below t_m... unless
+	// the rare names carry it; with the disambiguation of a tiny |O| the
+	// sd is high, so assert only the *relative* behaviour: the distant
+	// pair must be at least as linked as the close one.
+	close_ := resolve(mk(1872), DefaultConfig())
+	far := resolve(mk(1895), DefaultConfig())
+	linked := func(res *Result, a, b model.RecordID) bool {
+		ea, eb := res.Store.EntityOf(a), res.Store.EntityOf(b)
+		return ea != NoEntity && ea == eb
+	}
+	if linked(close_, 1, 4) && !linked(far, 1, 4) {
+		t.Error("temporally distant address disagreement should never be stronger evidence than a close one")
+	}
+}
+
+// TestMustGateBlocksDifferentFirstNames: identical surname and address must
+// not link two records whose first names disagree.
+func TestMustGateBlocksDifferentFirstNames(t *testing.T) {
+	d := buildCerts(t, [][]certSpec{
+		{
+			{model.Bm, "kirsty", "macrae", "5 uig", 1870, model.Female, 1},
+			{model.Bb, "john", "macrae", "5 uig", 1870, model.Male, 2},
+		},
+		{
+			{model.Dm, "morag", "macrae", "5 uig", 1872, model.Female, 3},
+			{model.Dd, "john", "macrae", "5 uig", 1872, model.Male, 2},
+		},
+	}, []model.CertType{model.Birth, model.Death})
+	res := resolve(d, DefaultConfig())
+	if e := res.Store.EntityOf(0); e != NoEntity && e == res.Store.EntityOf(2) {
+		t.Error("kirsty and morag share surname and address but must not link (Must gate)")
+	}
+}
+
+// TestMissingFirstNameNeverMergesInMergePhase: a record without a first
+// name can only be linked through bootstrap-grade full-group agreement.
+func TestMissingFirstNameNeverMergesAlone(t *testing.T) {
+	d := buildCerts(t, [][]certSpec{
+		{
+			{model.Bm, "", "macsween", "5 uig", 1870, model.Female, 1},
+		},
+		{
+			{model.Dm, "oighrig", "macsween", "9 elgol", 1890, model.Female, 1},
+		},
+	}, []model.CertType{model.Birth, model.Death})
+	res := resolve(d, DefaultConfig())
+	if e := res.Store.EntityOf(0); e != NoEntity && e == res.Store.EntityOf(1) {
+		t.Error("surname-only agreement with a missing first name must not link")
+	}
+}
+
+// TestBirthHintBlocksGenerationConfusion: a father and his same-named son
+// both appear as Cf/Bf; the recorded census age must keep them apart.
+func TestBirthHintBlocksGenerationConfusion(t *testing.T) {
+	d := buildCerts(t, [][]certSpec{
+		{
+			// Census 1871: the FATHER, aged 50 (born ~1821).
+			{model.Cf, "ewen", "macsween", "5 uig", 1871, model.Male, 1},
+			{model.Cm, "oighrig", "macsween", "5 uig", 1871, model.Female, 2},
+		},
+		{
+			// Birth 1895: the SON (born ~1850) as Bf with his own wife.
+			{model.Bf, "ewen", "macsween", "5 uig", 1895, model.Male, 3},
+			{model.Bm, "flora", "macsween", "5 uig", 1895, model.Female, 4},
+			{model.Bb, "angus", "macsween", "5 uig", 1895, model.Male, 5},
+		},
+	}, []model.CertType{model.Census, model.Birth})
+	d.Records[0].BirthHint = 1821
+	d.Records[2].BirthHint = 1850 // implied by a marriage/census record elsewhere
+	res := resolve(d, DefaultConfig())
+	if e := res.Store.EntityOf(0); e != NoEntity && e == res.Store.EntityOf(2) {
+		t.Error("recorded ages 29 years apart must keep father and same-named son apart")
+	}
+}
+
+// TestBootstrapOrderPrefersStrongerNodes: when two alignments compete for
+// one record, the exact-name alignment wins and the competing weaker
+// alignment is vetoed by the link constraints.
+func TestBootstrapOrderPrefersStrongerNodes(t *testing.T) {
+	d := buildCerts(t, [][]certSpec{
+		{
+			{model.Bb, "torquil", "macsween", "5 uig", 1870, model.Male, 1},
+			{model.Bm, "oighrig", "macsween", "5 uig", 1870, model.Female, 2},
+			{model.Bf, "ewen", "macsween", "5 uig", 1870, model.Male, 3},
+		},
+		{
+			// The baby died: Dd must align with Bb, not with the father.
+			{model.Dd, "torquil", "macsween", "5 uig", 1874, model.Male, 1},
+			{model.Dm, "oighrig", "macsween", "5 uig", 1874, model.Female, 2},
+			{model.Df, "ewen", "macsween", "5 uig", 1874, model.Male, 3},
+		},
+	}, []model.CertType{model.Birth, model.Death})
+	res := resolve(d, DefaultConfig())
+	if e := res.Store.EntityOf(0); e == NoEntity || e != res.Store.EntityOf(3) {
+		t.Error("baby should link to the deceased")
+	}
+	if e := res.Store.EntityOf(2); e == NoEntity || e != res.Store.EntityOf(5) {
+		t.Error("father should link to the death-certificate father")
+	}
+	if e := res.Store.EntityOf(2); e == res.Store.EntityOf(3) {
+		t.Error("father wrongly linked to the deceased baby")
+	}
+}
+
+// TestPipelineCandidateFilterConsistency: every relational node built from
+// LSH candidates satisfies the graph-construction filter.
+func TestPipelineCandidateFilterConsistency(t *testing.T) {
+	d := buildCerts(t, [][]certSpec{
+		{
+			{model.Bb, "torquil", "macsween", "5 uig", 1870, model.Male, 1},
+			{model.Bm, "oighrig", "macsween", "5 uig", 1870, model.Female, 2},
+		},
+		{
+			{model.Dd, "torquil", "macsween", "5 uig", 1874, model.Male, 1},
+			{model.Dm, "oighrig", "macsween", "5 uig", 1874, model.Female, 2},
+		},
+	}, []model.CertType{model.Birth, model.Death})
+	ids := []model.RecordID{0, 1, 2, 3}
+	cands := blocking.NewLSH(blocking.DefaultLSHConfig()).Pairs(d, ids)
+	g, _ := depgraph.Build(d, depgraph.DefaultConfig(), cands)
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		ra, rb := d.Record(n.A), d.Record(n.B)
+		if ra.Cert == rb.Cert {
+			t.Fatal("same-certificate node built")
+		}
+		if !blocking.GenderCompatible(ra, rb) {
+			t.Fatal("gender-incompatible node built")
+		}
+	}
+}

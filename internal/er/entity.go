@@ -1,0 +1,231 @@
+// Package er implements the core contribution of the paper: the
+// unsupervised graph-based entity-resolution process of SNAPS, consisting
+// of bootstrapping and merging over a dependency graph with global
+// propagation of QID values and constraints (PROP-A/PROP-C), ambiguity-
+// aware similarity (AMB), adaptive leveraging of relationship structure
+// (REL), and dynamic refinement of record clusters (REF).
+package er
+
+import (
+	"sort"
+
+	"github.com/snaps/snaps/internal/model"
+)
+
+// EntityID identifies a record cluster (an entity o ∈ O). Entities are
+// created lazily: a record not yet linked to anything is its own implicit
+// singleton entity.
+type EntityID int32
+
+// NoEntity marks records without an explicit entity.
+const NoEntity EntityID = -1
+
+// linkEdge records that the ER process linked two records of one entity
+// (a merged relational node). It is the edge set of the entity's record
+// graph used by the REF technique.
+type linkEdge struct {
+	a, b model.RecordID
+}
+
+// entity is one record cluster.
+type entity struct {
+	id      EntityID
+	records []model.RecordID
+	links   []linkEdge
+	dead    bool
+}
+
+// EntityStore maintains the record clusters and their QID value sets.
+// Unlike a union-find it supports unmerging (record removal and bridge
+// splitting), which the REF technique requires.
+type EntityStore struct {
+	d        *model.Dataset
+	entityOf []EntityID // per record; NoEntity when singleton/unassigned
+	entities []entity
+}
+
+// NewEntityStore returns an empty store over the data set.
+func NewEntityStore(d *model.Dataset) *EntityStore {
+	eo := make([]EntityID, len(d.Records))
+	for i := range eo {
+		eo[i] = NoEntity
+	}
+	return &EntityStore{d: d, entityOf: eo}
+}
+
+// EntityOf returns the entity of a record, or NoEntity for unlinked
+// records.
+func (s *EntityStore) EntityOf(r model.RecordID) EntityID { return s.entityOf[r] }
+
+// Grow extends the store's record table after new records were appended to
+// its data set; the new records start unlinked. It is idempotent.
+func (s *EntityStore) Grow() {
+	for len(s.entityOf) < len(s.d.Records) {
+		s.entityOf = append(s.entityOf, NoEntity)
+	}
+}
+
+// Records returns the record ids in an entity. The slice must not be
+// modified.
+func (s *EntityStore) Records(e EntityID) []model.RecordID { return s.entities[e].records }
+
+// recordsView adapts an entity (or an implicit singleton) to the
+// constraint.EntityView interface.
+type recordsView []model.RecordID
+
+// Records implements constraint.EntityView.
+func (v recordsView) Records() []model.RecordID { return v }
+
+// View returns the records a hypothetical entity containing r holds: the
+// record's cluster, or just the record itself when unlinked.
+func (s *EntityStore) View(r model.RecordID) recordsView {
+	if e := s.entityOf[r]; e != NoEntity {
+		return recordsView(s.entities[e].records)
+	}
+	return recordsView([]model.RecordID{r})
+}
+
+// Link merges the entities of two records (creating entities as needed) and
+// records the link edge between them. It reports the resulting entity.
+func (s *EntityStore) Link(a, b model.RecordID) EntityID {
+	ea, eb := s.entityOf[a], s.entityOf[b]
+	switch {
+	case ea == NoEntity && eb == NoEntity:
+		id := EntityID(len(s.entities))
+		s.entities = append(s.entities, entity{id: id, records: []model.RecordID{a, b}})
+		s.entityOf[a], s.entityOf[b] = id, id
+		s.entities[id].links = append(s.entities[id].links, linkEdge{a, b})
+		return id
+	case ea == NoEntity:
+		s.entityOf[a] = eb
+		s.entities[eb].records = append(s.entities[eb].records, a)
+		s.entities[eb].links = append(s.entities[eb].links, linkEdge{a, b})
+		return eb
+	case eb == NoEntity:
+		s.entityOf[b] = ea
+		s.entities[ea].records = append(s.entities[ea].records, b)
+		s.entities[ea].links = append(s.entities[ea].links, linkEdge{a, b})
+		return ea
+	case ea == eb:
+		s.entities[ea].links = append(s.entities[ea].links, linkEdge{a, b})
+		return ea
+	}
+	// Merge the smaller entity into the larger.
+	if len(s.entities[ea].records) < len(s.entities[eb].records) {
+		ea, eb = eb, ea
+	}
+	dst, src := &s.entities[ea], &s.entities[eb]
+	for _, r := range src.records {
+		s.entityOf[r] = ea
+	}
+	dst.records = append(dst.records, src.records...)
+	dst.links = append(dst.links, src.links...)
+	dst.links = append(dst.links, linkEdge{a, b})
+	src.records, src.links, src.dead = nil, nil, true
+	return ea
+}
+
+// Unlink removes a record from its entity, dropping its incident link
+// edges. The record becomes unlinked (an implicit singleton). Entities
+// reduced to one record are dissolved.
+func (s *EntityStore) Unlink(r model.RecordID) {
+	e := s.entityOf[r]
+	if e == NoEntity {
+		return
+	}
+	ent := &s.entities[e]
+	recs := ent.records[:0]
+	for _, x := range ent.records {
+		if x != r {
+			recs = append(recs, x)
+		}
+	}
+	ent.records = recs
+	links := ent.links[:0]
+	for _, l := range ent.links {
+		if l.a != r && l.b != r {
+			links = append(links, l)
+		}
+	}
+	ent.links = links
+	s.entityOf[r] = NoEntity
+	if len(ent.records) == 1 {
+		s.entityOf[ent.records[0]] = NoEntity
+		ent.records, ent.links, ent.dead = nil, nil, true
+	}
+}
+
+// replaceCluster rehomes a set of records (with the given internal links)
+// into a fresh entity. Used by bridge splitting.
+func (s *EntityStore) replaceCluster(records []model.RecordID, links []linkEdge) {
+	if len(records) == 1 {
+		s.entityOf[records[0]] = NoEntity
+		return
+	}
+	id := EntityID(len(s.entities))
+	s.entities = append(s.entities, entity{id: id, records: records, links: links})
+	for _, r := range records {
+		s.entityOf[r] = id
+	}
+}
+
+// Entities returns the ids of all live entities, sorted.
+func (s *EntityStore) Entities() []EntityID {
+	var out []EntityID
+	for i := range s.entities {
+		if !s.entities[i].dead && len(s.entities[i].records) > 0 {
+			out = append(out, s.entities[i].id)
+		}
+	}
+	return out
+}
+
+// Values returns the distinct non-empty values (with counts) of an
+// attribute across the records currently in the entity of r, including r
+// itself when unlinked.
+func (s *EntityStore) Values(r model.RecordID, attr model.Attr) map[string]int {
+	out := map[string]int{}
+	for _, id := range s.View(r) {
+		if v := s.d.Record(id).Value(attr); v != "" {
+			out[v]++
+		}
+	}
+	return out
+}
+
+// MatchPairs returns every intra-entity record pair whose roles form the
+// given role pair: the pairwise closure of the clustering, which is what
+// precision/recall are scored on.
+func (s *EntityStore) MatchPairs(rp model.RolePair) map[model.PairKey]bool {
+	out := map[model.PairKey]bool{}
+	for i := range s.entities {
+		ent := &s.entities[i]
+		if ent.dead {
+			continue
+		}
+		for x := 0; x < len(ent.records); x++ {
+			for y := x + 1; y < len(ent.records); y++ {
+				a, b := ent.records[x], ent.records[y]
+				ra, rb := s.d.Record(a), s.d.Record(b)
+				if model.MakeRolePair(ra.Role, rb.Role) != rp {
+					continue
+				}
+				out[model.MakePairKey(a, b)] = true
+			}
+		}
+	}
+	return out
+}
+
+// ClusterSizes returns the live cluster size distribution, sorted
+// descending; useful for diagnostics and tests.
+func (s *EntityStore) ClusterSizes() []int {
+	var out []int
+	for i := range s.entities {
+		if !s.entities[i].dead && len(s.entities[i].records) > 0 {
+			out = append(out, len(s.entities[i].records))
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}

@@ -1,0 +1,138 @@
+package er
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/snaps/snaps/internal/model"
+)
+
+// TestEntityStoreRandomOpsInvariants drives the store with random link and
+// unlink operations and checks the structural invariants after every step:
+//
+//   - entityOf and entity record lists agree exactly (bijection);
+//   - no entity has fewer than two records;
+//   - no record appears in two entities;
+//   - link edges only reference records inside their entity.
+func TestEntityStoreRandomOpsInvariants(t *testing.T) {
+	const nRecords = 60
+	d := tinyDataset(nRecords)
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewEntityStore(d)
+		for step := 0; step < 400; step++ {
+			a := model.RecordID(rng.Intn(nRecords))
+			b := model.RecordID(rng.Intn(nRecords))
+			if rng.Intn(4) == 0 {
+				s.Unlink(a)
+			} else if a != b {
+				s.Link(a, b)
+			}
+			checkInvariants(t, s, nRecords)
+			if t.Failed() {
+				t.Fatalf("invariant broken at seed %d step %d", seed, step)
+			}
+		}
+	}
+}
+
+func checkInvariants(t *testing.T, s *EntityStore, nRecords int) {
+	t.Helper()
+	seen := map[model.RecordID]EntityID{}
+	for _, e := range s.Entities() {
+		recs := s.Records(e)
+		if len(recs) < 2 {
+			t.Errorf("entity %d has %d records", e, len(recs))
+		}
+		inEntity := map[model.RecordID]bool{}
+		for _, r := range recs {
+			if prev, dup := seen[r]; dup {
+				t.Errorf("record %d in entities %d and %d", r, prev, e)
+			}
+			seen[r] = e
+			inEntity[r] = true
+			if s.EntityOf(r) != e {
+				t.Errorf("record %d: EntityOf=%d but listed in %d", r, s.EntityOf(r), e)
+			}
+		}
+		for _, l := range s.entities[e].links {
+			if !inEntity[l.a] || !inEntity[l.b] {
+				t.Errorf("entity %d: dangling link edge (%d,%d)", e, l.a, l.b)
+			}
+		}
+	}
+	// Records not in any entity must map to NoEntity.
+	for r := 0; r < nRecords; r++ {
+		id := model.RecordID(r)
+		if _, ok := seen[id]; !ok && s.EntityOf(id) != NoEntity {
+			t.Errorf("record %d maps to entity %d but is listed nowhere", r, s.EntityOf(id))
+		}
+	}
+}
+
+// TestRefineNeverInventsLinks checks that Refine only removes: the match
+// pair set after refinement is a subset of the one before.
+func TestRefineNeverInventsLinks(t *testing.T) {
+	const nRecords = 40
+	d := tinyDataset(nRecords)
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed + 100))
+		s := NewEntityStore(d)
+		for i := 0; i < 80; i++ {
+			a := model.RecordID(rng.Intn(nRecords))
+			b := model.RecordID(rng.Intn(nRecords))
+			if a != b {
+				s.Link(a, b)
+			}
+		}
+		rp := model.MakeRolePair(model.Bm, model.Bm)
+		before := s.MatchPairs(rp)
+		s.Refine(0.5, 10)
+		checkInvariants(t, s, nRecords)
+		after := s.MatchPairs(rp)
+		for k := range after {
+			if !before[k] {
+				t.Fatalf("seed %d: refinement invented pair %v", seed, k)
+			}
+		}
+	}
+}
+
+// TestLinkOrderIndependentMembership checks that the final entity
+// membership (as a partition) does not depend on link order.
+func TestLinkOrderIndependentMembership(t *testing.T) {
+	const nRecords = 20
+	d := tinyDataset(nRecords)
+	links := [][2]model.RecordID{{0, 1}, {2, 3}, {1, 2}, {5, 6}, {6, 7}, {0, 3}}
+
+	partition := func(order []int) map[model.RecordID]model.RecordID {
+		s := NewEntityStore(d)
+		for _, i := range order {
+			s.Link(links[i][0], links[i][1])
+		}
+		// Canonical representative: smallest record id in the entity.
+		rep := map[model.RecordID]model.RecordID{}
+		for _, e := range s.Entities() {
+			min := s.Records(e)[0]
+			for _, r := range s.Records(e) {
+				if r < min {
+					min = r
+				}
+			}
+			for _, r := range s.Records(e) {
+				rep[r] = min
+			}
+		}
+		return rep
+	}
+	base := partition([]int{0, 1, 2, 3, 4, 5})
+	perm := partition([]int{5, 3, 1, 0, 4, 2})
+	if len(base) != len(perm) {
+		t.Fatalf("partition sizes differ: %d vs %d", len(base), len(perm))
+	}
+	for r, rep := range base {
+		if perm[r] != rep {
+			t.Fatalf("record %d: representative %d vs %d", r, rep, perm[r])
+		}
+	}
+}

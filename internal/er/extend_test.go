@@ -1,0 +1,104 @@
+package er
+
+import (
+	"testing"
+
+	"github.com/snaps/snaps/internal/depgraph"
+	"github.com/snaps/snaps/internal/model"
+)
+
+// TestExtendLinksNewCertificate resolves a base data set, appends a new
+// death certificate for a known family, and checks that Extend links the
+// new records into the existing entities without disturbing them.
+func TestExtendLinksNewCertificate(t *testing.T) {
+	d := &model.Dataset{Name: "incremental"}
+	add := func(role model.Role, cert model.CertID, first, sur, addr string, year int, g model.Gender, truth model.PersonID) model.RecordID {
+		id := model.RecordID(len(d.Records))
+		d.Records = append(d.Records, model.Record{
+			ID: id, Cert: cert, Role: role, Gender: g,
+			FirstName: first, Surname: sur, Address: addr, Year: year, Truth: truth,
+		})
+		return id
+	}
+	// Base: two birth certificates of one family.
+	add(model.Bb, 0, "torquil", "macsween", "5 uig", 1870, model.Male, 1)
+	add(model.Bm, 0, "flora", "macsween", "5 uig", 1870, model.Female, 2)
+	add(model.Bf, 0, "ewen", "macsween", "5 uig", 1870, model.Male, 3)
+	d.Certificates = append(d.Certificates, model.Certificate{
+		ID: 0, Type: model.Birth, Year: 1870, Age: -1,
+		Roles: map[model.Role]model.RecordID{model.Bb: 0, model.Bm: 1, model.Bf: 2},
+	})
+	add(model.Bb, 1, "una", "macsween", "5 uig", 1872, model.Female, 4)
+	add(model.Bm, 1, "flora", "macsween", "5 uig", 1872, model.Female, 2)
+	add(model.Bf, 1, "ewen", "macsween", "5 uig", 1872, model.Male, 3)
+	d.Certificates = append(d.Certificates, model.Certificate{
+		ID: 1, Type: model.Birth, Year: 1872, Age: -1,
+		Roles: map[model.Role]model.RecordID{model.Bb: 3, model.Bm: 4, model.Bf: 5},
+	})
+
+	base := Run(d, depgraph.DefaultConfig(), DefaultConfig())
+	store := base.Result.Store
+	if e := store.EntityOf(1); e == NoEntity || e != store.EntityOf(4) {
+		t.Fatal("base resolution should link the mothers")
+	}
+	motherEntity := store.EntityOf(1)
+	baseMotherRecords := len(store.Records(motherEntity))
+
+	// New: the death certificate of the first child.
+	firstNew := model.RecordID(len(d.Records))
+	add(model.Dd, 2, "torquil", "macsween", "5 uig", 1875, model.Male, 1)
+	add(model.Dm, 2, "flora", "macsween", "5 uig", 1875, model.Female, 2)
+	add(model.Df, 2, "ewen", "macsween", "5 uig", 1875, model.Male, 3)
+	d.Certificates = append(d.Certificates, model.Certificate{
+		ID: 2, Type: model.Death, Year: 1875, Age: 5, Cause: "measles",
+		Roles: map[model.Role]model.RecordID{model.Dd: firstNew, model.Dm: firstNew + 1, model.Df: firstNew + 2},
+	})
+
+	pr := Extend(d, store, firstNew, depgraph.DefaultConfig(), DefaultConfig())
+	if pr.Result.Store != store {
+		t.Fatal("Extend must resolve into the provided store")
+	}
+	// The new Dm record joins the mother's entity.
+	if e := store.EntityOf(firstNew + 1); e != store.EntityOf(1) {
+		t.Errorf("new Dm record in entity %d, want mother entity %d", e, store.EntityOf(1))
+	}
+	// The new Dd record joins the first baby's entity.
+	if e := store.EntityOf(firstNew); e == NoEntity || e != store.EntityOf(0) {
+		t.Errorf("new Dd record not linked to the baby: %d vs %d", e, store.EntityOf(0))
+	}
+	// The mother entity grew by exactly the one new record.
+	if got := len(store.Records(store.EntityOf(1))); got != baseMotherRecords+1 {
+		t.Errorf("mother entity has %d records, want %d", got, baseMotherRecords+1)
+	}
+}
+
+// TestExtendOnlyBlocksNewPairs checks that the delta graph contains no
+// node between two old records.
+func TestExtendOnlyBlocksNewPairs(t *testing.T) {
+	d := &model.Dataset{Name: "delta"}
+	add := func(role model.Role, cert model.CertID, first, sur string, year int, g model.Gender) model.RecordID {
+		id := model.RecordID(len(d.Records))
+		d.Records = append(d.Records, model.Record{
+			ID: id, Cert: cert, Role: role, Gender: g,
+			FirstName: first, Surname: sur, Year: year, Truth: model.NoPerson,
+		})
+		return id
+	}
+	for i := 0; i < 6; i++ {
+		cid := model.CertID(i)
+		rid := add(model.Bm, cid, "mary", "macrae", 1870+i, model.Female)
+		d.Certificates = append(d.Certificates, model.Certificate{
+			ID: cid, Type: model.Birth, Year: 1870 + i, Age: -1,
+			Roles: map[model.Role]model.RecordID{model.Bm: rid},
+		})
+	}
+	store := NewEntityStore(d)
+	firstNew := model.RecordID(4)
+	pr := Extend(d, store, firstNew, depgraph.DefaultConfig(), DefaultConfig())
+	for i := range pr.Graph.Nodes {
+		n := &pr.Graph.Nodes[i]
+		if n.A < firstNew && n.B < firstNew {
+			t.Fatalf("delta graph contains old-old node (%d,%d)", n.A, n.B)
+		}
+	}
+}

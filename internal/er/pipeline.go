@@ -1,0 +1,90 @@
+package er
+
+import (
+	"time"
+
+	"github.com/snaps/snaps/internal/blocking"
+	"github.com/snaps/snaps/internal/depgraph"
+	"github.com/snaps/snaps/internal/model"
+)
+
+// PipelineResult bundles everything the offline component of SNAPS
+// produces: the dependency graph, the resolved entities, and per-phase
+// timings (the rows of Tables 5 and 6).
+type PipelineResult struct {
+	Graph  *depgraph.Graph
+	Result *Result
+
+	Blocking      time.Duration
+	GenAtomic     time.Duration
+	GenRelational time.Duration
+	Candidates    int
+}
+
+// Total returns the full offline runtime.
+func (p *PipelineResult) Total() time.Duration {
+	return p.Blocking + p.GenAtomic + p.GenRelational +
+		p.Result.Timings.Bootstrap + p.Result.Timings.Merge + p.Result.Timings.Refine
+}
+
+// Run executes the complete offline pipeline: LSH blocking, dependency-
+// graph construction, and the SNAPS bootstrapping/merging/refinement
+// process.
+func Run(d *model.Dataset, gcfg depgraph.Config, cfg Config) *PipelineResult {
+	t0 := time.Now()
+	lsh := blocking.NewLSH(blocking.DefaultLSHConfig())
+	cands := lsh.Pairs(d, allRecordIDs(d))
+	blockTime := time.Since(t0)
+
+	g, stats := depgraph.Build(d, gcfg, cands)
+	res := NewResolver(g, cfg).Resolve()
+	return &PipelineResult{
+		Graph: g, Result: res,
+		Blocking:      blockTime,
+		GenAtomic:     stats.GenAtomic,
+		GenRelational: stats.GenRelational,
+		Candidates:    len(cands),
+	}
+}
+
+func allRecordIDs(d *model.Dataset) []model.RecordID {
+	ids := make([]model.RecordID, len(d.Records))
+	for i := range d.Records {
+		ids[i] = d.Records[i].ID
+	}
+	return ids
+}
+
+// Extend incrementally resolves newly appended records against an existing
+// clustering: the data set must already contain the new records (ids at or
+// after firstNew), and store holds the clusters of the earlier resolution.
+// Only candidate pairs touching a new record are blocked, graphed, and
+// merged; existing clusters participate through PROP-A value propagation
+// and PROP-C constraints but their internal links are never revisited.
+//
+// This is the growth path for a live deployment: new registration quarters
+// arrive, Extend folds them in, and the pedigree graph and indexes are
+// rebuilt from the updated store.
+func Extend(d *model.Dataset, store *EntityStore, firstNew model.RecordID, gcfg depgraph.Config, cfg Config) *PipelineResult {
+	t0 := time.Now()
+	lsh := blocking.NewLSH(blocking.DefaultLSHConfig())
+	focus := make(map[model.RecordID]bool, len(d.Records)-int(firstNew))
+	for id := firstNew; int(id) < len(d.Records); id++ {
+		focus[id] = true
+	}
+	cands := lsh.PairsTouching(d, allRecordIDs(d), focus)
+	blockTime := time.Since(t0)
+
+	g, stats := depgraph.Build(d, gcfg, cands)
+	store.Grow()
+	r := NewResolver(g, cfg)
+	r.store = store
+	res := r.Resolve()
+	return &PipelineResult{
+		Graph: g, Result: res,
+		Blocking:      blockTime,
+		GenAtomic:     stats.GenAtomic,
+		GenRelational: stats.GenRelational,
+		Candidates:    len(cands),
+	}
+}

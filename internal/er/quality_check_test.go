@@ -1,0 +1,35 @@
+package er
+
+import (
+	"testing"
+
+	"github.com/snaps/snaps/internal/dataset"
+	"github.com/snaps/snaps/internal/depgraph"
+	"github.com/snaps/snaps/internal/eval"
+	"github.com/snaps/snaps/internal/model"
+)
+
+// TestQualityCheck logs headline quality; used during development to track
+// regressions. It asserts only loose floors so seed drift does not flake.
+func TestQualityCheck(t *testing.T) {
+	d := dataset.Generate(dataset.IOS().Scaled(0.25)).Dataset
+	pr := Run(d, depgraph.DefaultConfig(), DefaultConfig())
+	pred := map[model.PairKey]bool{}
+	truth := map[model.PairKey]bool{}
+	for _, rp := range []model.RolePair{
+		model.MakeRolePair(model.Bm, model.Bm),
+		model.MakeRolePair(model.Bf, model.Bf),
+	} {
+		for k := range pr.Result.Store.MatchPairs(rp) {
+			pred[k] = true
+		}
+		for k := range d.TruePairs(rp) {
+			truth[k] = true
+		}
+	}
+	q := eval.QualityOf(eval.Compare(pred, truth))
+	t.Logf("IOS Bp-Bp: %v", q)
+	if q.Precision < 88 || q.Recall < 80 {
+		t.Errorf("quality floor breached: %v", q)
+	}
+}

@@ -1,0 +1,211 @@
+package er
+
+import (
+	"sort"
+
+	"github.com/snaps/snaps/internal/model"
+)
+
+// Refine implements the REF technique (Sec. 4.2.5): after each
+// bootstrapping/merging step, record clusters are inspected with the graph
+// measures of Randall et al. — loosely connected clusters (chains) are more
+// likely to contain wrong links than densely connected ones (cliques).
+//
+// For clusters with more than tn records, the cluster is split at bridge
+// edges. For clusters with at least three records whose link-graph density
+// is below td, the record with the lowest degree is removed so it can
+// relink correctly in the next iteration.
+func (s *EntityStore) Refine(td float64, tn int) (removed, splits int) {
+	// Snapshot entity ids first; refinement mutates the store.
+	ids := s.Entities()
+	for _, e := range ids {
+		ent := &s.entities[e]
+		if ent.dead || len(ent.records) < 3 {
+			continue
+		}
+		if tn > 0 && len(ent.records) > tn {
+			if s.splitByBridges(e) {
+				splits++
+				continue
+			}
+		}
+		// Peel low-degree records until the cluster is dense enough:
+		// loosely attached records are the likely wrong links.
+		for len(ent.records) >= 3 {
+			n := len(ent.records)
+			d := 2 * float64(len(dedupLinks(ent.links))) / float64(n*(n-1))
+			if d >= td {
+				break
+			}
+			r, ok := lowestDegree(ent)
+			if !ok {
+				break
+			}
+			s.Unlink(r)
+			removed++
+			if ent.dead {
+				break
+			}
+		}
+	}
+	return removed, splits
+}
+
+// dedupLinks returns the distinct undirected edges of an entity link list.
+func dedupLinks(links []linkEdge) []linkEdge {
+	seen := map[model.PairKey]bool{}
+	out := links[:0:0]
+	for _, l := range links {
+		k := model.MakePairKey(l.a, l.b)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, l)
+	}
+	return out
+}
+
+// lowestDegree returns the record with the fewest incident link edges.
+func lowestDegree(ent *entity) (model.RecordID, bool) {
+	if len(ent.records) == 0 {
+		return 0, false
+	}
+	deg := map[model.RecordID]int{}
+	for _, r := range ent.records {
+		deg[r] = 0
+	}
+	for _, l := range dedupLinks(ent.links) {
+		deg[l.a]++
+		deg[l.b]++
+	}
+	best := ent.records[0]
+	for _, r := range ent.records[1:] {
+		if deg[r] < deg[best] || (deg[r] == deg[best] && r < best) {
+			best = r
+		}
+	}
+	return best, true
+}
+
+// splitByBridges finds the bridges of the entity's link graph and, if any
+// exist, removes them and rehomes the resulting connected components as
+// separate entities. It reports whether a split happened.
+func (s *EntityStore) splitByBridges(e EntityID) bool {
+	ent := &s.entities[e]
+	links := dedupLinks(ent.links)
+	bridges := findBridges(ent.records, links)
+	if len(bridges) == 0 {
+		return false
+	}
+	isBridge := map[model.PairKey]bool{}
+	for _, b := range bridges {
+		isBridge[b] = true
+	}
+	var kept []linkEdge
+	for _, l := range links {
+		if !isBridge[model.MakePairKey(l.a, l.b)] {
+			kept = append(kept, l)
+		}
+	}
+	// Components over kept edges.
+	adj := map[model.RecordID][]model.RecordID{}
+	for _, l := range kept {
+		adj[l.a] = append(adj[l.a], l.b)
+		adj[l.b] = append(adj[l.b], l.a)
+	}
+	records := append([]model.RecordID(nil), ent.records...)
+	sort.Slice(records, func(i, j int) bool { return records[i] < records[j] })
+	comp := map[model.RecordID]int{}
+	var comps [][]model.RecordID
+	for _, r := range records {
+		if _, ok := comp[r]; ok {
+			continue
+		}
+		ci := len(comps)
+		stack := []model.RecordID{r}
+		comp[r] = ci
+		var members []model.RecordID
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			members = append(members, x)
+			for _, y := range adj[x] {
+				if _, ok := comp[y]; !ok {
+					comp[y] = ci
+					stack = append(stack, y)
+				}
+			}
+		}
+		comps = append(comps, members)
+	}
+	// Kill the old entity and rehome each component.
+	ent.records, ent.links, ent.dead = nil, nil, true
+	edgesOf := make([][]linkEdge, len(comps))
+	for _, l := range kept {
+		ci := comp[l.a]
+		edgesOf[ci] = append(edgesOf[ci], l)
+	}
+	for ci, members := range comps {
+		s.replaceCluster(members, edgesOf[ci])
+	}
+	return true
+}
+
+// findBridges returns the bridge edges of an undirected graph via the
+// classic Tarjan low-link DFS.
+func findBridges(records []model.RecordID, links []linkEdge) []model.PairKey {
+	adj := map[model.RecordID][]model.RecordID{}
+	for _, l := range links {
+		adj[l.a] = append(adj[l.a], l.b)
+		adj[l.b] = append(adj[l.b], l.a)
+	}
+	disc := map[model.RecordID]int{}
+	low := map[model.RecordID]int{}
+	var bridges []model.PairKey
+	timer := 0
+
+	// Iterative DFS to avoid recursion depth limits on long chains.
+	type frame struct {
+		node, parent model.RecordID
+		childIdx     int
+	}
+	for _, root := range records {
+		if _, ok := disc[root]; ok {
+			continue
+		}
+		stack := []frame{{node: root, parent: -1}}
+		disc[root], low[root] = timer, timer
+		timer++
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.childIdx < len(adj[f.node]) {
+				child := adj[f.node][f.childIdx]
+				f.childIdx++
+				if child == f.parent {
+					continue
+				}
+				if _, seen := disc[child]; seen {
+					if disc[child] < low[f.node] {
+						low[f.node] = disc[child]
+					}
+					continue
+				}
+				disc[child], low[child] = timer, timer
+				timer++
+				stack = append(stack, frame{node: child, parent: f.node})
+				continue
+			}
+			stack = stack[:len(stack)-1]
+			if f.parent != -1 {
+				if low[f.node] < low[f.parent] {
+					low[f.parent] = low[f.node]
+				}
+				if low[f.node] > disc[f.parent] {
+					bridges = append(bridges, model.MakePairKey(f.parent, f.node))
+				}
+			}
+		}
+	}
+	return bridges
+}

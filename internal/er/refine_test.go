@@ -1,0 +1,115 @@
+package er
+
+import (
+	"testing"
+
+	"github.com/snaps/snaps/internal/model"
+)
+
+func TestRefineRemovesChainTail(t *testing.T) {
+	// A 5-record chain has density 2*4/(5*4) = 0.4; with td=0.5 the
+	// low-degree endpoints are peeled until the cluster is dense enough.
+	s := NewEntityStore(tinyDataset(5))
+	for i := 0; i < 4; i++ {
+		s.Link(model.RecordID(i), model.RecordID(i+1))
+	}
+	removed, _ := s.Refine(0.5, 100)
+	if removed == 0 {
+		t.Fatal("expected chain peeling to remove records")
+	}
+	for _, e := range s.Entities() {
+		n := len(s.Records(e))
+		if n >= 3 {
+			ent := &s.entities[e]
+			d := 2 * float64(len(dedupLinks(ent.links))) / float64(n*(n-1))
+			if d < 0.5 {
+				t.Fatalf("entity %d still sparse after refine: density %v", e, d)
+			}
+		}
+	}
+}
+
+func TestRefineKeepsClique(t *testing.T) {
+	s := NewEntityStore(tinyDataset(4))
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			s.Link(model.RecordID(i), model.RecordID(j))
+		}
+	}
+	removed, splits := s.Refine(0.3, 15)
+	if removed != 0 || splits != 0 {
+		t.Fatalf("clique must survive refine, got removed=%d splits=%d", removed, splits)
+	}
+	if len(s.Entities()) != 1 || len(s.Records(s.Entities()[0])) != 4 {
+		t.Fatal("clique entity should be intact")
+	}
+}
+
+func TestRefineSplitsBridgedCluster(t *testing.T) {
+	// Two 9-cliques joined by a single bridge: 18 records > tn=15 triggers
+	// bridge splitting into the two cliques.
+	s := NewEntityStore(tinyDataset(18))
+	link := func(a, b int) { s.Link(model.RecordID(a), model.RecordID(b)) }
+	for i := 0; i < 9; i++ {
+		for j := i + 1; j < 9; j++ {
+			link(i, j)
+			link(i+9, j+9)
+		}
+	}
+	link(0, 9) // the bridge
+	if len(s.Entities()) != 1 {
+		t.Fatal("setup should produce one entity")
+	}
+	_, splits := s.Refine(0.3, 15)
+	if splits != 1 {
+		t.Fatalf("expected 1 bridge split, got %d", splits)
+	}
+	ents := s.Entities()
+	if len(ents) != 2 {
+		t.Fatalf("expected 2 entities after split, got %d", len(ents))
+	}
+	for _, e := range ents {
+		if len(s.Records(e)) != 9 {
+			t.Fatalf("expected 9-record components, got %d", len(s.Records(e)))
+		}
+	}
+}
+
+func TestRefineSmallClustersUntouched(t *testing.T) {
+	s := NewEntityStore(tinyDataset(2))
+	s.Link(0, 1)
+	removed, splits := s.Refine(0.9, 15)
+	if removed != 0 || splits != 0 {
+		t.Fatal("two-record clusters are below the refine minimum")
+	}
+}
+
+func TestFindBridges(t *testing.T) {
+	// Triangle 0-1-2 plus pendant 2-3: only (2,3) is a bridge.
+	links := []linkEdge{{0, 1}, {1, 2}, {0, 2}, {2, 3}}
+	records := []model.RecordID{0, 1, 2, 3}
+	bridges := findBridges(records, links)
+	if len(bridges) != 1 {
+		t.Fatalf("bridges = %v, want exactly one", bridges)
+	}
+	if bridges[0] != model.MakePairKey(2, 3) {
+		t.Fatalf("bridge = %v, want (2,3)", bridges[0])
+	}
+}
+
+func TestFindBridgesChain(t *testing.T) {
+	// In a chain every edge is a bridge.
+	links := []linkEdge{{0, 1}, {1, 2}, {2, 3}}
+	bridges := findBridges([]model.RecordID{0, 1, 2, 3}, links)
+	if len(bridges) != 3 {
+		t.Fatalf("chain of 4 has 3 bridges, got %d", len(bridges))
+	}
+}
+
+func TestFindBridgesCycleHasNone(t *testing.T) {
+	links := []linkEdge{{0, 1}, {1, 2}, {2, 3}, {3, 0}}
+	bridges := findBridges([]model.RecordID{0, 1, 2, 3}, links)
+	if len(bridges) != 0 {
+		t.Fatalf("cycle has no bridges, got %v", bridges)
+	}
+}

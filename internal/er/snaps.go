@@ -1,0 +1,660 @@
+package er
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/snaps/snaps/internal/constraint"
+	"github.com/snaps/snaps/internal/depgraph"
+	"github.com/snaps/snaps/internal/model"
+)
+
+// Config holds the SNAPS resolver parameters and the ablation switches used
+// by Table 3 of the paper.
+type Config struct {
+	// BootstrapThreshold is t_b: minimum average atomic similarity of a node
+	// group for bootstrap merging (paper: 0.95).
+	BootstrapThreshold float64
+	// MergeThreshold is t_m: minimum average node similarity for merging
+	// (paper: 0.85).
+	MergeThreshold float64
+	// Gamma is γ in Eq. (3): weight of the atomic similarity versus the
+	// disambiguation similarity (paper: 0.6).
+	Gamma float64
+	// WMust, WCore, WExtra weight the attribute categories in Eq. (1)
+	// (paper example: 0.5/0.3/0.2).
+	WMust, WCore, WExtra float64
+	// DensityThreshold is t_d and BridgeSplitSize is t_n for the REF
+	// technique (paper: 0.3 and 15).
+	DensityThreshold float64
+	BridgeSplitSize  int
+	// Passes is the number of merge+refine passes; the second pass lets
+	// records freed by REF relink (paper: iterative process).
+	Passes int
+
+	// Ablation switches (all true for full SNAPS).
+	Propagation bool // PROP-A and PROP-C
+	Ambiguity   bool // AMB
+	Relations   bool // REL
+	Refinement  bool // REF
+
+	// MaxPropValues caps the entity value set considered during PROP-A so
+	// pathological clusters cannot make propagation quadratic.
+	MaxPropValues int
+
+	// ExtraYearWindow bounds the temporal validity of Extra-attribute
+	// disagreement: two records whose events lie within this many years and
+	// whose addresses/occupations are both present but dissimilar receive
+	// negative evidence; farther apart, the attribute may legitimately have
+	// changed and contributes nothing.
+	ExtraYearWindow int
+}
+
+// DefaultConfig returns the paper's published parameter values with every
+// technique enabled.
+func DefaultConfig() Config {
+	return Config{
+		BootstrapThreshold: 0.95,
+		MergeThreshold:     0.85,
+		Gamma:              0.6,
+		WMust:              0.5, WCore: 0.3, WExtra: 0.2,
+		DensityThreshold: 0.3,
+		BridgeSplitSize:  15,
+		Passes:           2,
+		Propagation:      true, Ambiguity: true, Relations: true, Refinement: true,
+		MaxPropValues:   6,
+		ExtraYearWindow: 6,
+	}
+}
+
+// Timings reports the wall-clock duration of each offline phase, matching
+// the columns of Tables 5 and 6.
+type Timings struct {
+	Bootstrap time.Duration
+	Merge     time.Duration
+	Refine    time.Duration
+}
+
+// Result is the outcome of the resolution: the record clusters plus phase
+// timings and counters.
+type Result struct {
+	Store   *EntityStore
+	Timings Timings
+	// MergedNodes counts relational nodes that were merged.
+	MergedNodes int
+	// RefineRemoved and RefineSplits count REF interventions.
+	RefineRemoved int
+	RefineSplits  int
+}
+
+// Resolver runs the SNAPS ER process over a dependency graph.
+type Resolver struct {
+	cfg   Config
+	g     *depgraph.Graph
+	d     *model.Dataset
+	store *EntityStore
+	val   *constraint.Validator
+
+	// nameFreq counts records per (first name | surname) combination; the
+	// denominator of the disambiguation similarity in Eq. (2).
+	nameFreq map[string]int
+}
+
+// NewResolver prepares a resolver for the graph.
+func NewResolver(g *depgraph.Graph, cfg Config) *Resolver {
+	r := &Resolver{
+		cfg:      cfg,
+		g:        g,
+		d:        g.Dataset,
+		store:    NewEntityStore(g.Dataset),
+		val:      constraint.NewValidator(g.Dataset),
+		nameFreq: map[string]int{},
+	}
+	for i := range r.d.Records {
+		r.nameFreq[nameCombo(&r.d.Records[i])]++
+	}
+	return r
+}
+
+// nameCombo is the "combination of several QID values" whose frequency
+// feeds the disambiguation similarity of Eq. (2): first name, surname, and
+// address. Two records of a rare full combination are very likely the same
+// person; a frequent combination (a common name in a common place) needs
+// relationship corroboration.
+func nameCombo(rec *model.Record) string {
+	return rec.FirstName + "|" + rec.Surname + "|" + rec.Address
+}
+
+// Resolve runs bootstrapping, merging, and refinement, and returns the
+// resulting clusters.
+func (r *Resolver) Resolve() *Result {
+	res := &Result{Store: r.store}
+
+	t0 := time.Now()
+	r.bootstrap(res)
+	res.Timings.Bootstrap = time.Since(t0)
+	r.refine(res)
+
+	t1 := time.Now()
+	passes := r.cfg.Passes
+	if passes < 1 {
+		passes = 1
+	}
+	for p := 0; p < passes; p++ {
+		r.merge(res)
+		r.refine(res)
+	}
+	res.Timings.Merge = time.Since(t1) - res.Timings.Refine
+	return res
+}
+
+// refine runs the REF technique when enabled.
+func (r *Resolver) refine(res *Result) {
+	if !r.cfg.Refinement {
+		return
+	}
+	t := time.Now()
+	rem, spl := r.store.Refine(r.cfg.DensityThreshold, r.cfg.BridgeSplitSize)
+	res.Timings.Refine += time.Since(t)
+	res.RefineRemoved += rem
+	res.RefineSplits += spl
+}
+
+// bootstrap merges node groups whose average atomic similarity is at least
+// t_b. Only proper groups (two or more nodes) are bootstrapped: groups
+// carry relationship evidence that singleton pairs lack (Sec. 4.2.6).
+func (r *Resolver) bootstrap(res *Result) {
+	for gi := range r.g.Groups {
+		grp := &r.g.Groups[gi]
+		if len(grp.Nodes) < 2 {
+			continue
+		}
+		sum := 0.0
+		for _, id := range grp.Nodes {
+			sum += r.strictAtomicSim(r.g.Node(id))
+		}
+		if sum/float64(len(grp.Nodes)) < r.cfg.BootstrapThreshold {
+			continue
+		}
+		ordered := append([]depgraph.NodeID(nil), grp.Nodes...)
+		sort.Slice(ordered, func(i, j int) bool {
+			si, sj := r.strictAtomicSim(r.g.Node(ordered[i])), r.strictAtomicSim(r.g.Node(ordered[j]))
+			if si != sj {
+				return si > sj
+			}
+			return ordered[i] < ordered[j]
+		})
+		for _, id := range ordered {
+			n := r.g.Node(id)
+			if r.linkable(n) {
+				r.mergeNode(n, res)
+			}
+		}
+	}
+}
+
+// merge processes node groups from a priority queue ordered by group size
+// and then by average node similarity, applying PROP-C validation, PROP-A
+// propagation, AMB similarity, and REL drop-lowest iteration (Sec. 4.2.6).
+func (r *Resolver) merge(res *Result) {
+	pq := r.buildQueue()
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(*queueItem)
+		r.mergeGroup(item.nodes, res)
+	}
+}
+
+// queueItem is a node group awaiting merging.
+type queueItem struct {
+	nodes []depgraph.NodeID
+	size  int
+	avg   float64
+	gid   depgraph.GroupID
+}
+
+// groupQueue orders groups by size (desc), then average similarity (desc),
+// then group id for determinism.
+type groupQueue []*queueItem
+
+func (q groupQueue) Len() int { return len(q) }
+func (q groupQueue) Less(i, j int) bool {
+	if q[i].size != q[j].size {
+		return q[i].size > q[j].size
+	}
+	if q[i].avg != q[j].avg {
+		return q[i].avg > q[j].avg
+	}
+	return q[i].gid < q[j].gid
+}
+func (q groupQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *groupQueue) Push(x any)   { *q = append(*q, x.(*queueItem)) }
+func (q *groupQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+func (r *Resolver) buildQueue() *groupQueue {
+	q := &groupQueue{}
+	for gi := range r.g.Groups {
+		grp := &r.g.Groups[gi]
+		// Singleton groups carry no relationship evidence and are never
+		// merged: an isolated record pair that matches only by name is
+		// indistinguishable from a namesake coincidence.
+		if len(grp.Nodes) < 2 {
+			continue
+		}
+		var nodes []depgraph.NodeID
+		sum := 0.0
+		merged := 0
+		for _, id := range grp.Nodes {
+			n := r.g.Node(id)
+			if n.Merged {
+				merged++
+			}
+			nodes = append(nodes, id)
+			// Priority uses the full node similarity so that groups of
+			// unambiguous (rare-name) pairs are processed before ambiguous
+			// ones, as the paper's disambiguation prioritisation requires.
+			sum += r.nodeSim(n)
+		}
+		if merged == len(nodes) {
+			continue
+		}
+		heap.Push(q, &queueItem{
+			nodes: nodes, size: len(nodes),
+			avg: sum / float64(len(nodes)), gid: grp.ID,
+		})
+	}
+	return q
+}
+
+// mergeGroup runs the within-group iteration: validate constraints, refresh
+// similarities under propagation, and either merge the surviving nodes when
+// their average similarity reaches t_m or drop the weakest node and retry
+// (the REL technique). Without REL the group gets a single all-or-nothing
+// evaluation.
+func (r *Resolver) mergeGroup(nodes []depgraph.NodeID, res *Result) {
+	type scored struct {
+		id  depgraph.NodeID
+		sim float64
+	}
+	live := make([]scored, 0, len(nodes))
+	for _, id := range nodes {
+		live = append(live, scored{id: id})
+	}
+	for len(live) > 0 {
+		// Validate constraints (PROP-C) and score (PROP-A + AMB). Removing
+		// constraint-violating nodes from the group is part of the REL
+		// technique; without REL they stay and drag the average down, which
+		// is exactly the partial-match-group failure Table 3 ablates.
+		valid := live[:0]
+		for _, sc := range live {
+			n := r.g.Node(sc.id)
+			sc.sim = r.nodeSim(n)
+			if n.Merged {
+				// Already-linked nodes stay as supporting evidence for the
+				// rest of their group.
+				valid = append(valid, sc)
+				continue
+			}
+			if !r.linkable(n) {
+				if r.cfg.Relations {
+					continue // REL: drop the violating node from the group
+				}
+				sc.sim = r.nodeSim(n)
+			}
+			valid = append(valid, sc)
+		}
+		live = valid
+		if len(live) == 0 {
+			return
+		}
+		sum := 0.0
+		for _, sc := range live {
+			sum += sc.sim
+		}
+		avg := sum / float64(len(live))
+		// A group reduced to fewer than two nodes has lost its relationship
+		// corroboration; such a lone pair only merges at bootstrap-level
+		// confidence, where the disambiguation similarity alone certifies a
+		// near-unique name.
+		threshold := r.cfg.MergeThreshold
+		if len(live) < 2 {
+			threshold = r.cfg.BootstrapThreshold
+		}
+		if avg >= threshold {
+			// Merge the strongest nodes first: when two alignments compete
+			// for the same record (e.g. census children of a household),
+			// the better one locks in and the link constraints then veto
+			// the weaker conflicting alignment on revalidation.
+			sort.Slice(live, func(i, j int) bool {
+				if live[i].sim != live[j].sim {
+					return live[i].sim > live[j].sim
+				}
+				return live[i].id < live[j].id
+			})
+			for _, sc := range live {
+				n := r.g.Node(sc.id)
+				if r.linkable(n) { // revalidate: earlier merges change entities
+					r.mergeNode(n, res)
+				}
+			}
+			return
+		}
+		if !r.cfg.Relations || len(live) <= 1 {
+			// Without REL a low group average vetoes the whole group, which
+			// is exactly the partial-match-group failure the paper ablates.
+			return
+		}
+		// Drop the node with the lowest similarity and retry.
+		lowest := 0
+		for i := 1; i < len(live); i++ {
+			if live[i].sim < live[lowest].sim {
+				lowest = i
+			}
+		}
+		live = append(live[:lowest], live[lowest+1:]...)
+	}
+}
+
+// linkable checks the PROP-C constraints for a node: when propagation is
+// enabled the full cross-product of the two records' current entities is
+// validated; otherwise only the pair itself is (the graph build already
+// filtered impossible pairs, so this is a cheap recheck).
+func (r *Resolver) linkable(n *depgraph.RelationalNode) bool {
+	if !r.val.PairOK(n.A, n.B) {
+		return false
+	}
+	if !r.cfg.Propagation {
+		return true
+	}
+	ea, eb := r.store.EntityOf(n.A), r.store.EntityOf(n.B)
+	if ea != NoEntity && ea == eb {
+		return true
+	}
+	return r.val.MergeOK(r.store.View(n.A), r.store.View(n.B))
+}
+
+// mergeNode links the node's records and marks it merged.
+func (r *Resolver) mergeNode(n *depgraph.RelationalNode, res *Result) {
+	if n.Merged {
+		return
+	}
+	r.store.Link(n.A, n.B)
+	n.Merged = true
+	res.MergedNodes++
+}
+
+// extraDisagrees reports whether an unbound Extra attribute should count as
+// negative evidence for a record pair: both values present and the two
+// events close enough in time that the value should not have changed.
+func (r *Resolver) extraDisagrees(ra, rb *model.Record, attr model.Attr) bool {
+	if ra.Value(attr) == "" || rb.Value(attr) == "" {
+		return false
+	}
+	dy := ra.Year - rb.Year
+	if dy < 0 {
+		dy = -dy
+	}
+	return dy <= r.cfg.ExtraYearWindow
+}
+
+// atomicSimOf computes the category-weighted atomic similarity s_a of
+// Eq. (1) from the node's bound atomic nodes, without propagation. Bound
+// atomic nodes contribute positively; name attributes without a bound node
+// contribute nothing (the surname may legitimately have changed, which
+// PROP-A handles); unbound Extra attributes count as negative evidence only
+// when the two events are temporally close (see Config.ExtraYearWindow).
+func (r *Resolver) atomicSimOf(n *depgraph.RelationalNode) float64 {
+	ra, rb := r.d.Record(n.A), r.d.Record(n.B)
+	var sums, counts [3]float64
+	for _, attr := range []model.Attr{model.FirstName, model.Surname, model.Address, model.Occupation} {
+		cat := model.CategoryOf(attr)
+		if sim, ok := r.g.AtomicSim(n, attr); ok {
+			counts[cat]++
+			sums[cat] += sim
+			continue
+		}
+		if cat == model.Extra && r.extraDisagrees(ra, rb, attr) {
+			counts[cat]++
+		}
+	}
+	return r.combineCategories(sums, counts)
+}
+
+// combineCategories implements Eq. (1): a weighted average of the per-
+// category mean similarities, dropping the weight of categories that have
+// no comparable values.
+func (r *Resolver) combineCategories(sums, counts [3]float64) float64 {
+	weights := [3]float64{r.cfg.WMust, r.cfg.WCore, r.cfg.WExtra}
+	num, den := 0.0, 0.0
+	for c := 0; c < 3; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		num += weights[c] * (sums[c] / counts[c])
+		den += weights[c]
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// strictAtomicSim scores a node for bootstrapping: every attribute with
+// values present on both records counts towards its category, so a
+// dissimilar address or occupation (no atomic node) pulls the score down.
+// Bootstrap links must be near-certain, so disagreement on any visible
+// attribute vetoes them; the merge phase later revisits such pairs with
+// disambiguation and propagation evidence.
+func (r *Resolver) strictAtomicSim(n *depgraph.RelationalNode) float64 {
+	ra, rb := r.d.Record(n.A), r.d.Record(n.B)
+	var sums, counts [3]float64
+	for _, attr := range []model.Attr{model.FirstName, model.Surname, model.Address, model.Occupation} {
+		if _, present := depgraph.CompareAttr(r.g.Config, ra, rb, attr); !present {
+			continue
+		}
+		cat := model.CategoryOf(attr)
+		sim, bound := r.g.AtomicSim(n, attr)
+		if !bound && cat == model.Extra && !r.extraDisagrees(ra, rb, attr) {
+			continue // stale extra evidence: the value may have changed
+		}
+		counts[cat]++
+		if bound {
+			sums[cat] += sim
+		}
+	}
+	return r.combineCategories(sums, counts)
+}
+
+// nodeSim computes the full node similarity s of Eq. (3): the convex
+// combination of the (possibly propagated) atomic similarity s_a and the
+// disambiguation similarity s_d. Ablating AMB sets γ=1.
+//
+// Must attributes are mandatory (Sec. 4.2.3): when both records carry a
+// first name but no sufficiently similar pairing exists — not even through
+// propagated entity values — the node scores zero.
+func (r *Resolver) nodeSim(n *depgraph.RelationalNode) float64 {
+	if !r.mustOK(n) {
+		return 0
+	}
+	var sa float64
+	if r.cfg.Propagation {
+		sa = r.propagatedSim(n)
+	} else {
+		sa = r.atomicSimOf(n)
+	}
+	if !r.cfg.Ambiguity {
+		return sa
+	}
+	return r.cfg.Gamma*sa + (1-r.cfg.Gamma)*r.disambiguationSim(n)
+}
+
+// mustOK enforces the Must-attribute requirement: the first names must
+// match (directly or via propagated entity values). A record with a missing
+// first name can never satisfy the requirement in the merge phase — a
+// surname-only agreement is far too weak to link on — so such nodes are
+// merge-ineligible and can only be linked through the stricter bootstrap,
+// where the whole family group must agree.
+func (r *Resolver) mustOK(n *depgraph.RelationalNode) bool {
+	ra, rb := r.d.Record(n.A), r.d.Record(n.B)
+	if ra.FirstName == "" || rb.FirstName == "" {
+		return false
+	}
+	if _, ok := r.g.AtomicSim(n, model.FirstName); ok {
+		return true
+	}
+	if !r.cfg.Propagation {
+		return false
+	}
+	for _, x := range r.entityValues(n.A, model.FirstName) {
+		for _, y := range r.entityValues(n.B, model.FirstName) {
+			if compareValues(r.g.Config, ra, rb, model.FirstName, x, y) >= r.g.Config.AtomicThreshold {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// disambiguationSim implements Eq. (2): a normalised inverse-document-
+// frequency of the records' name combinations. Frequent names yield low
+// scores, rare names high scores.
+func (r *Resolver) disambiguationSim(n *depgraph.RelationalNode) float64 {
+	o := float64(len(r.d.Records))
+	if o < 2 {
+		return 0
+	}
+	fa := float64(r.nameFreq[nameCombo(r.d.Record(n.A))])
+	fb := float64(r.nameFreq[nameCombo(r.d.Record(n.B))])
+	if fa+fb <= 0 {
+		return 0
+	}
+	s := math.Log2(o/(fa+fb)) / math.Log2(o)
+	if s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// propagatedSim implements PROP-A: instead of the node's original atomic
+// bindings, each attribute is scored by the best-matching value pair across
+// the two records' current entity value sets, so a woman whose surname
+// changed at marriage is compared through her entity's accumulated
+// surnames. Only pairs reaching the atomic threshold t_a bind.
+func (r *Resolver) propagatedSim(n *depgraph.RelationalNode) float64 {
+	ra, rb := r.d.Record(n.A), r.d.Record(n.B)
+	var sums, counts [3]float64
+	for _, attr := range []model.Attr{model.FirstName, model.Surname, model.Address, model.Occupation} {
+		va := r.entityValues(n.A, attr)
+		vb := r.entityValues(n.B, attr)
+		if len(va) == 0 || len(vb) == 0 {
+			continue
+		}
+		best := 0.0
+		for _, x := range va {
+			for _, y := range vb {
+				s := compareValues(r.g.Config, ra, rb, attr, x, y)
+				if s > best {
+					best = s
+				}
+			}
+		}
+		// Only a value pair reaching the atomic threshold binds; below it
+		// the category contributes no evidence, except for temporally
+		// close Extra disagreement, which is negative evidence.
+		cat := model.CategoryOf(attr)
+		if best >= r.g.Config.AtomicThreshold {
+			counts[cat]++
+			sums[cat] += best
+		} else if cat == model.Extra && r.extraDisagrees(ra, rb, attr) {
+			counts[cat]++
+		}
+	}
+	return r.combineCategories(sums, counts)
+}
+
+// entityValues returns up to MaxPropValues distinct values of the attribute
+// across the record's entity, most frequent first, always including the
+// record's own value.
+func (r *Resolver) entityValues(id model.RecordID, attr model.Attr) []string {
+	own := r.d.Record(id).Value(attr)
+	vals := r.store.Values(id, attr)
+	if len(vals) == 0 {
+		if own == "" {
+			return nil
+		}
+		return []string{own}
+	}
+	type vc struct {
+		v string
+		c int
+	}
+	list := make([]vc, 0, len(vals))
+	for v, c := range vals {
+		list = append(list, vc{v, c})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].c != list[j].c {
+			return list[i].c > list[j].c
+		}
+		return list[i].v < list[j].v
+	})
+	maxN := r.cfg.MaxPropValues
+	if maxN <= 0 {
+		maxN = 6
+	}
+	out := make([]string, 0, maxN+1)
+	hasOwn := false
+	for i := 0; i < len(list) && len(out) < maxN; i++ {
+		out = append(out, list[i].v)
+		if list[i].v == own {
+			hasOwn = true
+		}
+	}
+	if own != "" && !hasOwn {
+		out = append(out, own)
+	}
+	return out
+}
+
+// compareValues scores a propagated value pair with the attribute's
+// comparison function. Geocoded comparison only applies to the records'
+// own addresses, so propagated address values fall back to bigram Jaccard.
+func compareValues(cfg depgraph.Config, ra, rb *model.Record, attr model.Attr, x, y string) float64 {
+	switch attr {
+	case model.FirstName, model.Surname:
+		tmpA, tmpB := *ra, *rb
+		if attr == model.FirstName {
+			tmpA.FirstName, tmpB.FirstName = x, y
+		} else {
+			tmpA.Surname, tmpB.Surname = x, y
+		}
+		s, _ := depgraph.CompareAttr(cfg, &tmpA, &tmpB, attr)
+		return s
+	case model.Address:
+		if x == ra.Address && y == rb.Address && ra.Lat != 0 && rb.Lat != 0 {
+			s, _ := depgraph.CompareAttr(cfg, ra, rb, attr)
+			return s
+		}
+		tmpA, tmpB := *ra, *rb
+		tmpA.Address, tmpB.Address = x, y
+		tmpA.Lat, tmpB.Lat = 0, 0
+		s, _ := depgraph.CompareAttr(cfg, &tmpA, &tmpB, attr)
+		return s
+	case model.Occupation:
+		tmpA, tmpB := *ra, *rb
+		tmpA.Occupation, tmpB.Occupation = x, y
+		s, _ := depgraph.CompareAttr(cfg, &tmpA, &tmpB, attr)
+		return s
+	}
+	return 0
+}

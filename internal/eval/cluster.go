@@ -1,0 +1,210 @@
+package eval
+
+import (
+	"math"
+
+	"github.com/snaps/snaps/internal/model"
+)
+
+// Cluster-level measures complement the pairwise P/R/F*: they compare the
+// produced record partition against the ground-truth partition directly,
+// following the duplicate-detection clustering-evaluation literature the
+// paper cites (Hassanzadeh et al., VLDB 2009).
+
+// Partition maps each record to its cluster representative. Records absent
+// from the map are implicit singletons.
+type Partition map[model.RecordID]int
+
+// PartitionFromClusters builds a partition from explicit record clusters.
+func PartitionFromClusters(clusters [][]model.RecordID) Partition {
+	p := Partition{}
+	for i, c := range clusters {
+		for _, r := range c {
+			p[r] = i
+		}
+	}
+	return p
+}
+
+// TruthPartition builds the ground-truth partition of a data set: records
+// of one person share a cluster. Records without truth stay singletons.
+func TruthPartition(d *model.Dataset) Partition {
+	p := Partition{}
+	for i := range d.Records {
+		rec := &d.Records[i]
+		if rec.Truth != model.NoPerson {
+			p[rec.ID] = int(rec.Truth)
+		}
+	}
+	return p
+}
+
+// ClusterMetrics summarises partition agreement.
+type ClusterMetrics struct {
+	// ClosestClusterF1 is the average F1 of each truth cluster against its
+	// best-matching produced cluster ("closest cluster" measure).
+	ClosestClusterF1 float64
+	// ExactMatchFraction is the fraction of truth clusters reproduced
+	// exactly.
+	ExactMatchFraction float64
+	// VariationOfInformation is the VI distance between the partitions in
+	// bits (0 = identical); lower is better.
+	VariationOfInformation float64
+	// TruthClusters and ProducedClusters count non-singleton clusters.
+	TruthClusters, ProducedClusters int
+}
+
+// CompareClusters scores a produced partition against the truth partition
+// over the union of records either partition covers.
+func CompareClusters(produced, truth Partition) ClusterMetrics {
+	universe := map[model.RecordID]bool{}
+	for r := range produced {
+		universe[r] = true
+	}
+	for r := range truth {
+		universe[r] = true
+	}
+	n := len(universe)
+	var m ClusterMetrics
+	if n == 0 {
+		return m
+	}
+
+	prodSets := invert(produced, universe)
+	truthSets := invert(truth, universe)
+	m.ProducedClusters = countNonSingleton(prodSets)
+	m.TruthClusters = countNonSingleton(truthSets)
+
+	// Closest-cluster F1 and exact matches, averaged over truth clusters.
+	sumF1 := 0.0
+	exact := 0
+	for _, ts := range truthSets {
+		bestF1 := 0.0
+		bestExact := false
+		for _, ps := range prodSets {
+			inter := intersectionSize(ts, ps)
+			if inter == 0 {
+				continue
+			}
+			p := float64(inter) / float64(len(ps))
+			r := float64(inter) / float64(len(ts))
+			f1 := 2 * p * r / (p + r)
+			if f1 > bestF1 {
+				bestF1 = f1
+				bestExact = inter == len(ts) && inter == len(ps)
+			}
+		}
+		sumF1 += bestF1
+		if bestExact {
+			exact++
+		}
+	}
+	if len(truthSets) > 0 {
+		m.ClosestClusterF1 = sumF1 / float64(len(truthSets))
+		m.ExactMatchFraction = float64(exact) / float64(len(truthSets))
+	}
+
+	// Variation of information: VI = H(X) + H(Y) - 2I(X;Y).
+	total := float64(n)
+	hx, hy, mi := 0.0, 0.0, 0.0
+	for _, ps := range prodSets {
+		p := float64(len(ps)) / total
+		hx -= p * math.Log2(p)
+	}
+	for _, ts := range truthSets {
+		p := float64(len(ts)) / total
+		hy -= p * math.Log2(p)
+	}
+	for _, ps := range prodSets {
+		for _, ts := range truthSets {
+			inter := intersectionSize(ps, ts)
+			if inter == 0 {
+				continue
+			}
+			pxy := float64(inter) / total
+			px := float64(len(ps)) / total
+			py := float64(len(ts)) / total
+			mi += pxy * math.Log2(pxy/(px*py))
+		}
+	}
+	m.VariationOfInformation = hx + hy - 2*mi
+	if m.VariationOfInformation < 0 {
+		m.VariationOfInformation = 0 // guard tiny negative float error
+	}
+	return m
+}
+
+// invert groups the universe's records by cluster id; uncovered records
+// become singleton sets.
+func invert(p Partition, universe map[model.RecordID]bool) []map[model.RecordID]bool {
+	byID := map[int]map[model.RecordID]bool{}
+	var singles []map[model.RecordID]bool
+	for r := range universe {
+		if id, ok := p[r]; ok {
+			if byID[id] == nil {
+				byID[id] = map[model.RecordID]bool{}
+			}
+			byID[id][r] = true
+		} else {
+			singles = append(singles, map[model.RecordID]bool{r: true})
+		}
+	}
+	out := make([]map[model.RecordID]bool, 0, len(byID)+len(singles))
+	for _, s := range byID {
+		out = append(out, s)
+	}
+	return append(out, singles...)
+}
+
+func countNonSingleton(sets []map[model.RecordID]bool) int {
+	n := 0
+	for _, s := range sets {
+		if len(s) > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+func intersectionSize(a, b map[model.RecordID]bool) int {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	n := 0
+	for r := range a {
+		if b[r] {
+			n++
+		}
+	}
+	return n
+}
+
+// BlockingMetrics are the standard blocking-quality measures of the survey
+// the paper builds on (Papadakis et al. 2020): pair completeness (the
+// fraction of true matching pairs surviving blocking) and reduction ratio
+// (the fraction of the full comparison space eliminated).
+type BlockingMetrics struct {
+	PairCompleteness float64
+	ReductionRatio   float64
+	Candidates       int
+}
+
+// CompareBlocking scores candidate pairs against the truth pairs for a
+// record universe of the given size.
+func CompareBlocking(cands map[model.PairKey]bool, truth map[model.PairKey]bool, nRecords int) BlockingMetrics {
+	m := BlockingMetrics{Candidates: len(cands)}
+	if len(truth) > 0 {
+		hit := 0
+		for k := range truth {
+			if cands[k] {
+				hit++
+			}
+		}
+		m.PairCompleteness = float64(hit) / float64(len(truth))
+	}
+	full := float64(nRecords) * float64(nRecords-1) / 2
+	if full > 0 {
+		m.ReductionRatio = 1 - float64(len(cands))/full
+	}
+	return m
+}

@@ -1,0 +1,127 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"github.com/snaps/snaps/internal/model"
+)
+
+func TestCompareClustersIdentical(t *testing.T) {
+	clusters := [][]model.RecordID{{0, 1, 2}, {3, 4}}
+	p := PartitionFromClusters(clusters)
+	m := CompareClusters(p, p)
+	if m.ClosestClusterF1 != 1 {
+		t.Errorf("identical partitions F1 = %v, want 1", m.ClosestClusterF1)
+	}
+	if m.ExactMatchFraction != 1 {
+		t.Errorf("exact fraction = %v, want 1", m.ExactMatchFraction)
+	}
+	if m.VariationOfInformation > 1e-9 {
+		t.Errorf("VI = %v, want 0", m.VariationOfInformation)
+	}
+	if m.TruthClusters != 2 || m.ProducedClusters != 2 {
+		t.Errorf("cluster counts %d/%d", m.TruthClusters, m.ProducedClusters)
+	}
+}
+
+func TestCompareClustersSplit(t *testing.T) {
+	truth := PartitionFromClusters([][]model.RecordID{{0, 1, 2, 3}})
+	produced := PartitionFromClusters([][]model.RecordID{{0, 1}, {2, 3}})
+	m := CompareClusters(produced, truth)
+	// Best match covers half the truth cluster perfectly: P=1, R=0.5,
+	// F1=2/3.
+	if math.Abs(m.ClosestClusterF1-2.0/3.0) > 1e-9 {
+		t.Errorf("split F1 = %v, want 2/3", m.ClosestClusterF1)
+	}
+	if m.ExactMatchFraction != 0 {
+		t.Errorf("split exact = %v, want 0", m.ExactMatchFraction)
+	}
+	if m.VariationOfInformation <= 0 {
+		t.Error("split partitions should have positive VI")
+	}
+}
+
+func TestCompareClustersMerged(t *testing.T) {
+	truth := PartitionFromClusters([][]model.RecordID{{0, 1}, {2, 3}})
+	produced := PartitionFromClusters([][]model.RecordID{{0, 1, 2, 3}})
+	m := CompareClusters(produced, truth)
+	// Each truth cluster matches the big cluster with P=0.5, R=1, F1=2/3.
+	if math.Abs(m.ClosestClusterF1-2.0/3.0) > 1e-9 {
+		t.Errorf("merged F1 = %v, want 2/3", m.ClosestClusterF1)
+	}
+}
+
+func TestCompareClustersSingletons(t *testing.T) {
+	// Produced covers nothing: every record is a singleton on the produced
+	// side; truth clusters find only fragments.
+	truth := PartitionFromClusters([][]model.RecordID{{0, 1}})
+	m := CompareClusters(Partition{}, truth)
+	// Best match of {0,1} to a singleton: P=1, R=0.5 -> F1=2/3.
+	if math.Abs(m.ClosestClusterF1-2.0/3.0) > 1e-9 {
+		t.Errorf("singleton F1 = %v", m.ClosestClusterF1)
+	}
+	if m.ProducedClusters != 0 {
+		t.Errorf("produced non-singletons = %d, want 0", m.ProducedClusters)
+	}
+}
+
+func TestCompareClustersEmpty(t *testing.T) {
+	m := CompareClusters(Partition{}, Partition{})
+	if m.ClosestClusterF1 != 0 || m.VariationOfInformation != 0 {
+		t.Error("empty comparison should be zero-valued")
+	}
+}
+
+func TestTruthPartition(t *testing.T) {
+	d := &model.Dataset{Records: []model.Record{
+		{ID: 0, Truth: 5}, {ID: 1, Truth: 5}, {ID: 2, Truth: 6},
+		{ID: 3, Truth: model.NoPerson},
+	}}
+	p := TruthPartition(d)
+	if p[0] != p[1] || p[0] == p[2] {
+		t.Error("truth partition wrong")
+	}
+	if _, ok := p[3]; ok {
+		t.Error("truthless record in partition")
+	}
+}
+
+func TestVISymmetric(t *testing.T) {
+	a := PartitionFromClusters([][]model.RecordID{{0, 1, 2}, {3, 4}})
+	b := PartitionFromClusters([][]model.RecordID{{0, 1}, {2, 3, 4}})
+	ab := CompareClusters(a, b).VariationOfInformation
+	ba := CompareClusters(b, a).VariationOfInformation
+	if math.Abs(ab-ba) > 1e-9 {
+		t.Errorf("VI not symmetric: %v vs %v", ab, ba)
+	}
+}
+
+func TestCompareBlocking(t *testing.T) {
+	truth := map[model.PairKey]bool{
+		model.MakePairKey(0, 1): true,
+		model.MakePairKey(2, 3): true,
+	}
+	cands := map[model.PairKey]bool{
+		model.MakePairKey(0, 1): true,
+		model.MakePairKey(0, 2): true,
+	}
+	m := CompareBlocking(cands, truth, 10)
+	if m.PairCompleteness != 0.5 {
+		t.Errorf("PC = %v, want 0.5", m.PairCompleteness)
+	}
+	want := 1 - 2.0/45.0
+	if math.Abs(m.ReductionRatio-want) > 1e-9 {
+		t.Errorf("RR = %v, want %v", m.ReductionRatio, want)
+	}
+	if m.Candidates != 2 {
+		t.Errorf("candidates = %d", m.Candidates)
+	}
+}
+
+func TestCompareBlockingEdgeCases(t *testing.T) {
+	m := CompareBlocking(nil, nil, 0)
+	if m.PairCompleteness != 0 || m.ReductionRatio != 0 {
+		t.Error("empty blocking comparison should be zero-valued")
+	}
+}

@@ -1,0 +1,108 @@
+// Package eval implements the linkage-quality measures used by the paper:
+// precision, recall, and the F*-measure of Hand, Christen & Kirielle
+// (2021), F* = TP/(TP+FP+FN), which is a monotonic transformation of the
+// F-measure with a direct interpretation (the fraction of relevant
+// decisions that are correct).
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/snaps/snaps/internal/model"
+)
+
+// Confusion counts classification outcomes over record pairs.
+type Confusion struct {
+	TP, FP, FN int
+}
+
+// Compare scores a predicted pair set against a truth pair set.
+func Compare(predicted, truth map[model.PairKey]bool) Confusion {
+	var c Confusion
+	for p := range predicted {
+		if truth[p] {
+			c.TP++
+		} else {
+			c.FP++
+		}
+	}
+	for t := range truth {
+		if !predicted[t] {
+			c.FN++
+		}
+	}
+	return c
+}
+
+// Precision returns TP/(TP+FP), or 0 when nothing was classified as a
+// match.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), or 0 when there are no true matches.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// FStar returns TP/(TP+FP+FN), or 0 when the denominator is empty.
+func (c Confusion) FStar() float64 {
+	if c.TP+c.FP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP+c.FN)
+}
+
+// F1 returns the classic F-measure, provided for comparison even though the
+// paper argues for F*.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Quality is one row of Tables 3 and 4: percentages.
+type Quality struct {
+	Precision, Recall, FStar float64
+}
+
+// QualityOf converts a confusion matrix to percentage measures.
+func QualityOf(c Confusion) Quality {
+	return Quality{
+		Precision: 100 * c.Precision(),
+		Recall:    100 * c.Recall(),
+		FStar:     100 * c.FStar(),
+	}
+}
+
+// String formats the quality as "P=.. R=.. F*=..".
+func (q Quality) String() string {
+	return fmt.Sprintf("P=%.2f R=%.2f F*=%.2f", q.Precision, q.Recall, q.FStar)
+}
+
+// MeanStd summarises a sample by mean and (population) standard deviation,
+// used for the Magellan rows of Table 4.
+func MeanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - mean
+		std += d * d
+	}
+	std /= float64(len(xs))
+	return mean, math.Sqrt(std)
+}

@@ -1,0 +1,104 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/snaps/snaps/internal/model"
+)
+
+func TestCompare(t *testing.T) {
+	truth := map[model.PairKey]bool{1: true, 2: true, 3: true}
+	pred := map[model.PairKey]bool{2: true, 3: true, 4: true}
+	c := Compare(pred, truth)
+	if c.TP != 2 || c.FP != 1 || c.FN != 1 {
+		t.Fatalf("confusion = %+v, want TP=2 FP=1 FN=1", c)
+	}
+}
+
+func TestMeasuresKnownValues(t *testing.T) {
+	c := Confusion{TP: 80, FP: 20, FN: 20}
+	if got := c.Precision(); got != 0.8 {
+		t.Errorf("P = %v", got)
+	}
+	if got := c.Recall(); got != 0.8 {
+		t.Errorf("R = %v", got)
+	}
+	if got := c.FStar(); math.Abs(got-80.0/120.0) > 1e-12 {
+		t.Errorf("F* = %v", got)
+	}
+	if got := c.F1(); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("F1 = %v", got)
+	}
+}
+
+func TestMeasuresEmpty(t *testing.T) {
+	var c Confusion
+	if c.Precision() != 0 || c.Recall() != 0 || c.FStar() != 0 || c.F1() != 0 {
+		t.Error("empty confusion should score 0 everywhere")
+	}
+}
+
+// TestFStarMonotoneInF1 checks the published property: F* is a monotonic
+// transformation of F1 (F* = F1/(2-F1)).
+func TestFStarMonotoneInF1(t *testing.T) {
+	f := func(tp, fp, fn int) bool {
+		c := Confusion{TP: tp, FP: fp, FN: fn}
+		f1 := c.F1()
+		fstar := c.FStar()
+		if tp == 0 {
+			return fstar == 0
+		}
+		return math.Abs(fstar-f1/(2-f1)) < 1e-9
+	}
+	cfg := &quick.Config{MaxCount: 300, Values: func(v []reflect.Value, r *rand.Rand) {
+		for i := range v {
+			v[i] = reflect.ValueOf(r.Intn(1000))
+		}
+	}}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFStarNeverExceedsPR(t *testing.T) {
+	f := func(tp, fp, fn int) bool {
+		c := Confusion{TP: tp, FP: fp, FN: fn}
+		return c.FStar() <= c.Precision()+1e-12 && c.FStar() <= c.Recall()+1e-12
+	}
+	cfg := &quick.Config{MaxCount: 300, Values: func(v []reflect.Value, r *rand.Rand) {
+		for i := range v {
+			v[i] = reflect.ValueOf(r.Intn(1000))
+		}
+	}}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQualityOfPercentages(t *testing.T) {
+	q := QualityOf(Confusion{TP: 1, FP: 1, FN: 0})
+	if q.Precision != 50 || q.Recall != 100 || q.FStar != 50 {
+		t.Errorf("quality = %+v", q)
+	}
+	if q.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	mean, std := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if mean != 5 {
+		t.Errorf("mean = %v, want 5", mean)
+	}
+	if math.Abs(std-2) > 1e-12 {
+		t.Errorf("std = %v, want 2", std)
+	}
+	mean, std = MeanStd(nil)
+	if mean != 0 || std != 0 {
+		t.Error("empty sample should be 0,0")
+	}
+}

@@ -1,0 +1,39 @@
+package eval_test
+
+import (
+	"fmt"
+
+	"github.com/snaps/snaps/internal/eval"
+	"github.com/snaps/snaps/internal/model"
+)
+
+func ExampleCompare() {
+	truth := map[model.PairKey]bool{
+		model.MakePairKey(1, 2): true,
+		model.MakePairKey(3, 4): true,
+	}
+	predicted := map[model.PairKey]bool{
+		model.MakePairKey(1, 2): true, // true positive
+		model.MakePairKey(5, 6): true, // false positive
+	}
+	c := eval.Compare(predicted, truth)
+	fmt.Println(eval.QualityOf(c))
+	// Output:
+	// P=50.00 R=50.00 F*=33.33
+}
+
+func ExampleConfusion_FStar() {
+	c := eval.Confusion{TP: 80, FP: 20, FN: 20}
+	fmt.Printf("F1=%.3f F*=%.3f\n", c.F1(), c.FStar())
+	// Output:
+	// F1=0.800 F*=0.667
+}
+
+func ExampleCompareClusters() {
+	truth := eval.PartitionFromClusters([][]model.RecordID{{0, 1, 2, 3}})
+	produced := eval.PartitionFromClusters([][]model.RecordID{{0, 1}, {2, 3}})
+	m := eval.CompareClusters(produced, truth)
+	fmt.Printf("closest-cluster F1 = %.3f\n", m.ClosestClusterF1)
+	// Output:
+	// closest-cluster F1 = 0.667
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyOptions keeps the experiment smoke tests fast.
+func tinyOptions() Options {
+	opt := DefaultOptions()
+	opt.Scale = 0.05
+	return opt
+}
+
+func TestAllExperimentsProduceOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	for _, id := range All() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			var sb strings.Builder
+			if !Run(&sb, id, tinyOptions()) {
+				t.Fatalf("experiment %q not recognised", id)
+			}
+			if sb.Len() == 0 {
+				t.Fatalf("experiment %q produced no output", id)
+			}
+		})
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	var sb strings.Builder
+	if Run(&sb, "table99", DefaultOptions()) {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestSensitivityRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	var sb strings.Builder
+	if !Run(&sb, "sensitivity", tinyOptions()) {
+		t.Fatal("sensitivity not recognised")
+	}
+	if !strings.Contains(sb.String(), "t_m=0.85") {
+		t.Error("sensitivity output missing default threshold row")
+	}
+}
+
+func TestTable3ShapeSNAPSBeatsNoREL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	var sb strings.Builder
+	Table3(&sb, Options{Scale: 0.1, TruthKeepBpDpIOS: 1, TruthKeepBpDpKIL: 1})
+	out := sb.String()
+	if !strings.Contains(out, "SNAPS") || !strings.Contains(out, "without REL") {
+		t.Fatalf("unexpected table 3 output:\n%s", out)
+	}
+}
+
+func TestCombinedTruthAndPredHelpers(t *testing.T) {
+	// The helpers must union without duplicating keys.
+	var sb strings.Builder
+	Table2(&sb, Options{Scale: 0.04, TruthKeepBpDpIOS: 1, TruthKeepBpDpKIL: 1})
+	if !strings.Contains(sb.String(), "Bp-Bp") || !strings.Contains(sb.String(), "Bp-Dp") {
+		t.Fatal("table 2 missing role-pair rows")
+	}
+}

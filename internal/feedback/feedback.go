@@ -1,0 +1,201 @@
+// Package feedback implements the expert-in-the-loop extension sketched in
+// the paper's future work (Sec. 12): domain experts reviewing generated
+// family trees can confirm or reject individual links, and the resolver
+// honours this feedback on the next run as must-link and cannot-link
+// constraints.
+//
+// Feedback is stored as an append-only journal of decisions keyed by record
+// pair, so later decisions override earlier ones and the journal can be
+// persisted as a plain CSV.
+package feedback
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"github.com/snaps/snaps/internal/er"
+	"github.com/snaps/snaps/internal/model"
+)
+
+// Decision is an expert's verdict on a record pair.
+type Decision uint8
+
+// Decisions.
+const (
+	// Confirm asserts the two records refer to the same person.
+	Confirm Decision = iota
+	// Reject asserts they refer to different people.
+	Reject
+)
+
+// String returns "confirm" or "reject".
+func (d Decision) String() string {
+	if d == Confirm {
+		return "confirm"
+	}
+	return "reject"
+}
+
+// Journal is an ordered log of expert decisions.
+type Journal struct {
+	decisions map[model.PairKey]Decision
+	order     []model.PairKey
+}
+
+// NewJournal returns an empty journal.
+func NewJournal() *Journal {
+	return &Journal{decisions: map[model.PairKey]Decision{}}
+}
+
+// Record logs a decision for a pair; a later decision on the same pair
+// replaces the earlier one.
+func (j *Journal) Record(a, b model.RecordID, d Decision) {
+	k := model.MakePairKey(a, b)
+	if _, seen := j.decisions[k]; !seen {
+		j.order = append(j.order, k)
+	}
+	j.decisions[k] = d
+}
+
+// Len returns the number of distinct decided pairs.
+func (j *Journal) Len() int { return len(j.decisions) }
+
+// Decision returns the current decision for a pair.
+func (j *Journal) Decision(a, b model.RecordID) (Decision, bool) {
+	d, ok := j.decisions[model.MakePairKey(a, b)]
+	return d, ok
+}
+
+// MustLinks returns the confirmed pairs in decision order.
+func (j *Journal) MustLinks() []model.PairKey { return j.filtered(Confirm) }
+
+// CannotLinks returns the rejected pairs in decision order.
+func (j *Journal) CannotLinks() []model.PairKey { return j.filtered(Reject) }
+
+func (j *Journal) filtered(want Decision) []model.PairKey {
+	var out []model.PairKey
+	for _, k := range j.order {
+		if j.decisions[k] == want {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Save writes the journal as CSV (record_a,record_b,decision).
+func (j *Journal) Save(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"record_a", "record_b", "decision"}); err != nil {
+		return err
+	}
+	for _, k := range j.order {
+		a, b := k.Split()
+		if err := cw.Write([]string{
+			strconv.Itoa(int(a)), strconv.Itoa(int(b)), j.decisions[k].String(),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Load reads a journal written by Save.
+func Load(r io.Reader) (*Journal, error) {
+	j := NewJournal()
+	cr := csv.NewReader(r)
+	first := true
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return j, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if first {
+			first = false
+			if row[0] == "record_a" {
+				continue
+			}
+		}
+		if len(row) != 3 {
+			return nil, fmt.Errorf("feedback: row has %d fields, want 3", len(row))
+		}
+		a, err1 := strconv.Atoi(row[0])
+		b, err2 := strconv.Atoi(row[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("feedback: bad record ids %q,%q", row[0], row[1])
+		}
+		var d Decision
+		switch row[2] {
+		case "confirm":
+			d = Confirm
+		case "reject":
+			d = Reject
+		default:
+			return nil, fmt.Errorf("feedback: bad decision %q", row[2])
+		}
+		j.Record(model.RecordID(a), model.RecordID(b), d)
+	}
+}
+
+// Apply enforces the journal on a resolved entity store:
+//
+//   - cannot-links: if two rejected records share an entity, the record with
+//     the smaller id stays and the other is unlinked (it becomes a singleton
+//     available to other entities on a future run);
+//   - must-links: confirmed pairs are linked unconditionally.
+//
+// Must-links are applied after cannot-links so an expert confirmation wins
+// over an inherited wrong link. It returns how many corrections changed the
+// clustering.
+func Apply(store *er.EntityStore, j *Journal) (unlinked, linked int) {
+	for _, k := range j.CannotLinks() {
+		a, b := k.Split()
+		ea, eb := store.EntityOf(a), store.EntityOf(b)
+		if ea == er.NoEntity || ea != eb {
+			continue
+		}
+		store.Unlink(b)
+		unlinked++
+	}
+	for _, k := range j.MustLinks() {
+		a, b := k.Split()
+		ea, eb := store.EntityOf(a), store.EntityOf(b)
+		if ea != er.NoEntity && ea == eb {
+			continue
+		}
+		store.Link(a, b)
+		linked++
+	}
+	return unlinked, linked
+}
+
+// Violations reports journal decisions the clustering currently disagrees
+// with, sorted by pair key: confirmed pairs in different entities and
+// rejected pairs sharing one. It is the metric an active-learning loop
+// would drive to zero.
+func Violations(store *er.EntityStore, j *Journal) []model.PairKey {
+	var out []model.PairKey
+	for _, k := range j.order {
+		a, b := k.Split()
+		ea, eb := store.EntityOf(a), store.EntityOf(b)
+		same := ea != er.NoEntity && ea == eb
+		switch j.decisions[k] {
+		case Confirm:
+			if !same {
+				out = append(out, k)
+			}
+		case Reject:
+			if same {
+				out = append(out, k)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

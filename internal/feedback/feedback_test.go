@@ -1,0 +1,138 @@
+package feedback
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/snaps/snaps/internal/er"
+	"github.com/snaps/snaps/internal/model"
+)
+
+func tinyDataset(n int) *model.Dataset {
+	d := &model.Dataset{Name: "tiny"}
+	for i := 0; i < n; i++ {
+		d.Records = append(d.Records, model.Record{
+			ID: model.RecordID(i), Cert: model.CertID(i), Role: model.Bm,
+			FirstName: "mary", Surname: "smith", Year: 1870 + i,
+			Gender: model.Female, Truth: model.NoPerson,
+		})
+	}
+	return d
+}
+
+func TestJournalRecordAndOverride(t *testing.T) {
+	j := NewJournal()
+	j.Record(0, 1, Confirm)
+	j.Record(1, 0, Reject) // same pair, later decision wins
+	if j.Len() != 1 {
+		t.Fatalf("len = %d, want 1", j.Len())
+	}
+	d, ok := j.Decision(0, 1)
+	if !ok || d != Reject {
+		t.Fatalf("decision = %v,%v, want Reject", d, ok)
+	}
+	if len(j.MustLinks()) != 0 || len(j.CannotLinks()) != 1 {
+		t.Fatal("filtered views wrong after override")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	j := NewJournal()
+	j.Record(0, 1, Confirm)
+	j.Record(2, 3, Reject)
+	j.Record(4, 5, Confirm)
+	var buf bytes.Buffer
+	if err := j.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 3 {
+		t.Fatalf("len = %d, want 3", got.Len())
+	}
+	if d, _ := got.Decision(2, 3); d != Reject {
+		t.Fatal("decision lost in round trip")
+	}
+	if len(got.MustLinks()) != 2 {
+		t.Fatal("must-links lost")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(strings.NewReader("record_a,record_b,decision\nx,1,confirm\n")); err == nil {
+		t.Error("bad record id accepted")
+	}
+	if _, err := Load(strings.NewReader("0,1,maybe\n")); err == nil {
+		t.Error("bad decision accepted")
+	}
+}
+
+func TestApplyCannotLink(t *testing.T) {
+	d := tinyDataset(4)
+	store := er.NewEntityStore(d)
+	store.Link(0, 1)
+	store.Link(1, 2)
+
+	j := NewJournal()
+	j.Record(0, 2, Reject)
+	unlinked, linked := Apply(store, j)
+	if unlinked != 1 || linked != 0 {
+		t.Fatalf("unlinked=%d linked=%d, want 1,0", unlinked, linked)
+	}
+	if e0, e2 := store.EntityOf(0), store.EntityOf(2); e0 != er.NoEntity && e0 == e2 {
+		t.Fatal("rejected pair still shares an entity")
+	}
+}
+
+func TestApplyMustLink(t *testing.T) {
+	d := tinyDataset(4)
+	store := er.NewEntityStore(d)
+	j := NewJournal()
+	j.Record(0, 3, Confirm)
+	unlinked, linked := Apply(store, j)
+	if unlinked != 0 || linked != 1 {
+		t.Fatalf("unlinked=%d linked=%d, want 0,1", unlinked, linked)
+	}
+	if store.EntityOf(0) == er.NoEntity || store.EntityOf(0) != store.EntityOf(3) {
+		t.Fatal("confirmed pair not linked")
+	}
+}
+
+func TestApplyIdempotent(t *testing.T) {
+	d := tinyDataset(4)
+	store := er.NewEntityStore(d)
+	j := NewJournal()
+	j.Record(0, 1, Confirm)
+	Apply(store, j)
+	unlinked, linked := Apply(store, j)
+	if unlinked != 0 || linked != 0 {
+		t.Fatalf("second apply changed things: %d,%d", unlinked, linked)
+	}
+}
+
+func TestViolations(t *testing.T) {
+	d := tinyDataset(5)
+	store := er.NewEntityStore(d)
+	store.Link(0, 1)
+	j := NewJournal()
+	j.Record(0, 1, Reject)  // violated: they share an entity
+	j.Record(2, 3, Confirm) // violated: not linked
+	j.Record(0, 4, Reject)  // satisfied: not linked
+	v := Violations(store, j)
+	if len(v) != 2 {
+		t.Fatalf("violations = %d, want 2", len(v))
+	}
+	Apply(store, j)
+	if got := Violations(store, j); len(got) != 0 {
+		t.Fatalf("violations after apply = %d, want 0", len(got))
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	if Confirm.String() != "confirm" || Reject.String() != "reject" {
+		t.Error("decision strings wrong")
+	}
+}

@@ -1,0 +1,209 @@
+// Package index implements the two offline index structures of Sec. 6 of
+// the paper: the keyword index K, mapping QID values (first names,
+// surnames, gender, event years, locations) to entity identifiers in the
+// pedigree graph, and the similarity-aware index S, which precomputes
+// Jaro-Winkler similarities between all pairs of indexed string values that
+// share at least one bigram and reach the threshold s_t.
+//
+// At query time, a value not found in K is compared against the values
+// sharing a bigram with it, and the discovered similar values are added to
+// S to speed up future queries of the same value (Sec. 7).
+package index
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+
+	"github.com/snaps/snaps/internal/pedigree"
+	"github.com/snaps/snaps/internal/strsim"
+)
+
+// Field enumerates the searchable QID fields of the keyword index.
+type Field uint8
+
+// Searchable fields.
+const (
+	FieldFirstName Field = iota
+	FieldSurname
+	FieldLocation
+	FieldGender
+	FieldYear
+	NumFields
+)
+
+// String names the field.
+func (f Field) String() string {
+	switch f {
+	case FieldFirstName:
+		return "first_name"
+	case FieldSurname:
+		return "surname"
+	case FieldLocation:
+		return "location"
+	case FieldGender:
+		return "gender"
+	case FieldYear:
+		return "year"
+	}
+	return "field?"
+}
+
+// SimilarValue pairs an indexed value with its similarity to a probe.
+type SimilarValue struct {
+	Value string
+	Sim   float64
+}
+
+// Keyword is the keyword index K.
+type Keyword struct {
+	// postings[field][value] lists the entity nodes carrying the value.
+	postings [NumFields]map[string][]pedigree.NodeID
+}
+
+// Similarity is the similarity-aware index S: for every known string value
+// of a field it stores the other values with similarity >= threshold. It
+// memoises query-time extensions, so lookups after the first are O(1).
+type Similarity struct {
+	mu        sync.RWMutex
+	threshold float64
+	// sims[field][value] lists similar values (including exact value
+	// first).
+	sims [NumFields]map[string][]SimilarValue
+	// bigramPost[field][bigram] lists values containing the bigram.
+	bigramPost [NumFields]map[string][]string
+}
+
+// Build constructs both indexes from a pedigree graph. simThreshold is s_t
+// (paper: 0.5). Precomputation covers first names and surnames (the
+// mandatory query fields); locations are extended lazily at query time.
+func Build(g *pedigree.Graph, simThreshold float64) (*Keyword, *Similarity) {
+	k := &Keyword{}
+	for f := Field(0); f < NumFields; f++ {
+		k.postings[f] = map[string][]pedigree.NodeID{}
+	}
+	s := &Similarity{threshold: simThreshold}
+	for f := Field(0); f < NumFields; f++ {
+		s.sims[f] = map[string][]SimilarValue{}
+		s.bigramPost[f] = map[string][]string{}
+	}
+
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		for _, v := range n.FirstNames {
+			k.add(FieldFirstName, v, n.ID)
+		}
+		for _, v := range n.Surnames {
+			k.add(FieldSurname, v, n.ID)
+		}
+		for _, v := range n.Locations {
+			k.add(FieldLocation, v, n.ID)
+		}
+		if n.Gender.String() != "?" {
+			k.add(FieldGender, n.Gender.String(), n.ID)
+		}
+		for y := n.MinYear; y != 0 && y <= n.MaxYear; y++ {
+			k.add(FieldYear, strconv.Itoa(y), n.ID)
+		}
+	}
+	k.sortPostings()
+
+	// Bigram postings for all string fields.
+	for _, f := range []Field{FieldFirstName, FieldSurname, FieldLocation} {
+		for v := range k.postings[f] {
+			for _, bg := range strsim.BigramSet(v) {
+				s.bigramPost[f][bg] = append(s.bigramPost[f][bg], v)
+			}
+		}
+		for bg := range s.bigramPost[f] {
+			sort.Strings(s.bigramPost[f][bg])
+		}
+	}
+	// Precompute similarities for the name fields.
+	for _, f := range []Field{FieldFirstName, FieldSurname} {
+		for v := range k.postings[f] {
+			s.sims[f][v] = s.computeSimilar(f, v)
+		}
+	}
+	return k, s
+}
+
+func (k *Keyword) add(f Field, value string, id pedigree.NodeID) {
+	k.postings[f][value] = append(k.postings[f][value], id)
+}
+
+func (k *Keyword) sortPostings() {
+	for f := range k.postings {
+		for v, ids := range k.postings[f] {
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			// Deduplicate.
+			out := ids[:0]
+			var last pedigree.NodeID = -1
+			for _, id := range ids {
+				if id != last {
+					out = append(out, id)
+					last = id
+				}
+			}
+			k.postings[f][v] = out
+		}
+	}
+}
+
+// Lookup returns the entities carrying the exact value in the field.
+func (k *Keyword) Lookup(f Field, value string) []pedigree.NodeID {
+	return k.postings[f][value]
+}
+
+// Values returns the number of distinct values indexed for the field.
+func (k *Keyword) Values(f Field) int { return len(k.postings[f]) }
+
+// Similar returns the indexed values of the field similar to the probe,
+// most similar first, including the probe itself when indexed. Results are
+// memoised in S: the first query for an unknown value computes similarities
+// against all bigram-sharing values and stores them (Sec. 7).
+func (s *Similarity) Similar(f Field, value string) []SimilarValue {
+	s.mu.RLock()
+	if out, ok := s.sims[f][value]; ok {
+		s.mu.RUnlock()
+		return out
+	}
+	s.mu.RUnlock()
+	out := s.computeSimilar(f, value)
+	s.mu.Lock()
+	s.sims[f][value] = out
+	s.mu.Unlock()
+	return out
+}
+
+// computeSimilar scans the bigram postings for candidate values and keeps
+// those with Jaro-Winkler similarity at or above the threshold.
+func (s *Similarity) computeSimilar(f Field, value string) []SimilarValue {
+	cand := map[string]bool{}
+	for _, bg := range strsim.BigramSet(value) {
+		for _, v := range s.bigramPost[f][bg] {
+			cand[v] = true
+		}
+	}
+	out := make([]SimilarValue, 0, len(cand))
+	for v := range cand {
+		sim := strsim.NameSim(value, v)
+		if sim >= s.threshold {
+			out = append(out, SimilarValue{Value: v, Sim: sim})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Sim != out[j].Sim {
+			return out[i].Sim > out[j].Sim
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}
+
+// Size reports the number of memoised similarity lists for a field.
+func (s *Similarity) Size(f Field) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.sims[f])
+}

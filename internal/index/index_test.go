@@ -1,0 +1,153 @@
+package index
+
+import (
+	"testing"
+
+	"github.com/snaps/snaps/internal/dataset"
+	"github.com/snaps/snaps/internal/depgraph"
+	"github.com/snaps/snaps/internal/er"
+	"github.com/snaps/snaps/internal/pedigree"
+)
+
+func builtIndexes(t *testing.T) (*pedigree.Graph, *Keyword, *Similarity) {
+	t.Helper()
+	p := dataset.Generate(dataset.IOS().Scaled(0.06))
+	pr := er.Run(p.Dataset, depgraph.DefaultConfig(), er.DefaultConfig())
+	g := pedigree.Build(p.Dataset, pr.Result.Store)
+	k, s := Build(g, 0.5)
+	return g, k, s
+}
+
+func TestKeywordLookupConsistent(t *testing.T) {
+	g, k, _ := builtIndexes(t)
+	if k.Values(FieldFirstName) == 0 || k.Values(FieldSurname) == 0 {
+		t.Fatal("empty keyword index")
+	}
+	// Every entity must be findable under each of its first names.
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		for _, fn := range n.FirstNames {
+			found := false
+			for _, id := range k.Lookup(FieldFirstName, fn) {
+				if id == n.ID {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("entity %d missing from posting of its first name %q", n.ID, fn)
+			}
+		}
+	}
+}
+
+func TestKeywordPostingsSortedDeduped(t *testing.T) {
+	_, k, _ := builtIndexes(t)
+	for f := Field(0); f < NumFields; f++ {
+		for v, ids := range k.postings[f] {
+			for i := 1; i < len(ids); i++ {
+				if ids[i] <= ids[i-1] {
+					t.Fatalf("postings for %v=%q not sorted/deduped", f, v)
+				}
+			}
+		}
+	}
+}
+
+func TestSimilarIncludesSelfFirst(t *testing.T) {
+	_, k, s := builtIndexes(t)
+	var name string
+	for v := range k.postings[FieldSurname] {
+		name = v
+		break
+	}
+	sims := s.Similar(FieldSurname, name)
+	if len(sims) == 0 {
+		t.Fatal("no similar values for an indexed name")
+	}
+	if sims[0].Value != name || sims[0].Sim != 1 {
+		t.Errorf("self should rank first with sim 1, got %+v", sims[0])
+	}
+	for i := 1; i < len(sims); i++ {
+		if sims[i].Sim > sims[i-1].Sim {
+			t.Fatal("similar values not sorted by similarity")
+		}
+		if sims[i].Sim < 0.5 {
+			t.Fatalf("similarity %v below threshold retained", sims[i].Sim)
+		}
+	}
+}
+
+func TestSimilarUnknownValueMemoised(t *testing.T) {
+	_, _, s := builtIndexes(t)
+	before := s.Size(FieldFirstName)
+	out1 := s.Similar(FieldFirstName, "zzyzxq")
+	after := s.Size(FieldFirstName)
+	if after != before+1 {
+		t.Errorf("unknown probe should be memoised: %d -> %d", before, after)
+	}
+	out2 := s.Similar(FieldFirstName, "zzyzxq")
+	if len(out1) != len(out2) {
+		t.Error("memoised result differs")
+	}
+}
+
+func TestSimilarFindsMisspellings(t *testing.T) {
+	_, k, s := builtIndexes(t)
+	// Pick a reasonably long surname from the index and misspell it.
+	var name string
+	for v := range k.postings[FieldSurname] {
+		if len(v) >= 8 {
+			name = v
+			break
+		}
+	}
+	if name == "" {
+		t.Skip("no long surname in sample")
+	}
+	misspelt := name[:len(name)-1] + "x"
+	found := false
+	for _, sv := range s.Similar(FieldSurname, misspelt) {
+		if sv.Value == name {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("misspelling %q did not retrieve %q", misspelt, name)
+	}
+}
+
+func TestFieldString(t *testing.T) {
+	names := map[Field]string{
+		FieldFirstName: "first_name", FieldSurname: "surname",
+		FieldLocation: "location", FieldGender: "gender", FieldYear: "year",
+	}
+	for f, want := range names {
+		if f.String() != want {
+			t.Errorf("Field(%d).String() = %q, want %q", f, f.String(), want)
+		}
+	}
+}
+
+func TestSimilarConcurrentAccess(t *testing.T) {
+	_, _, s := builtIndexes(t)
+	// Hammer the memoising index from many goroutines with a mix of known
+	// and unknown probes; the race detector validates the locking.
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			probes := []string{"macdonald", "mcdonald", "zzznovel", "smith", "smyth"}
+			for i := 0; i < 50; i++ {
+				p := probes[(i+g)%len(probes)]
+				if i%3 == 0 {
+					p = p + string(rune('a'+g))
+				}
+				s.Similar(FieldSurname, p)
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}

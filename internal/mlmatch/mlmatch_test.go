@@ -1,0 +1,163 @@
+package mlmatch
+
+import (
+	"testing"
+
+	"github.com/snaps/snaps/internal/blocking"
+	"github.com/snaps/snaps/internal/dataset"
+	"github.com/snaps/snaps/internal/eval"
+	"github.com/snaps/snaps/internal/model"
+)
+
+func TestFeaturesBasics(t *testing.T) {
+	a := &model.Record{FirstName: "mary", Surname: "smith", Address: "5 uig",
+		Occupation: "crofter", Year: 1870, Gender: model.Female}
+	b := &model.Record{FirstName: "mary", Surname: "smith", Address: "5 uig",
+		Occupation: "crofter", Year: 1870, Gender: model.Female}
+	f := Features(a, b)
+	for _, i := range []int{0, 1, 2, 3, 4, 5, 6, 7, 9} {
+		if f[i] != 1 {
+			t.Errorf("feature %s = %v, want 1 for identical records", FeatureNames[i], f[i])
+		}
+	}
+	if f[8] != 0 {
+		t.Errorf("year diff = %v, want 0", f[8])
+	}
+	c := &model.Record{Year: 1880, Gender: model.Male}
+	fc := Features(a, c)
+	if fc[10] != 1 || fc[11] != 1 {
+		t.Error("missing-value indicator features should fire")
+	}
+	if fc[9] != 0 {
+		t.Error("gender mismatch should zero the gender feature")
+	}
+}
+
+// separableExamples builds a trivially separable training set: matches have
+// high name similarity, non-matches low.
+func separableExamples(n int) []Example {
+	var out []Example
+	for i := 0; i < n; i++ {
+		var pos, neg Example
+		pos.Y = true
+		pos.X[0], pos.X[2], pos.X[7] = 0.95+0.05*float64(i%2), 0.9, 0.8
+		neg.X[0], neg.X[2], neg.X[7] = 0.3, 0.4, 0.2
+		out = append(out, pos, neg)
+	}
+	return out
+}
+
+func TestAllClassifiersLearnSeparableData(t *testing.T) {
+	examples := separableExamples(100)
+	var match, nomatch [NumFeatures]float64
+	match[0], match[2], match[7] = 0.97, 0.92, 0.75
+	nomatch[0], nomatch[2], nomatch[7] = 0.25, 0.35, 0.1
+	for _, tr := range DefaultTrainers() {
+		c := tr.Train(examples)
+		if !c.Predict(match) {
+			t.Errorf("%s: failed to classify an obvious match", c.Name())
+		}
+		if c.Predict(nomatch) {
+			t.Errorf("%s: classified an obvious non-match as match", c.Name())
+		}
+	}
+}
+
+func TestClassifiersHandleEmptyTraining(t *testing.T) {
+	for _, tr := range DefaultTrainers() {
+		c := tr.Train(nil)
+		var x [NumFeatures]float64
+		_ = c.Predict(x) // must not panic
+	}
+}
+
+func TestDecisionTreePureLeaf(t *testing.T) {
+	var ex []Example
+	for i := 0; i < 10; i++ {
+		var e Example
+		e.Y = true
+		e.X[0] = 1
+		ex = append(ex, e)
+	}
+	c := NewDecisionTree().Train(ex)
+	var x [NumFeatures]float64
+	x[0] = 1
+	if !c.Predict(x) {
+		t.Error("pure positive training set should predict positive")
+	}
+}
+
+func TestEndToEndMagellanStyle(t *testing.T) {
+	p := dataset.Generate(dataset.IOS().Scaled(0.1))
+	d := p.Dataset
+	ids := make([]model.RecordID, len(d.Records))
+	for i := range d.Records {
+		ids[i] = d.Records[i].ID
+	}
+	cands := blocking.NewLSH(blocking.DefaultLSHConfig()).Pairs(d, ids)
+	pairs := make([][2]model.RecordID, len(cands))
+	for i, c := range cands {
+		pairs[i] = [2]model.RecordID{c.A, c.B}
+	}
+	train, test := SplitPairs(d, pairs, 0.5, 7)
+	if len(train) == 0 || len(test) == 0 {
+		t.Fatal("empty split")
+	}
+
+	rp := model.MakeRolePair(model.Bm, model.Bm)
+	trainRP := FilterRolePair(d, train, rp)
+	testRP := FilterRolePair(d, test, rp)
+	if len(trainRP) == 0 || len(testRP) == 0 {
+		t.Skip("sample too small for role-pair split")
+	}
+
+	var fstars []float64
+	for _, tr := range DefaultTrainers() {
+		c := tr.Train(Examples(d, trainRP))
+		pred := Predict(d, c, testRP)
+		q := eval.QualityOf(eval.Compare(pred, TruthOf(testRP)))
+		fstars = append(fstars, q.FStar)
+		t.Logf("%s (specific): %v", c.Name(), q)
+	}
+	mean, std := eval.MeanStd(fstars)
+	if mean < 40 {
+		t.Errorf("mean specific-regime F* = %.2f ± %.2f, expected a competent classifier (>40)", mean, std)
+	}
+
+	// The all-role-pairs regime trains on everything; quality on the
+	// specific role pair is usually noisier (the paper's second setting).
+	for _, tr := range DefaultTrainers() {
+		c := tr.Train(Examples(d, train))
+		pred := Predict(d, c, testRP)
+		q := eval.QualityOf(eval.Compare(pred, TruthOf(testRP)))
+		t.Logf("%s (all): %v", c.Name(), q)
+		if q.FStar < 0 || q.FStar > 100 {
+			t.Errorf("%s: F* out of range", c.Name())
+		}
+	}
+}
+
+func TestSplitPairsDeterministic(t *testing.T) {
+	p := dataset.Generate(dataset.IOS().Scaled(0.05))
+	d := p.Dataset
+	var pairs [][2]model.RecordID
+	for i := 0; i+1 < len(d.Records) && i < 500; i += 2 {
+		pairs = append(pairs, [2]model.RecordID{d.Records[i].ID, d.Records[i+1].ID})
+	}
+	tr1, te1 := SplitPairs(d, pairs, 0.6, 42)
+	tr2, te2 := SplitPairs(d, pairs, 0.6, 42)
+	if len(tr1) != len(tr2) || len(te1) != len(te2) {
+		t.Fatal("split sizes differ across runs")
+	}
+	for i := range tr1 {
+		if tr1[i] != tr2[i] {
+			t.Fatal("split contents differ across runs")
+		}
+	}
+}
+
+func TestRegimeString(t *testing.T) {
+	if RolePairSpecific.String() != "specific" || AllRolePairs.String() != "all" {
+		t.Error("regime strings wrong")
+	}
+}

@@ -1,0 +1,77 @@
+package pedigree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/snaps/snaps/internal/model"
+)
+
+// RenderDot renders an extracted pedigree as a Graphviz DOT digraph, the
+// graphical analogue of the family trees in Figs. 7-8 of the paper: one box
+// per entity (colour-coded by gender, labelled with name and lifespan),
+// solid arrows for parenthood, dashed edges for marriages, and a double
+// border on the focus entity.
+func (g *Graph) RenderDot(p *Pedigree) string {
+	var b strings.Builder
+	b.WriteString("digraph pedigree {\n")
+	b.WriteString("  rankdir=TB;\n")
+	b.WriteString("  node [shape=box, style=filled, fontname=\"Helvetica\"];\n")
+
+	members := make([]NodeID, 0, len(p.Members))
+	for id := range p.Members {
+		members = append(members, id)
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+
+	for _, id := range members {
+		n := g.Node(id)
+		color := "lightgray"
+		switch n.Gender {
+		case model.Female:
+			color = "mistyrose"
+		case model.Male:
+			color = "lightblue"
+		}
+		peripheries := 1
+		if id == p.Focus {
+			peripheries = 2
+		}
+		label := n.DisplayName()
+		if span := lifespan(n); span != "" {
+			label += "\\n" + span
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\", fillcolor=%s, peripheries=%d];\n",
+			id, escapeDot(label), color, peripheries)
+	}
+
+	// Parenthood arrows (parent -> child) and marriage edges; childOf edges
+	// duplicate the parenthood information and are skipped.
+	seenMarriage := map[[2]NodeID]bool{}
+	for _, e := range p.Edges {
+		switch e.Rel {
+		case model.MotherOf, model.FatherOf:
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", e.From, e.To)
+		case model.SpouseOf:
+			a, c := e.From, e.To
+			if c < a {
+				a, c = c, a
+			}
+			if seenMarriage[[2]NodeID{a, c}] {
+				continue
+			}
+			seenMarriage[[2]NodeID{a, c}] = true
+			fmt.Fprintf(&b, "  n%d -> n%d [dir=none, style=dashed, constraint=false];\n", a, c)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func escapeDot(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	// Preserve the explicit line break inserted by the caller.
+	s = strings.ReplaceAll(s, `\\n`, `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

@@ -1,0 +1,353 @@
+// Package query implements the online query processing and ranking of
+// Sec. 7 of the paper: a query with a mandatory first name and surname, an
+// optional gender, year (or year range), and location is matched against
+// the keyword index (exactly and approximately through the similarity-aware
+// index), scored into an accumulator, and the top-m entities are returned
+// ranked by their normalised match scores.
+package query
+
+import (
+	"sort"
+	"strconv"
+
+	"github.com/snaps/snaps/internal/index"
+	"github.com/snaps/snaps/internal/model"
+	"github.com/snaps/snaps/internal/pedigree"
+	"github.com/snaps/snaps/internal/strsim"
+)
+
+// Query is a user search request. FirstName and Surname are mandatory; the
+// rest are optional (zero values mean "any").
+type Query struct {
+	FirstName string
+	Surname   string
+	Gender    model.Gender
+	// YearFrom/YearTo bound the event year; zero means unbounded.
+	YearFrom, YearTo int
+	Location         string
+	// CertType restricts results to entities with a record of this kind:
+	// the web form's "search birth or death records" radio button.
+	CertType model.CertType
+	// HasCertType enables the CertType restriction.
+	HasCertType bool
+
+	// CenterLat, CenterLon, RadiusKm restrict results to entities whose
+	// geocoded centroid lies within the radius — the geographic search
+	// region of the paper's future work. RadiusKm <= 0 disables the
+	// filter; entities without geocoded records are never excluded by it.
+	CenterLat, CenterLon float64
+	RadiusKm             float64
+}
+
+// Weights are the per-field match weights w_a of the ranking score s_r.
+// Names dominate; year, gender, and location refine.
+type Weights struct {
+	FirstName, Surname, Gender, Year, Location float64
+}
+
+// DefaultWeights returns the weights used by the SNAPS web interface.
+func DefaultWeights() Weights {
+	return Weights{FirstName: 0.35, Surname: 0.35, Gender: 0.08, Year: 0.12, Location: 0.10}
+}
+
+// Result is one ranked entity.
+type Result struct {
+	Entity pedigree.NodeID
+	// Score is the normalised match score in percent (100 = exact match on
+	// every provided field).
+	Score float64
+	// Matched records which query fields matched exactly (true) or only
+	// approximately (false); fields absent from the map did not match.
+	Matched map[index.Field]bool
+}
+
+// Engine answers queries against the indexes and the pedigree graph.
+type Engine struct {
+	Graph   *pedigree.Graph
+	Keyword *index.Keyword
+	Similar *index.Similarity
+	Weights Weights
+	TopM    int
+}
+
+// NewEngine wires an engine with default weights and the paper's result
+// list size.
+func NewEngine(g *pedigree.Graph, k *index.Keyword, s *index.Similarity) *Engine {
+	return &Engine{Graph: g, Keyword: k, Similar: s, Weights: DefaultWeights(), TopM: 20}
+}
+
+// accumulator entry per candidate entity: the best weighted contribution
+// per query field, plus whether that contribution was an exact match.
+type accum struct {
+	contrib  [index.NumFields]float64
+	matched  [index.NumFields]bool
+	hasField [index.NumFields]bool
+	excluded bool
+}
+
+func (a *accum) score() float64 {
+	s := 0.0
+	for _, c := range a.contrib {
+		s += c
+	}
+	return s
+}
+
+// Search runs the query and returns the top-m ranked entities. Entities
+// enter the accumulator only through a name match (exact or approximate, on
+// first name and/or surname); gender, year, and location only adjust scores
+// of accumulated entities, never add new ones (Sec. 7).
+func (e *Engine) Search(q Query) []Result {
+	m := map[pedigree.NodeID]*accum{}
+	weightSum := e.Weights.FirstName + e.Weights.Surname
+
+	e.accumulateName(m, index.FieldFirstName, q.FirstName, e.Weights.FirstName)
+	e.accumulateName(m, index.FieldSurname, q.Surname, e.Weights.Surname)
+
+	// Refinement fields.
+	if q.Gender != model.GenderUnknown {
+		weightSum += e.Weights.Gender
+		for id, a := range m {
+			if e.Graph.Node(id).Gender == q.Gender {
+				a.contrib[index.FieldGender] = e.Weights.Gender
+				a.matched[index.FieldGender] = true
+				a.hasField[index.FieldGender] = true
+			}
+		}
+	}
+	if q.YearFrom != 0 || q.YearTo != 0 {
+		weightSum += e.Weights.Year
+		from, to := q.YearFrom, q.YearTo
+		if from == 0 {
+			from = -1 << 30
+		}
+		if to == 0 {
+			to = 1 << 30
+		}
+		for id, a := range m {
+			n := e.Graph.Node(id)
+			if n.MinYear != 0 && n.MinYear <= to && n.MaxYear >= from {
+				a.contrib[index.FieldYear] = e.Weights.Year
+				a.matched[index.FieldYear] = true
+				a.hasField[index.FieldYear] = true
+			}
+		}
+	}
+	if q.Location != "" {
+		weightSum += e.Weights.Location
+		for id, a := range m {
+			if sim, exact, ok := e.bestLocation(id, q.Location); ok {
+				a.contrib[index.FieldLocation] = e.Weights.Location * sim
+				a.matched[index.FieldLocation] = exact
+				a.hasField[index.FieldLocation] = true
+			}
+		}
+	}
+	if q.HasCertType {
+		for id, a := range m {
+			if !e.hasCertType(id, q.CertType) {
+				a.excluded = true
+			}
+		}
+	}
+	if q.RadiusKm > 0 {
+		for id, a := range m {
+			n := e.Graph.Node(id)
+			if n.HasGeo && strsim.GeoDistanceKm(q.CenterLat, q.CenterLon, n.Lat, n.Lon) > q.RadiusKm {
+				a.excluded = true
+			}
+		}
+	}
+
+	results := make([]Result, 0, len(m))
+	for id, a := range m {
+		if a.excluded {
+			continue
+		}
+		matched := map[index.Field]bool{}
+		for f := index.Field(0); f < index.NumFields; f++ {
+			if a.hasField[f] {
+				matched[f] = a.matched[f]
+			}
+		}
+		results = append(results, Result{
+			Entity:  id,
+			Score:   100 * a.score() / weightSum,
+			Matched: matched,
+		})
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Score != results[j].Score {
+			return results[i].Score > results[j].Score
+		}
+		return results[i].Entity < results[j].Entity
+	})
+	if e.TopM > 0 && len(results) > e.TopM {
+		results = results[:e.TopM]
+	}
+	return results
+}
+
+// accumulateName adds entities matching the name value exactly or
+// approximately, weighting the contribution by string similarity. An entity
+// matching several similar values keeps the best contribution.
+func (e *Engine) accumulateName(m map[pedigree.NodeID]*accum, f index.Field, value string, weight float64) {
+	if value == "" {
+		return
+	}
+	for _, sv := range e.Similar.Similar(f, value) {
+		exact := sv.Value == value
+		contribution := weight * sv.Sim
+		for _, id := range e.Keyword.Lookup(f, sv.Value) {
+			a := m[id]
+			if a == nil {
+				a = &accum{}
+				m[id] = a
+			}
+			if contribution > a.contrib[f] {
+				a.contrib[f] = contribution
+				a.matched[f] = exact
+			}
+			a.hasField[f] = true
+		}
+	}
+}
+
+// bestLocation returns the best similarity between the query location and
+// the entity's locations.
+func (e *Engine) bestLocation(id pedigree.NodeID, loc string) (sim float64, exact, ok bool) {
+	n := e.Graph.Node(id)
+	best := 0.0
+	for _, l := range n.Locations {
+		for _, sv := range e.Similar.Similar(index.FieldLocation, loc) {
+			if sv.Value == l && sv.Sim > best {
+				best = sv.Sim
+				exact = l == loc
+			}
+		}
+	}
+	return best, exact, best > 0
+}
+
+// hasCertType reports whether the entity has a record from a certificate of
+// the given type.
+func (e *Engine) hasCertType(id pedigree.NodeID, t model.CertType) bool {
+	n := e.Graph.Node(id)
+	for _, rid := range n.Records {
+		if e.Graph.Dataset.Record(rid).Role.CertType() == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Explanation breaks a result's score down per query field, the data
+// behind the interface's exact/approximate colour coding (Fig. 6).
+type Explanation struct {
+	// Fields holds one entry per query field that contributed.
+	Fields []FieldExplanation
+	// Score is the normalised total, identical to Result.Score.
+	Score float64
+}
+
+// FieldExplanation is one field's contribution.
+type FieldExplanation struct {
+	Field index.Field
+	// QueryValue and MatchedValue are the compared values; MatchedValue is
+	// empty for non-string fields.
+	QueryValue, MatchedValue string
+	// Similarity of the value pair (1 for exact).
+	Similarity float64
+	// Weight of the field and the resulting weighted contribution.
+	Weight, Contribution float64
+	Exact                bool
+}
+
+// Explain recomputes the match between a query and one entity, reporting
+// the per-field contributions. The entity need not have been returned by
+// Search (its score may be zero).
+func (e *Engine) Explain(q Query, id pedigree.NodeID) Explanation {
+	n := e.Graph.Node(id)
+	var out Explanation
+	weightSum := e.Weights.FirstName + e.Weights.Surname
+
+	explainName := func(f index.Field, qv string, values []string, weight float64) {
+		if qv == "" {
+			return
+		}
+		best, bestVal := 0.0, ""
+		for _, sv := range e.Similar.Similar(f, qv) {
+			for _, v := range values {
+				if sv.Value == v && sv.Sim > best {
+					best, bestVal = sv.Sim, v
+				}
+			}
+		}
+		if best > 0 {
+			out.Fields = append(out.Fields, FieldExplanation{
+				Field: f, QueryValue: qv, MatchedValue: bestVal,
+				Similarity: best, Weight: weight, Contribution: weight * best,
+				Exact: bestVal == qv,
+			})
+		}
+	}
+	explainName(index.FieldFirstName, q.FirstName, n.FirstNames, e.Weights.FirstName)
+	explainName(index.FieldSurname, q.Surname, n.Surnames, e.Weights.Surname)
+
+	if q.Gender != model.GenderUnknown {
+		weightSum += e.Weights.Gender
+		if n.Gender == q.Gender {
+			out.Fields = append(out.Fields, FieldExplanation{
+				Field: index.FieldGender, QueryValue: q.Gender.String(),
+				MatchedValue: n.Gender.String(), Similarity: 1,
+				Weight: e.Weights.Gender, Contribution: e.Weights.Gender, Exact: true,
+			})
+		}
+	}
+	if q.YearFrom != 0 || q.YearTo != 0 {
+		weightSum += e.Weights.Year
+		from, to := q.YearFrom, q.YearTo
+		if from == 0 {
+			from = -1 << 30
+		}
+		if to == 0 {
+			to = 1 << 30
+		}
+		if n.MinYear != 0 && n.MinYear <= to && n.MaxYear >= from {
+			out.Fields = append(out.Fields, FieldExplanation{
+				Field: index.FieldYear, Similarity: 1,
+				Weight: e.Weights.Year, Contribution: e.Weights.Year, Exact: true,
+			})
+		}
+	}
+	if q.Location != "" {
+		weightSum += e.Weights.Location
+		if sim, exact, ok := e.bestLocation(id, q.Location); ok {
+			out.Fields = append(out.Fields, FieldExplanation{
+				Field: index.FieldLocation, QueryValue: q.Location,
+				Similarity: sim, Weight: e.Weights.Location,
+				Contribution: e.Weights.Location * sim, Exact: exact,
+			})
+		}
+	}
+	total := 0.0
+	for _, f := range out.Fields {
+		total += f.Contribution
+	}
+	if weightSum > 0 {
+		out.Score = 100 * total / weightSum
+	}
+	return out
+}
+
+// ParseYear converts a form year string to an int, 0 when empty or invalid.
+func ParseYear(s string) int {
+	if s == "" {
+		return 0
+	}
+	y, err := strconv.Atoi(s)
+	if err != nil {
+		return 0
+	}
+	return y
+}

@@ -1,0 +1,61 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/snaps/snaps/internal/dataset"
+	"github.com/snaps/snaps/internal/depgraph"
+	"github.com/snaps/snaps/internal/er"
+	"github.com/snaps/snaps/internal/model"
+)
+
+func TestWriteFullReport(t *testing.T) {
+	p := dataset.Generate(dataset.IOS().Scaled(0.06))
+	pr := er.Run(p.Dataset, depgraph.DefaultConfig(), er.DefaultConfig())
+	var sb strings.Builder
+	Write(&sb, Input{Dataset: p.Dataset, Pipeline: pr})
+	out := sb.String()
+	for _, want := range []string{
+		"# Linkage report — IOS",
+		"## Data set",
+		"## Offline pipeline",
+		"## Clusters",
+		"## Pairwise quality",
+		"| Bm-Bm |",
+		"## Cluster quality",
+		"closest-cluster F1",
+		"variation of information",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestWriteWithoutTruth(t *testing.T) {
+	p := dataset.Generate(dataset.IOS().Scaled(0.04))
+	d := p.Dataset
+	for i := range d.Records {
+		d.Records[i].Truth = model.NoPerson
+	}
+	pr := er.Run(d, depgraph.DefaultConfig(), er.DefaultConfig())
+	var sb strings.Builder
+	Write(&sb, Input{Dataset: d, Pipeline: pr})
+	out := sb.String()
+	if !strings.Contains(out, "no ground truth available") {
+		t.Error("truthless report should say so")
+	}
+	if strings.Contains(out, "## Pairwise quality") {
+		t.Error("truthless report must not contain quality tables")
+	}
+}
+
+func TestBuckets(t *testing.T) {
+	cases := map[int]string{2: "2", 4: "3-5", 8: "6-10", 15: "11-20", 30: "21+"}
+	for n, want := range cases {
+		if got := bucketLabel(bucket(n)); got != want {
+			t.Errorf("bucket(%d) = %s, want %s", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,378 @@
+// Package server exposes the online component of SNAPS over HTTP: the query
+// form, the ranked result list (Figs. 5-6 of the paper), and the family
+// pedigree view (Figs. 7-8), as both a minimal HTML interface and a JSON
+// API.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"github.com/snaps/snaps/internal/gedcom"
+	"github.com/snaps/snaps/internal/index"
+	"github.com/snaps/snaps/internal/model"
+	"github.com/snaps/snaps/internal/pedigree"
+	"github.com/snaps/snaps/internal/query"
+)
+
+// Server serves the SNAPS web interface for one built data set.
+type Server struct {
+	Engine *query.Engine
+	// Generations is the pedigree extraction depth g (paper: 2).
+	Generations int
+	mux         *http.ServeMux
+}
+
+// New wires the handlers.
+func New(engine *query.Engine) *Server {
+	s := &Server{Engine: engine, Generations: 2, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/", s.handleHome)
+	s.mux.HandleFunc("/api/search", s.handleSearch)
+	s.mux.HandleFunc("/api/pedigree", s.handlePedigree)
+	s.mux.HandleFunc("/api/pedigree.dot", s.handlePedigreeDot)
+	s.mux.HandleFunc("/api/pedigree.ged", s.handlePedigreeGedcom)
+	s.mux.HandleFunc("/pedigree", s.handlePedigreeHTML)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// SearchResult is one row of the JSON result list.
+type SearchResult struct {
+	Entity    int32    `json:"entity"`
+	Name      string   `json:"name"`
+	FirstName string   `json:"first_name"`
+	Surname   string   `json:"surname"`
+	Gender    string   `json:"gender"`
+	Year      int      `json:"year"`
+	Location  string   `json:"location"`
+	Score     float64  `json:"score"`
+	Exact     []string `json:"exact_fields"`
+	Approx    []string `json:"approx_fields"`
+}
+
+// PedigreeResponse is the JSON pedigree view.
+type PedigreeResponse struct {
+	Focus   int32            `json:"focus"`
+	Members []PedigreeMember `json:"members"`
+	Edges   []PedigreeEdge   `json:"edges"`
+	Text    string           `json:"text"`
+}
+
+// PedigreeMember is one entity in the extracted pedigree.
+type PedigreeMember struct {
+	Entity int32  `json:"entity"`
+	Name   string `json:"name"`
+	Gender string `json:"gender"`
+	Birth  int    `json:"birth_year,omitempty"`
+	Death  int    `json:"death_year,omitempty"`
+	Hops   int    `json:"hops"`
+}
+
+// PedigreeEdge is one relationship in the extracted pedigree.
+type PedigreeEdge struct {
+	From int32  `json:"from"`
+	To   int32  `json:"to"`
+	Rel  string `json:"rel"`
+}
+
+func (s *Server) parseQuery(r *http.Request) query.Query {
+	q := query.Query{
+		FirstName: strings.ToLower(strings.TrimSpace(r.FormValue("first_name"))),
+		Surname:   strings.ToLower(strings.TrimSpace(r.FormValue("surname"))),
+		Location:  strings.ToLower(strings.TrimSpace(r.FormValue("location"))),
+		YearFrom:  query.ParseYear(r.FormValue("year_from")),
+		YearTo:    query.ParseYear(r.FormValue("year_to")),
+	}
+	switch r.FormValue("gender") {
+	case "m":
+		q.Gender = model.Male
+	case "f":
+		q.Gender = model.Female
+	}
+	switch r.FormValue("type") {
+	case "b":
+		q.CertType, q.HasCertType = model.Birth, true
+	case "d":
+		q.CertType, q.HasCertType = model.Death, true
+	}
+	return q
+}
+
+func (s *Server) search(r *http.Request) ([]SearchResult, error) {
+	q := s.parseQuery(r)
+	if q.FirstName == "" || q.Surname == "" {
+		return nil, fmt.Errorf("first_name and surname are required")
+	}
+	results := s.Engine.Search(q)
+	out := make([]SearchResult, 0, len(results))
+	for _, res := range results {
+		n := s.Engine.Graph.Node(res.Entity)
+		sr := SearchResult{
+			Entity: int32(res.Entity),
+			Name:   n.DisplayName(),
+			Gender: n.Gender.String(),
+			Score:  res.Score,
+		}
+		if len(n.FirstNames) > 0 {
+			sr.FirstName = n.FirstNames[0]
+		}
+		if len(n.Surnames) > 0 {
+			sr.Surname = n.Surnames[0]
+		}
+		if len(n.Locations) > 0 {
+			sr.Location = n.Locations[0]
+		}
+		if n.BirthYear != 0 {
+			sr.Year = n.BirthYear
+		} else {
+			sr.Year = n.MinYear
+		}
+		for f, exact := range res.Matched {
+			if exact {
+				sr.Exact = append(sr.Exact, f.String())
+			} else {
+				sr.Approx = append(sr.Approx, f.String())
+			}
+		}
+		out = append(out, sr)
+	}
+	return out, nil
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	out, err := s.search(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) extractPedigree(r *http.Request) (*PedigreeResponse, error) {
+	id, err := strconv.Atoi(r.FormValue("id"))
+	if err != nil || id < 0 || id >= len(s.Engine.Graph.Nodes) {
+		return nil, fmt.Errorf("invalid entity id")
+	}
+	g := s.Engine.Graph
+	p := g.Extract(pedigree.NodeID(id), s.Generations)
+	resp := &PedigreeResponse{Focus: int32(p.Focus), Text: g.RenderText(p)}
+	for member, hops := range p.Members {
+		n := g.Node(member)
+		resp.Members = append(resp.Members, PedigreeMember{
+			Entity: int32(member), Name: n.DisplayName(),
+			Gender: n.Gender.String(), Birth: n.BirthYear, Death: n.DeathYear,
+			Hops: hops,
+		})
+	}
+	// Deterministic order for clients and tests.
+	sortMembers(resp.Members)
+	for _, e := range p.Edges {
+		resp.Edges = append(resp.Edges, PedigreeEdge{
+			From: int32(e.From), To: int32(e.To), Rel: e.Rel.String(),
+		})
+	}
+	return resp, nil
+}
+
+func sortMembers(ms []PedigreeMember) {
+	for i := 1; i < len(ms); i++ {
+		for j := i; j > 0 && less(ms[j], ms[j-1]); j-- {
+			ms[j], ms[j-1] = ms[j-1], ms[j]
+		}
+	}
+}
+
+func less(a, b PedigreeMember) bool {
+	if a.Hops != b.Hops {
+		return a.Hops < b.Hops
+	}
+	return a.Entity < b.Entity
+}
+
+func (s *Server) handlePedigree(w http.ResponseWriter, r *http.Request) {
+	resp, err := s.extractPedigree(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+// handlePedigreeDot serves the Graphviz rendering of a pedigree, suitable
+// for piping into dot(1) to obtain the tree images of Figs. 7-8.
+func (s *Server) handlePedigreeDot(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.FormValue("id"))
+	if err != nil || id < 0 || id >= len(s.Engine.Graph.Nodes) {
+		http.Error(w, "invalid entity id", http.StatusBadRequest)
+		return
+	}
+	g := s.Engine.Graph
+	p := g.Extract(pedigree.NodeID(id), s.Generations)
+	w.Header().Set("Content-Type", "text/vnd.graphviz; charset=utf-8")
+	fmt.Fprint(w, g.RenderDot(p))
+}
+
+// handlePedigreeGedcom serves one pedigree as a GEDCOM 5.5.1 document for
+// import into mainstream family-tree software.
+func (s *Server) handlePedigreeGedcom(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.FormValue("id"))
+	if err != nil || id < 0 || id >= len(s.Engine.Graph.Nodes) {
+		http.Error(w, "invalid entity id", http.StatusBadRequest)
+		return
+	}
+	g := s.Engine.Graph
+	p := g.Extract(pedigree.NodeID(id), s.Generations)
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("Content-Disposition", "attachment; filename=pedigree.ged")
+	if err := gedcom.ExportPedigree(w, g, p); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+var homeTmpl = template.Must(template.New("home").Parse(`<!doctype html>
+<html><head><title>Scotland Family Pedigree Search Tool</title>
+<style>
+body{font-family:sans-serif;margin:2em;max-width:60em}
+table{border-collapse:collapse}td,th{border:1px solid #999;padding:4px 8px}
+.exact{color:#060}.approx{color:#c60}
+</style></head><body>
+<h1>Scotland Family Pedigree Search Tool</h1>
+<p>Anonymised data set used for querying.</p>
+<form method="get" action="/">
+  <label>Forename* <input name="first_name" value="{{.Q.FirstName}}"></label>
+  <label>Surname* <input name="surname" value="{{.Q.Surname}}"></label>
+  <label>Gender <select name="gender">
+    <option value="">any</option>
+    <option value="m" {{if eq .Gender "m"}}selected{{end}}>male</option>
+    <option value="f" {{if eq .Gender "f"}}selected{{end}}>female</option>
+  </select></label>
+  <label>Year from <input name="year_from" size="4" value="{{if .Q.YearFrom}}{{.Q.YearFrom}}{{end}}"></label>
+  <label>to <input name="year_to" size="4" value="{{if .Q.YearTo}}{{.Q.YearTo}}{{end}}"></label>
+  <label>Parish/District <input name="location" value="{{.Q.Location}}"></label>
+  <label>Records <select name="type">
+    <option value="">any</option>
+    <option value="b" {{if eq .Type "b"}}selected{{end}}>birth</option>
+    <option value="d" {{if eq .Type "d"}}selected{{end}}>death</option>
+  </select></label>
+  <button type="submit">Submit</button>
+</form>
+{{if .Results}}
+<h2>Query results</h2>
+<table><tr><th>Forename</th><th>Surname</th><th>Gender</th><th>Year</th><th>Parish</th><th>Score</th><th></th></tr>
+{{range .Results}}
+<tr><td>{{.FirstName}}</td><td>{{.Surname}}</td><td>{{.Gender}}</td><td>{{.Year}}</td>
+<td>{{.Location}}</td><td>{{printf "%.2f" .Score}}</td>
+<td><a href="/pedigree?id={{.Entity}}">Explore</a></td></tr>
+{{end}}</table>
+{{end}}
+</body></html>`))
+
+var pedigreeTmpl = template.Must(template.New("pedigree").Parse(`<!doctype html>
+<html><head><title>Family Pedigree</title>
+<style>body{font-family:sans-serif;margin:2em}pre{background:#f4f4f4;padding:1em}</style>
+</head><body>
+<h1>Family pedigree</h1>
+<p><a href="/">&laquo; back to search</a></p>
+<pre>{{.Text}}</pre>
+</body></html>`))
+
+func (s *Server) handleHome(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	data := struct {
+		Q       query.Query
+		Gender  string
+		Type    string
+		Results []SearchResult
+	}{
+		Q:      s.parseQuery(r),
+		Gender: r.FormValue("gender"),
+		Type:   r.FormValue("type"),
+	}
+	if data.Q.FirstName != "" && data.Q.Surname != "" {
+		if results, err := s.search(r); err == nil {
+			data.Results = results
+		}
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := homeTmpl.Execute(w, data); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handlePedigreeHTML(w http.ResponseWriter, r *http.Request) {
+	resp, err := s.extractPedigree(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := pedigreeTmpl.Execute(w, resp); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// BuildIndexes is a convenience that builds the pedigree graph indexes and
+// the query engine for a resolved data set; used by cmd/snaps and examples.
+func BuildIndexes(g *pedigree.Graph, simThreshold float64) *query.Engine {
+	k, sim := index.Build(g, simThreshold)
+	return query.NewEngine(g, k, sim)
+}
+
+// EnableExplain mounts GET /api/explain?id=N&first_name=..&surname=..[&...],
+// returning the per-field score breakdown for one entity against a query —
+// the data behind the result list's exact/approximate colour coding.
+func (s *Server) EnableExplain() {
+	s.mux.HandleFunc("/api/explain", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.Atoi(r.FormValue("id"))
+		if err != nil || id < 0 || id >= len(s.Engine.Graph.Nodes) {
+			http.Error(w, "invalid entity id", http.StatusBadRequest)
+			return
+		}
+		q := s.parseQuery(r)
+		if q.FirstName == "" || q.Surname == "" {
+			http.Error(w, "first_name and surname are required", http.StatusBadRequest)
+			return
+		}
+		ex := s.Engine.Explain(q, pedigree.NodeID(id))
+		type fieldJSON struct {
+			Field        string  `json:"field"`
+			QueryValue   string  `json:"query_value,omitempty"`
+			MatchedValue string  `json:"matched_value,omitempty"`
+			Similarity   float64 `json:"similarity"`
+			Weight       float64 `json:"weight"`
+			Contribution float64 `json:"contribution"`
+			Exact        bool    `json:"exact"`
+		}
+		resp := struct {
+			Entity int32       `json:"entity"`
+			Score  float64     `json:"score"`
+			Fields []fieldJSON `json:"fields"`
+		}{Entity: int32(id), Score: ex.Score}
+		for _, f := range ex.Fields {
+			resp.Fields = append(resp.Fields, fieldJSON{
+				Field: f.Field.String(), QueryValue: f.QueryValue,
+				MatchedValue: f.MatchedValue, Similarity: f.Similarity,
+				Weight: f.Weight, Contribution: f.Contribution, Exact: f.Exact,
+			})
+		}
+		writeJSON(w, resp)
+	})
+}

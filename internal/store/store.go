@@ -1,0 +1,211 @@
+// Package store persists the outputs of the SNAPS offline phase — the data
+// set, the resolved entity clusters, and the pedigree graph — so a server
+// can start without re-running entity resolution. The format is a versioned
+// gob stream with a magic header; Load rejects unknown versions instead of
+// misinterpreting bytes.
+package store
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/snaps/snaps/internal/er"
+	"github.com/snaps/snaps/internal/model"
+	"github.com/snaps/snaps/internal/pedigree"
+)
+
+// magic identifies a SNAPS store stream.
+var magic = [8]byte{'S', 'N', 'A', 'P', 'S', 'v', '0', '1'}
+
+// Snapshot is everything the online component needs.
+type Snapshot struct {
+	Dataset  *model.Dataset
+	Clusters [][]model.RecordID // resolved entities as record-id clusters
+}
+
+// FromResult captures a snapshot from a pipeline result.
+func FromResult(d *model.Dataset, s *er.EntityStore) *Snapshot {
+	snap := &Snapshot{Dataset: d}
+	for _, e := range s.Entities() {
+		snap.Clusters = append(snap.Clusters,
+			append([]model.RecordID(nil), s.Records(e)...))
+	}
+	return snap
+}
+
+// Restore rebuilds an entity store from the snapshot's clusters. Cluster
+// links are rebuilt as cliques: the persisted clusters passed refinement
+// before they were saved, and a clique's density of 1 guarantees that a
+// later REF pass (for example during an incremental er.Extend) never peels
+// a restored cluster apart. Clusters are small (tens of records), so the
+// quadratic edge count is negligible.
+func (s *Snapshot) Restore() *er.EntityStore {
+	store := er.NewEntityStore(s.Dataset)
+	for _, cluster := range s.Clusters {
+		for i := 0; i < len(cluster); i++ {
+			for j := i + 1; j < len(cluster); j++ {
+				store.Link(cluster[i], cluster[j])
+			}
+		}
+	}
+	return store
+}
+
+// PedigreeGraph rebuilds the pedigree graph from the snapshot.
+func (s *Snapshot) PedigreeGraph() *pedigree.Graph {
+	return pedigree.Build(s.Dataset, s.Restore())
+}
+
+// wire is the gob payload; kept separate from Snapshot so the public type
+// can evolve without breaking stored files (the version header guards the
+// wire format).
+type wire struct {
+	Name         string
+	Records      []model.Record
+	Certificates []wireCert
+	Clusters     [][]model.RecordID
+}
+
+// wireCert flattens the certificate role map for stable encoding.
+type wireCert struct {
+	ID    model.CertID
+	Type  model.CertType
+	Year  int
+	Cause string
+	Age   int
+	Roles []wireRole
+}
+
+type wireRole struct {
+	Role model.Role
+	Rec  model.RecordID
+}
+
+// Write serialises the snapshot.
+func Write(dst io.Writer, s *Snapshot) error {
+	w := bufio.NewWriter(dst)
+	if _, err := w.Write(magic[:]); err != nil {
+		return err
+	}
+	payload := wire{
+		Name:     s.Dataset.Name,
+		Records:  s.Dataset.Records,
+		Clusters: s.Clusters,
+	}
+	for i := range s.Dataset.Certificates {
+		c := &s.Dataset.Certificates[i]
+		wc := wireCert{ID: c.ID, Type: c.Type, Year: c.Year, Cause: c.Cause, Age: c.Age}
+		for role := model.Role(0); role < model.NumRoles; role++ {
+			if rec, ok := c.Roles[role]; ok {
+				wc.Roles = append(wc.Roles, wireRole{Role: role, Rec: rec})
+			}
+		}
+		payload.Certificates = append(payload.Certificates, wc)
+	}
+	if err := gob.NewEncoder(w).Encode(&payload); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// Read deserialises a snapshot.
+func Read(src io.Reader) (*Snapshot, error) {
+	r := bufio.NewReader(src)
+	var got [8]byte
+	if _, err := io.ReadFull(r, got[:]); err != nil {
+		return nil, fmt.Errorf("store: reading header: %w", err)
+	}
+	if got != magic {
+		return nil, fmt.Errorf("store: bad magic %q (want %q)", got, magic)
+	}
+	var payload wire
+	if err := gob.NewDecoder(r).Decode(&payload); err != nil {
+		return nil, fmt.Errorf("store: decoding: %w", err)
+	}
+	d := &model.Dataset{Name: payload.Name, Records: payload.Records}
+	for _, wc := range payload.Certificates {
+		c := model.Certificate{
+			ID: wc.ID, Type: wc.Type, Year: wc.Year, Cause: wc.Cause, Age: wc.Age,
+			Roles: make(map[model.Role]model.RecordID, len(wc.Roles)),
+		}
+		for _, wr := range wc.Roles {
+			c.Roles[wr.Role] = wr.Rec
+		}
+		d.Certificates = append(d.Certificates, c)
+	}
+	if err := validate(d, payload.Clusters); err != nil {
+		return nil, err
+	}
+	return &Snapshot{Dataset: d, Clusters: payload.Clusters}, nil
+}
+
+// validate rejects structurally broken snapshots (out-of-range ids,
+// overlapping clusters) so corruption fails fast instead of panicking later.
+func validate(d *model.Dataset, clusters [][]model.RecordID) error {
+	n := model.RecordID(len(d.Records))
+	for i := range d.Records {
+		if d.Records[i].ID != model.RecordID(i) {
+			return fmt.Errorf("store: record %d has id %d", i, d.Records[i].ID)
+		}
+	}
+	for _, c := range d.Certificates {
+		for role, rec := range c.Roles {
+			if rec < 0 || rec >= n {
+				return fmt.Errorf("store: cert %d role %v references record %d of %d", c.ID, role, rec, n)
+			}
+		}
+	}
+	seen := make([]bool, n)
+	for ci, cluster := range clusters {
+		if len(cluster) < 2 {
+			return fmt.Errorf("store: cluster %d has %d records", ci, len(cluster))
+		}
+		for _, rec := range cluster {
+			if rec < 0 || rec >= n {
+				return fmt.Errorf("store: cluster %d references record %d of %d", ci, rec, n)
+			}
+			if seen[rec] {
+				return fmt.Errorf("store: record %d appears in two clusters", rec)
+			}
+			seen[rec] = true
+		}
+	}
+	return nil
+}
+
+// Save writes the snapshot to a file, atomically via a temporary sibling.
+func Save(path string, s *Snapshot) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, s); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load reads a snapshot from a file.
+func Load(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,166 @@
+package store
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"github.com/snaps/snaps/internal/dataset"
+	"github.com/snaps/snaps/internal/depgraph"
+	"github.com/snaps/snaps/internal/er"
+	"github.com/snaps/snaps/internal/model"
+)
+
+func resolvedSnapshot(t *testing.T) *Snapshot {
+	t.Helper()
+	p := dataset.Generate(dataset.IOS().Scaled(0.05))
+	pr := er.Run(p.Dataset, depgraph.DefaultConfig(), er.DefaultConfig())
+	return FromResult(p.Dataset, pr.Result.Store)
+}
+
+func TestRoundTrip(t *testing.T) {
+	snap := resolvedSnapshot(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dataset.Name != snap.Dataset.Name {
+		t.Errorf("name %q vs %q", got.Dataset.Name, snap.Dataset.Name)
+	}
+	if len(got.Dataset.Records) != len(snap.Dataset.Records) {
+		t.Fatalf("records %d vs %d", len(got.Dataset.Records), len(snap.Dataset.Records))
+	}
+	for i := range snap.Dataset.Records {
+		if got.Dataset.Records[i] != snap.Dataset.Records[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+	if len(got.Clusters) != len(snap.Clusters) {
+		t.Fatalf("clusters %d vs %d", len(got.Clusters), len(snap.Clusters))
+	}
+	if len(got.Dataset.Certificates) != len(snap.Dataset.Certificates) {
+		t.Fatalf("certificates differ")
+	}
+	for i := range snap.Dataset.Certificates {
+		a, b := &snap.Dataset.Certificates[i], &got.Dataset.Certificates[i]
+		if a.ID != b.ID || a.Type != b.Type || a.Year != b.Year || a.Cause != b.Cause || a.Age != b.Age {
+			t.Fatalf("certificate %d scalar fields differ", i)
+		}
+		if len(a.Roles) != len(b.Roles) {
+			t.Fatalf("certificate %d roles differ", i)
+		}
+		for role, rec := range a.Roles {
+			if b.Roles[role] != rec {
+				t.Fatalf("certificate %d role %v differs", i, role)
+			}
+		}
+	}
+}
+
+func TestRestorePreservesMatchPairs(t *testing.T) {
+	p := dataset.Generate(dataset.IOS().Scaled(0.05))
+	pr := er.Run(p.Dataset, depgraph.DefaultConfig(), er.DefaultConfig())
+	snap := FromResult(p.Dataset, pr.Result.Store)
+
+	var buf bytes.Buffer
+	if err := Write(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := got.Restore()
+	rp := model.MakeRolePair(model.Bm, model.Bm)
+	orig := pr.Result.Store.MatchPairs(rp)
+	after := restored.MatchPairs(rp)
+	if len(orig) != len(after) {
+		t.Fatalf("match pairs %d vs %d after restore", len(orig), len(after))
+	}
+	for k := range orig {
+		if !after[k] {
+			t.Fatal("restored clustering lost a pair")
+		}
+	}
+}
+
+func TestPedigreeGraphFromSnapshot(t *testing.T) {
+	snap := resolvedSnapshot(t)
+	g := snap.PedigreeGraph()
+	if len(g.Nodes) == 0 {
+		t.Fatal("empty pedigree graph from snapshot")
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("NOTSNAPSxxxx"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}
+
+func TestValidateRejectsCorruption(t *testing.T) {
+	snap := resolvedSnapshot(t)
+	// Point a cluster at an out-of-range record.
+	bad := &Snapshot{
+		Dataset:  snap.Dataset,
+		Clusters: [][]model.RecordID{{0, model.RecordID(len(snap.Dataset.Records) + 5)}},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf); err == nil {
+		t.Fatal("out-of-range cluster accepted")
+	}
+
+	// Overlapping clusters.
+	bad = &Snapshot{
+		Dataset:  snap.Dataset,
+		Clusters: [][]model.RecordID{{0, 1}, {1, 2}},
+	}
+	buf.Reset()
+	if err := Write(&buf, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf); err == nil {
+		t.Fatal("overlapping clusters accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	snap := resolvedSnapshot(t)
+	path := filepath.Join(t.TempDir(), "snapshot.snaps")
+	if err := Save(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Clusters) != len(snap.Clusters) {
+		t.Fatalf("clusters %d vs %d", len(got.Clusters), len(snap.Clusters))
+	}
+}
+
+func TestRestoredClustersSurviveRefine(t *testing.T) {
+	// Persisted clusters passed refinement before saving; a REF pass over a
+	// restored store (e.g. during incremental resolution) must not peel
+	// them apart.
+	snap := resolvedSnapshot(t)
+	restored := snap.Restore()
+	before := len(restored.Entities())
+	removed, splits := restored.Refine(0.3, 15)
+	if removed != 0 || splits != 0 {
+		t.Fatalf("refine dismantled restored clusters: removed=%d splits=%d", removed, splits)
+	}
+	if len(restored.Entities()) != before {
+		t.Fatal("entity count changed")
+	}
+}

@@ -1,0 +1,379 @@
+// Package strsim provides the approximate string comparison functions used
+// throughout SNAPS: Jaro and Jaro-Winkler for personal names, normalised
+// Levenshtein edit similarity, bigram extraction and Jaccard similarity for
+// longer strings, maximum-absolute-difference similarity for years, and a
+// haversine-based similarity for geocoded addresses.
+//
+// All similarities are normalised to [0, 1], where 1 means identical and 0
+// means completely different, matching the convention of the paper.
+package strsim
+
+import "math"
+
+// Jaro returns the Jaro similarity between two strings. It operates on
+// bytes, which is adequate for the ASCII historical-records domain.
+func Jaro(a, b string) float64 {
+	if a == b {
+		if a == "" {
+			return 0 // the paper treats missing-vs-missing as no evidence
+		}
+		return 1
+	}
+	la, lb := len(a), len(b)
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	matchDist := max(la, lb)/2 - 1
+	if matchDist < 0 {
+		matchDist = 0
+	}
+	aMatched := make([]bool, la)
+	bMatched := make([]bool, lb)
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := max(0, i-matchDist)
+		hi := min(lb-1, i+matchDist)
+		for j := lo; j <= hi; j++ {
+			if bMatched[j] || a[i] != b[j] {
+				continue
+			}
+			aMatched[i] = true
+			bMatched[j] = true
+			matches++
+			break
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	// Count transpositions among matched characters.
+	transposes := 0
+	j := 0
+	for i := 0; i < la; i++ {
+		if !aMatched[i] {
+			continue
+		}
+		for !bMatched[j] {
+			j++
+		}
+		if a[i] != b[j] {
+			transposes++
+		}
+		j++
+	}
+	m := float64(matches)
+	t := float64(transposes) / 2
+	return (m/float64(la) + m/float64(lb) + (m-t)/m) / 3
+}
+
+// winklerPrefixScale is the standard Winkler prefix scaling factor.
+const winklerPrefixScale = 0.1
+
+// JaroWinkler returns the Jaro-Winkler similarity, which boosts the Jaro
+// similarity of strings sharing a common prefix of up to four characters.
+func JaroWinkler(a, b string) float64 {
+	j := Jaro(a, b)
+	if j == 0 {
+		return 0
+	}
+	prefix := 0
+	for prefix < len(a) && prefix < len(b) && prefix < 4 && a[prefix] == b[prefix] {
+		prefix++
+	}
+	return j + float64(prefix)*winklerPrefixScale*(1-j)
+}
+
+// Levenshtein returns the edit distance (insertions, deletions,
+// substitutions) between two strings.
+func Levenshtein(a, b string) int {
+	la, lb := len(a), len(b)
+	if la == 0 {
+		return lb
+	}
+	if lb == 0 {
+		return la
+	}
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(min(cur[j-1]+1, prev[j]+1), prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[lb]
+}
+
+// EditSim returns the normalised edit similarity 1 - dist/maxLen.
+func EditSim(a, b string) float64 {
+	if a == "" || b == "" {
+		return 0
+	}
+	if a == b {
+		return 1
+	}
+	d := Levenshtein(a, b)
+	return 1 - float64(d)/float64(max(len(a), len(b)))
+}
+
+// Bigrams returns the multiset of two-character substrings of s as a
+// sorted-insertion map from bigram to count. A string shorter than two
+// characters yields an empty map.
+func Bigrams(s string) map[string]int {
+	out := make(map[string]int, max(0, len(s)-1))
+	for i := 0; i+2 <= len(s); i++ {
+		out[s[i:i+2]]++
+	}
+	return out
+}
+
+// BigramSet returns the set of distinct bigrams of s.
+func BigramSet(s string) []string {
+	seen := Bigrams(s)
+	out := make([]string, 0, len(seen))
+	for g := range seen {
+		out = append(out, g)
+	}
+	return out
+}
+
+// ShareBigram reports whether two strings have at least one bigram in
+// common.
+func ShareBigram(a, b string) bool {
+	if len(a) < 2 || len(b) < 2 {
+		return false
+	}
+	ga := Bigrams(a)
+	for i := 0; i+2 <= len(b); i++ {
+		if ga[b[i:i+2]] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Jaccard returns the Jaccard coefficient of the bigram sets of two strings:
+// |A ∩ B| / |A ∪ B|. Strings shorter than two characters fall back to exact
+// comparison.
+func Jaccard(a, b string) float64 {
+	if a == b {
+		if a == "" {
+			return 0
+		}
+		return 1
+	}
+	ga, gb := Bigrams(a), Bigrams(b)
+	if len(ga) == 0 || len(gb) == 0 {
+		return 0
+	}
+	inter := 0
+	for g := range ga {
+		if gb[g] > 0 {
+			inter++
+		}
+	}
+	union := len(ga) + len(gb) - inter
+	return float64(inter) / float64(union)
+}
+
+// TokenJaccard returns the Jaccard coefficient over whitespace-separated
+// tokens, used for multi-word strings such as occupations and causes of
+// death.
+func TokenJaccard(a, b string) float64 {
+	ta, tb := fields(a), fields(b)
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	seen := map[string]bool{}
+	for _, t := range ta {
+		seen[t] = true
+	}
+	inter := 0
+	interSeen := map[string]bool{}
+	for _, t := range tb {
+		if seen[t] && !interSeen[t] {
+			inter++
+			interSeen[t] = true
+		}
+	}
+	// Union of distinct tokens.
+	for _, t := range tb {
+		seen[t] = true
+	}
+	return float64(inter) / float64(len(seen))
+}
+
+func fields(s string) []string {
+	var out []string
+	start := -1
+	for i := 0; i < len(s); i++ {
+		if s[i] == ' ' || s[i] == '\t' {
+			if start >= 0 {
+				out = append(out, s[start:i])
+				start = -1
+			}
+			continue
+		}
+		if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+// YearSim returns a maximum-absolute-difference similarity for two years:
+// 1 when equal, falling linearly to 0 at a difference of maxDiff years.
+func YearSim(a, b, maxDiff int) float64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if d >= maxDiff {
+		return 0
+	}
+	return 1 - float64(d)/float64(maxDiff)
+}
+
+// earthRadiusKm is the mean Earth radius used by the haversine formula.
+const earthRadiusKm = 6371.0
+
+// GeoDistanceKm returns the haversine distance in kilometres between two
+// geocoded points.
+func GeoDistanceKm(lat1, lon1, lat2, lon2 float64) float64 {
+	const degToRad = math.Pi / 180
+	dLat := (lat2 - lat1) * degToRad
+	dLon := (lon2 - lon1) * degToRad
+	sLat := math.Sin(dLat / 2)
+	sLon := math.Sin(dLon / 2)
+	h := sLat*sLat + math.Cos(lat1*degToRad)*math.Cos(lat2*degToRad)*sLon*sLon
+	return 2 * earthRadiusKm * math.Asin(math.Sqrt(h))
+}
+
+// GeoSim converts a geodesic distance to a similarity: 1 at zero distance,
+// decaying linearly to 0 at maxKm.
+func GeoSim(lat1, lon1, lat2, lon2, maxKm float64) float64 {
+	if (lat1 == 0 && lon1 == 0) || (lat2 == 0 && lon2 == 0) {
+		return 0
+	}
+	d := GeoDistanceKm(lat1, lon1, lat2, lon2)
+	if d >= maxKm {
+		return 0
+	}
+	return 1 - d/maxKm
+}
+
+// Soundex returns the classic four-character Soundex code of an ASCII name.
+// It is used as a secondary blocking key and as a cross-check in tests.
+func Soundex(s string) string {
+	if s == "" {
+		return ""
+	}
+	code := func(c byte) byte {
+		switch c {
+		case 'b', 'f', 'p', 'v', 'B', 'F', 'P', 'V':
+			return '1'
+		case 'c', 'g', 'j', 'k', 'q', 's', 'x', 'z', 'C', 'G', 'J', 'K', 'Q', 'S', 'X', 'Z':
+			return '2'
+		case 'd', 't', 'D', 'T':
+			return '3'
+		case 'l', 'L':
+			return '4'
+		case 'm', 'n', 'M', 'N':
+			return '5'
+		case 'r', 'R':
+			return '6'
+		}
+		return 0
+	}
+	first := s[0]
+	if first >= 'a' && first <= 'z' {
+		first -= 'a' - 'A'
+	}
+	out := []byte{first}
+	prev := code(s[0])
+	for i := 1; i < len(s) && len(out) < 4; i++ {
+		c := code(s[i])
+		if c != 0 && c != prev {
+			out = append(out, c)
+		}
+		if s[i] != 'h' && s[i] != 'w' && s[i] != 'H' && s[i] != 'W' {
+			prev = c
+		}
+	}
+	for len(out) < 4 {
+		out = append(out, '0')
+	}
+	return string(out)
+}
+
+// MongeElkan returns the directed Monge-Elkan similarity of two multi-token
+// strings: the mean, over tokens of a, of each token's best Jaro-Winkler
+// match among the tokens of b. It is asymmetric; use SymMongeElkan for a
+// symmetric score.
+func MongeElkan(a, b string) float64 {
+	ta, tb := fields(a), fields(b)
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range ta {
+		best := 0.0
+		for _, y := range tb {
+			if s := JaroWinkler(x, y); s > best {
+				best = s
+			}
+		}
+		sum += best
+	}
+	return sum / float64(len(ta))
+}
+
+// SymMongeElkan returns the symmetric Monge-Elkan similarity: the minimum
+// of the two directed scores, so extra unmatched tokens on either side
+// lower it. It handles transposed double forenames ("jane elizabeth" vs
+// "elizabeth jane") that character-level measures miss.
+func SymMongeElkan(a, b string) float64 {
+	ab := MongeElkan(a, b)
+	ba := MongeElkan(b, a)
+	if ba < ab {
+		return ba
+	}
+	return ab
+}
+
+// NameSim is the first-name comparison used by SNAPS: plain Jaro-Winkler
+// for single tokens, raised to the symmetric Monge-Elkan score when either
+// name has multiple tokens (so re-ordered or partially recorded double
+// forenames still match).
+func NameSim(a, b string) float64 {
+	s := JaroWinkler(a, b)
+	if hasSpace(a) || hasSpace(b) {
+		if me := SymMongeElkan(a, b); me > s {
+			s = me
+		}
+	}
+	return s
+}
+
+func hasSpace(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == ' ' {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,339 @@
+package strsim
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestJaroKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"martha", "marhta", 0.9444444444444445},
+		{"dixon", "dicksonx", 0.7666666666666666},
+		{"jellyfish", "smellyfish", 0.8962962962962964},
+		{"abc", "abc", 1},
+		{"", "", 0},
+		{"abc", "", 0},
+		{"", "abc", 0},
+		{"a", "b", 0},
+	}
+	for _, c := range cases {
+		if got := Jaro(c.a, c.b); !almost(got, c.want) {
+			t.Errorf("Jaro(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaroWinklerKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"martha", "marhta", 0.9611111111111111},
+		{"dixon", "dicksonx", 0.8133333333333332},
+		{"smith", "smith", 1},
+		{"tayler", "taylor", 8.0/9.0 + 4*0.1*(1-8.0/9.0)},
+	}
+	for _, c := range cases {
+		if got := JaroWinkler(c.a, c.b); !almost(got, c.want) {
+			t.Errorf("JaroWinkler(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaroSymmetry(t *testing.T) {
+	f := func(a, b string) bool {
+		return almost(Jaro(a, b), Jaro(b, a))
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJaroWinklerBounds(t *testing.T) {
+	f := func(a, b string) bool {
+		s := JaroWinkler(a, b)
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJaroWinklerAtLeastJaro(t *testing.T) {
+	f := func(a, b string) bool {
+		return JaroWinkler(a, b) >= Jaro(a, b)-1e-12
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshteinKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"", "abc", 3},
+		{"abc", "", 3},
+		{"same", "same", 0},
+		{"a", "ab", 1},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinTriangleInequality(t *testing.T) {
+	f := func(a, b, c string) bool {
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshteinSymmetryAndIdentity(t *testing.T) {
+	f := func(a, b string) bool {
+		if Levenshtein(a, a) != 0 {
+			return false
+		}
+		return Levenshtein(a, b) == Levenshtein(b, a)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEditSimBounds(t *testing.T) {
+	f := func(a, b string) bool {
+		s := EditSim(a, b)
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBigrams(t *testing.T) {
+	g := Bigrams("banana")
+	want := map[string]int{"ba": 1, "an": 2, "na": 2}
+	if len(g) != len(want) {
+		t.Fatalf("Bigrams(banana) = %v, want %v", g, want)
+	}
+	for k, v := range want {
+		if g[k] != v {
+			t.Errorf("Bigrams(banana)[%q] = %d, want %d", k, g[k], v)
+		}
+	}
+	if len(Bigrams("a")) != 0 {
+		t.Error("Bigrams of single char should be empty")
+	}
+	if len(Bigrams("")) != 0 {
+		t.Error("Bigrams of empty string should be empty")
+	}
+}
+
+func TestShareBigram(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"smith", "smyth", true},
+		{"smith", "jones", false},
+		{"ab", "ab", true},
+		{"a", "ab", false},
+		{"", "ab", false},
+	}
+	for _, c := range cases {
+		if got := ShareBigram(c.a, c.b); got != c.want {
+			t.Errorf("ShareBigram(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaccardKnownValues(t *testing.T) {
+	// bigrams("night") = {ni ig gh ht}, bigrams("nacht") = {na ac ch ht}
+	// intersection {ht} = 1, union = 7
+	if got := Jaccard("night", "nacht"); !almost(got, 1.0/7.0) {
+		t.Errorf("Jaccard(night, nacht) = %v, want 1/7", got)
+	}
+	if got := Jaccard("same", "same"); got != 1 {
+		t.Errorf("Jaccard identical = %v, want 1", got)
+	}
+	if got := Jaccard("", ""); got != 0 {
+		t.Errorf("Jaccard empty = %v, want 0", got)
+	}
+}
+
+func TestJaccardSymmetricBounded(t *testing.T) {
+	f := func(a, b string) bool {
+		s := Jaccard(a, b)
+		return s >= 0 && s <= 1 && almost(s, Jaccard(b, a))
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenJaccard(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"farm servant", "farm labourer", 1.0 / 3.0},
+		{"farmer", "farmer", 1},
+		{"a b c", "a b c", 1},
+		{"", "farmer", 0},
+		{"  spaced   out  ", "spaced out", 1},
+	}
+	for _, c := range cases {
+		if got := TokenJaccard(c.a, c.b); !almost(got, c.want) {
+			t.Errorf("TokenJaccard(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestYearSim(t *testing.T) {
+	cases := []struct {
+		a, b, maxDiff int
+		want          float64
+	}{
+		{1880, 1880, 5, 1},
+		{1880, 1882, 5, 0.6},
+		{1880, 1885, 5, 0},
+		{1880, 1900, 5, 0},
+		{0, 1880, 5, 0},
+		{1882, 1880, 5, 0.6},
+	}
+	for _, c := range cases {
+		if got := YearSim(c.a, c.b, c.maxDiff); !almost(got, c.want) {
+			t.Errorf("YearSim(%d, %d, %d) = %v, want %v", c.a, c.b, c.maxDiff, got, c.want)
+		}
+	}
+}
+
+func TestGeoDistance(t *testing.T) {
+	// Portree (57.4125, -6.1964) to Kilmore (57.24, -5.90) should be ~25 km.
+	d := GeoDistanceKm(57.4125, -6.1964, 57.24, -5.90)
+	if d < 20 || d > 35 {
+		t.Errorf("GeoDistanceKm Portree-Kilmore = %v, want ~25", d)
+	}
+	if got := GeoDistanceKm(57, -6, 57, -6); !almost(got, 0) {
+		t.Errorf("distance to self = %v, want 0", got)
+	}
+}
+
+func TestGeoSim(t *testing.T) {
+	if got := GeoSim(57, -6, 57, -6, 50); got != 1 {
+		t.Errorf("GeoSim same point = %v, want 1", got)
+	}
+	if got := GeoSim(0, 0, 57, -6, 50); got != 0 {
+		t.Errorf("GeoSim missing geocode = %v, want 0", got)
+	}
+	far := GeoSim(57, -6, 55, -4, 50)
+	if far != 0 {
+		t.Errorf("GeoSim far points = %v, want 0", far)
+	}
+}
+
+func TestSoundex(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Robert", "R163"},
+		{"Rupert", "R163"},
+		{"Ashcraft", "A261"},
+		{"Ashcroft", "A261"},
+		{"Tymczak", "T522"},
+		{"Pfister", "P236"},
+		{"smith", "S530"},
+		{"smyth", "S530"},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := Soundex(c.in); got != c.want {
+			t.Errorf("Soundex(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// quickCfg constrains generated strings to short lowercase ASCII, the domain
+// strsim operates on, keeping property tests fast and meaningful.
+func quickCfg() *quick.Config {
+	r := rand.New(rand.NewSource(42))
+	return &quick.Config{
+		MaxCount: 300,
+		Rand:     r,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			for i := range vals {
+				n := r.Intn(12)
+				b := make([]byte, n)
+				for j := range b {
+					b[j] = byte('a' + r.Intn(26))
+				}
+				vals[i] = reflect.ValueOf(string(b))
+			}
+		},
+	}
+}
+
+func TestMongeElkan(t *testing.T) {
+	if got := MongeElkan("mary", "mary ann"); got != 1 {
+		t.Errorf("directed ME(mary, mary ann) = %v, want 1 (every token of a matches)", got)
+	}
+	rev := MongeElkan("mary ann", "mary")
+	if rev >= 1 {
+		t.Errorf("directed ME(mary ann, mary) = %v, want < 1 (ann unmatched)", rev)
+	}
+	if got := MongeElkan("", "mary"); got != 0 {
+		t.Errorf("empty ME = %v", got)
+	}
+}
+
+func TestSymMongeElkanTransposedNames(t *testing.T) {
+	got := SymMongeElkan("jane elizabeth", "elizabeth jane")
+	if got != 1 {
+		t.Errorf("transposed double forenames = %v, want 1", got)
+	}
+	partial := SymMongeElkan("mary ann", "mary")
+	if partial >= 1 || partial < 0.5 {
+		t.Errorf("partial double forename = %v, want mid-range", partial)
+	}
+}
+
+func TestSymMongeElkanSymmetric(t *testing.T) {
+	f := func(a, b string) bool {
+		return almost(SymMongeElkan(a, b), SymMongeElkan(b, a))
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNameSim(t *testing.T) {
+	// Single tokens: identical to Jaro-Winkler.
+	if NameSim("mary", "marry") != JaroWinkler("mary", "marry") {
+		t.Error("single-token NameSim should equal Jaro-Winkler")
+	}
+	// Transposed doubles: rescued by Monge-Elkan.
+	if got := NameSim("jane elizabeth", "elizabeth jane"); got != 1 {
+		t.Errorf("NameSim transposed = %v, want 1", got)
+	}
+	// NameSim never scores below Jaro-Winkler.
+	f := func(a, b string) bool {
+		return NameSim(a, b) >= JaroWinkler(a, b)-1e-12
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,155 @@
+// Package tuning learns the query-ranking match weights from ground truth,
+// the future work Sec. 7 of the paper sketches ("we aim to learn optimal
+// match weights based on ground truth data"). A workload of self-retrieval
+// queries is sampled from the resolved data — each query carries the
+// (noisy) values of one record and its target entity — and coordinate
+// descent over the weight simplex maximises the mean reciprocal rank of the
+// targets.
+package tuning
+
+import (
+	"math/rand"
+
+	"github.com/snaps/snaps/internal/pedigree"
+	"github.com/snaps/snaps/internal/query"
+)
+
+// LabelledQuery pairs a query with the entity it should retrieve.
+type LabelledQuery struct {
+	Query  query.Query
+	Target pedigree.NodeID
+}
+
+// SampleQueries draws up to n self-retrieval queries: for random records of
+// multi-record entities, the query takes the record's own (transcribed,
+// hence noisy) name values plus gender and a year window, and the target is
+// the record's entity.
+func SampleQueries(g *pedigree.Graph, n int, seed int64) []LabelledQuery {
+	rng := rand.New(rand.NewSource(seed))
+	var candidates []pedigree.NodeID
+	for i := range g.Nodes {
+		node := &g.Nodes[i]
+		if len(node.Records) >= 2 && len(node.FirstNames) > 0 && len(node.Surnames) > 0 {
+			candidates = append(candidates, node.ID)
+		}
+	}
+	rng.Shuffle(len(candidates), func(i, j int) { candidates[i], candidates[j] = candidates[j], candidates[i] })
+	if len(candidates) > n {
+		candidates = candidates[:n]
+	}
+	var out []LabelledQuery
+	for _, id := range candidates {
+		node := g.Node(id)
+		rec := g.Dataset.Record(node.Records[rng.Intn(len(node.Records))])
+		if rec.FirstName == "" || rec.Surname == "" {
+			continue
+		}
+		q := query.Query{
+			FirstName: rec.FirstName,
+			Surname:   rec.Surname,
+			Gender:    node.Gender,
+		}
+		if node.MinYear != 0 {
+			q.YearFrom, q.YearTo = node.MinYear-2, node.MaxYear+2
+		}
+		if len(node.Locations) > 0 {
+			q.Location = node.Locations[0]
+		}
+		out = append(out, LabelledQuery{Query: q, Target: id})
+	}
+	return out
+}
+
+// MRR evaluates the mean reciprocal rank of the targets under the engine's
+// current weights. Targets absent from the result list score zero.
+func MRR(e *query.Engine, qs []LabelledQuery) float64 {
+	if len(qs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, lq := range qs {
+		for rank, r := range e.Search(lq.Query) {
+			if r.Entity == lq.Target {
+				sum += 1 / float64(rank+1)
+				break
+			}
+		}
+	}
+	return sum / float64(len(qs))
+}
+
+// Config bounds the search.
+type Config struct {
+	// Grid lists the candidate values per weight coordinate.
+	Grid []float64
+	// Rounds of coordinate descent over the five weights.
+	Rounds int
+}
+
+// DefaultConfig explores a coarse grid for two rounds, enough to move each
+// weight to its neighbourhood optimum.
+func DefaultConfig() Config {
+	return Config{Grid: []float64{0.05, 0.1, 0.2, 0.35, 0.5}, Rounds: 2}
+}
+
+// Tune learns weights maximising MRR on the training queries, starting from
+// the engine's current weights. The engine's weights are left at the best
+// found setting, which is also returned with its training MRR.
+func Tune(e *query.Engine, train []LabelledQuery, cfg Config) (query.Weights, float64) {
+	if len(cfg.Grid) == 0 {
+		cfg = DefaultConfig()
+	}
+	best := e.Weights
+	bestScore := MRR(e, train)
+
+	coords := []func(*query.Weights) *float64{
+		func(w *query.Weights) *float64 { return &w.FirstName },
+		func(w *query.Weights) *float64 { return &w.Surname },
+		func(w *query.Weights) *float64 { return &w.Gender },
+		func(w *query.Weights) *float64 { return &w.Year },
+		func(w *query.Weights) *float64 { return &w.Location },
+	}
+	for round := 0; round < cfg.Rounds; round++ {
+		for _, coord := range coords {
+			for _, v := range cfg.Grid {
+				cand := best
+				*coord(&cand) = v
+				e.Weights = cand
+				if score := MRR(e, train); score > bestScore {
+					best, bestScore = cand, score
+				}
+			}
+		}
+	}
+	e.Weights = best
+	return best, bestScore
+}
+
+// Evaluate reports MRR and the hit rate at the given cutoffs (fraction of
+// queries whose target appears in the top k).
+func Evaluate(e *query.Engine, qs []LabelledQuery, ks ...int) (mrr float64, hitAt map[int]float64) {
+	hitAt = map[int]float64{}
+	if len(qs) == 0 {
+		return 0, hitAt
+	}
+	hits := map[int]int{}
+	sum := 0.0
+	for _, lq := range qs {
+		results := e.Search(lq.Query)
+		for rank, r := range results {
+			if r.Entity == lq.Target {
+				sum += 1 / float64(rank+1)
+				for _, k := range ks {
+					if rank < k {
+						hits[k]++
+					}
+				}
+				break
+			}
+		}
+	}
+	for _, k := range ks {
+		hitAt[k] = float64(hits[k]) / float64(len(qs))
+	}
+	return sum / float64(len(qs)), hitAt
+}

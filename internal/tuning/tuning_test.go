@@ -1,0 +1,85 @@
+package tuning
+
+import (
+	"testing"
+
+	"github.com/snaps/snaps/internal/dataset"
+	"github.com/snaps/snaps/internal/depgraph"
+	"github.com/snaps/snaps/internal/er"
+	"github.com/snaps/snaps/internal/index"
+	"github.com/snaps/snaps/internal/pedigree"
+	"github.com/snaps/snaps/internal/query"
+)
+
+func builtEngine(t *testing.T) *query.Engine {
+	t.Helper()
+	p := dataset.Generate(dataset.IOS().Scaled(0.06))
+	pr := er.Run(p.Dataset, depgraph.DefaultConfig(), er.DefaultConfig())
+	g := pedigree.Build(p.Dataset, pr.Result.Store)
+	k, s := index.Build(g, 0.5)
+	return query.NewEngine(g, k, s)
+}
+
+func TestSampleQueries(t *testing.T) {
+	e := builtEngine(t)
+	qs := SampleQueries(e.Graph, 50, 1)
+	if len(qs) == 0 {
+		t.Fatal("no queries sampled")
+	}
+	for _, lq := range qs {
+		if lq.Query.FirstName == "" || lq.Query.Surname == "" {
+			t.Fatal("sampled query missing mandatory names")
+		}
+		if int(lq.Target) < 0 || int(lq.Target) >= len(e.Graph.Nodes) {
+			t.Fatal("invalid target")
+		}
+	}
+	// Deterministic for a fixed seed.
+	qs2 := SampleQueries(e.Graph, 50, 1)
+	if len(qs) != len(qs2) || qs[0] != qs2[0] {
+		t.Error("sampling not deterministic")
+	}
+}
+
+func TestMRRBounds(t *testing.T) {
+	e := builtEngine(t)
+	qs := SampleQueries(e.Graph, 40, 2)
+	m := MRR(e, qs)
+	if m < 0 || m > 1 {
+		t.Fatalf("MRR = %v out of [0,1]", m)
+	}
+	if m == 0 {
+		t.Error("self-retrieval MRR should be positive")
+	}
+	if MRR(e, nil) != 0 {
+		t.Error("empty workload should score 0")
+	}
+}
+
+func TestTuneNeverWorsens(t *testing.T) {
+	e := builtEngine(t)
+	qs := SampleQueries(e.Graph, 40, 3)
+	before := MRR(e, qs)
+	w, after := Tune(e, qs, Config{Grid: []float64{0.1, 0.35}, Rounds: 1})
+	if after < before-1e-12 {
+		t.Fatalf("tuning worsened MRR: %v -> %v", before, after)
+	}
+	if e.Weights != w {
+		t.Error("engine should keep the tuned weights")
+	}
+}
+
+func TestEvaluateHitRates(t *testing.T) {
+	e := builtEngine(t)
+	qs := SampleQueries(e.Graph, 40, 4)
+	mrr, hitAt := Evaluate(e, qs, 1, 5)
+	if mrr <= 0 {
+		t.Error("expected positive MRR")
+	}
+	if hitAt[5] < hitAt[1] {
+		t.Error("hit@5 must be at least hit@1")
+	}
+	if hitAt[5] > 1 || hitAt[1] < 0 {
+		t.Error("hit rates out of range")
+	}
+}

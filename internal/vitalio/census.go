@@ -1,0 +1,123 @@
+package vitalio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/snaps/snaps/internal/model"
+)
+
+// Census households are exported/imported with a fixed six-child schema
+// matching the model's census roles. Ages are recorded per member, as in
+// real enumerations, and become BirthHint values on import.
+//
+// Schema: id,year,head_first,head_sur,head_age,wife_first,wife_sur,
+// wife_age,child1_first,child1_sur,child1_age,...,child6_first,child6_sur,
+// child6_age[,head_truth,wife_truth,child1_truth,...,child6_truth]
+
+// CensusHeader is the census household CSV header (without truth columns).
+var CensusHeader = buildCensusHeader()
+
+func buildCensusHeader() []string {
+	h := []string{"id", "year", "head_first", "head_sur", "head_age",
+		"wife_first", "wife_sur", "wife_age"}
+	for i := 1; i <= len(model.CensusChildRoles); i++ {
+		h = append(h,
+			fmt.Sprintf("child%d_first", i),
+			fmt.Sprintf("child%d_sur", i),
+			fmt.Sprintf("child%d_age", i))
+	}
+	return h
+}
+
+const censusTruthCols = 8 // head, wife, six children
+
+// ReadCensus parses a census household CSV stream.
+func (r *Reader) ReadCensus(src io.Reader) error {
+	return r.read(src, model.Census, CensusHeader, censusTruthCols, r.parseCensus)
+}
+
+func (r *Reader) parseCensus(row, truth []string) error {
+	year, err := parseYear(row[1])
+	if err != nil {
+		return err
+	}
+	certID := model.CertID(len(r.d.Certificates))
+	cert := model.Certificate{
+		ID: certID, Type: model.Census, Year: year,
+		Roles: map[model.Role]model.RecordID{}, Age: -1,
+	}
+	addMember := func(role model.Role, first, sur, ageStr string, gender model.Gender, truthIdx int) bool {
+		id, ok := r.addRecord(certID, role, first, sur, "", "", year, gender, parseTruth(truth, truthIdx))
+		if !ok {
+			return false
+		}
+		cert.Roles[role] = id
+		if age, err := strconv.Atoi(ageStr); err == nil && age >= 0 && year != 0 {
+			r.d.Records[id].BirthHint = year - age
+		}
+		return true
+	}
+	head := addMember(model.Cf, row[2], row[3], row[4], model.Male, 0)
+	wife := addMember(model.Cm, row[5], row[6], row[7], model.Female, 1)
+	if !head && !wife {
+		return fmt.Errorf("census household without a head")
+	}
+	for i, cc := range model.CensusChildRoles {
+		base := 8 + 3*i
+		addMember(cc, row[base], row[base+1], row[base+2], model.GenderUnknown, 2+i)
+	}
+	r.d.Certificates = append(r.d.Certificates, cert)
+	return nil
+}
+
+// WriteCensus writes all census households.
+func (w *Writer) WriteCensus(dst io.Writer) error {
+	cw := csv.NewWriter(dst)
+	header := CensusHeader
+	if w.IncludeTruth {
+		header = append(append([]string{}, header...),
+			"head_truth", "wife_truth",
+			"child1_truth", "child2_truth", "child3_truth",
+			"child4_truth", "child5_truth", "child6_truth")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := range w.d.Certificates {
+		c := &w.d.Certificates[i]
+		if c.Type != model.Census {
+			continue
+		}
+		row := []string{strconv.Itoa(int(c.ID)), strconv.Itoa(c.Year)}
+		var truths []string
+		appendMember := func(role model.Role) {
+			rec := w.rec(c, role)
+			age := ""
+			if rec != nil && rec.BirthHint != 0 && c.Year != 0 {
+				a := c.Year - rec.BirthHint
+				if a < 0 {
+					a = 0 // a mis-stated age cannot be negative on paper
+				}
+				age = strconv.Itoa(a)
+			}
+			row = append(row, first(rec), sur(rec), age)
+			truths = append(truths, truthStr(rec))
+		}
+		appendMember(model.Cf)
+		appendMember(model.Cm)
+		for _, cc := range model.CensusChildRoles {
+			appendMember(cc)
+		}
+		if w.IncludeTruth {
+			row = append(row, truths...)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

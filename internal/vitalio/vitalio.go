@@ -1,0 +1,470 @@
+// Package vitalio reads and writes vital-records data sets as CSV files,
+// one file per certificate type, so that SNAPS can be applied to real
+// transcribed certificates rather than only the built-in simulator.
+//
+// The schemas mirror the column structure of transcribed Scottish statutory
+// registers (and of the published BHIC open-data dumps): every certificate
+// row carries the event fields plus the name/address/occupation fields of
+// each role on the certificate. Empty cells are missing values. An optional
+// truth column carries ground-truth person identifiers for evaluation data.
+//
+// Births:    id,year,baby_first,baby_sur,baby_gender,mother_first,mother_sur,
+//
+//	father_first,father_sur,address,father_occupation[,baby_truth,
+//	mother_truth,father_truth]
+//
+// Deaths:    id,year,deceased_first,deceased_sur,deceased_gender,age,cause,
+//
+//	mother_first,mother_sur,father_first,father_sur,spouse_first,
+//	spouse_sur,address,occupation[,deceased_truth,mother_truth,
+//	father_truth,spouse_truth]
+//
+// Marriages: id,year,groom_first,groom_sur,bride_first,bride_sur,
+//
+//	groom_mother_first,groom_mother_sur,groom_father_first,
+//	groom_father_sur,bride_mother_first,bride_mother_sur,
+//	bride_father_first,bride_father_sur,address[,groom_truth,
+//	bride_truth,gm_truth,gf_truth,bm_truth,bf_truth]
+package vitalio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/snaps/snaps/internal/model"
+)
+
+// Header rows of the three schemas (without the optional truth columns).
+var (
+	BirthHeader = []string{
+		"id", "year", "baby_first", "baby_sur", "baby_gender",
+		"mother_first", "mother_sur", "father_first", "father_sur",
+		"address", "father_occupation",
+	}
+	DeathHeader = []string{
+		"id", "year", "deceased_first", "deceased_sur", "deceased_gender",
+		"age", "cause", "mother_first", "mother_sur", "father_first",
+		"father_sur", "spouse_first", "spouse_sur", "address", "occupation",
+	}
+	MarriageHeader = []string{
+		"id", "year", "groom_first", "groom_sur", "bride_first", "bride_sur",
+		"groom_mother_first", "groom_mother_sur",
+		"groom_father_first", "groom_father_sur",
+		"bride_mother_first", "bride_mother_sur",
+		"bride_father_first", "bride_father_sur", "address",
+	}
+)
+
+// truth column counts per certificate type.
+const (
+	birthTruthCols    = 3
+	deathTruthCols    = 4
+	marriageTruthCols = 6
+)
+
+// Reader accumulates certificates parsed from the three CSV streams into a
+// model.Dataset.
+type Reader struct {
+	d *model.Dataset
+}
+
+// NewReader returns a reader building a data set with the given name.
+func NewReader(name string) *Reader {
+	return &Reader{d: &model.Dataset{Name: name}}
+}
+
+// Dataset returns the accumulated data set.
+func (r *Reader) Dataset() *model.Dataset { return r.d }
+
+// ReadBirths parses a births CSV stream.
+func (r *Reader) ReadBirths(src io.Reader) error {
+	return r.read(src, model.Birth, BirthHeader, birthTruthCols, r.parseBirth)
+}
+
+// ReadDeaths parses a deaths CSV stream.
+func (r *Reader) ReadDeaths(src io.Reader) error {
+	return r.read(src, model.Death, DeathHeader, deathTruthCols, r.parseDeath)
+}
+
+// ReadMarriages parses a marriages CSV stream.
+func (r *Reader) ReadMarriages(src io.Reader) error {
+	return r.read(src, model.Marriage, MarriageHeader, marriageTruthCols, r.parseMarriage)
+}
+
+func (r *Reader) read(src io.Reader, t model.CertType, header []string, truthCols int,
+	parse func(row []string, truth []string) error) error {
+	cr := csv.NewReader(src)
+	cr.FieldsPerRecord = -1
+	first := true
+	line := 0
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("vitalio: %s row %d: %w", t, line, err)
+		}
+		line++
+		if first {
+			first = false
+			if len(row) > 0 && strings.EqualFold(row[0], "id") {
+				continue // header row
+			}
+		}
+		if len(row) != len(header) && len(row) != len(header)+truthCols {
+			return fmt.Errorf("vitalio: %s row %d: %d columns, want %d or %d",
+				t, line, len(row), len(header), len(header)+truthCols)
+		}
+		var truth []string
+		if len(row) == len(header)+truthCols {
+			truth = row[len(header):]
+			row = row[:len(header)]
+		}
+		if err := parse(row, truth); err != nil {
+			return fmt.Errorf("vitalio: %s row %d: %w", t, line, err)
+		}
+	}
+}
+
+// addRecord appends a role record; empty first AND surname with no role
+// presence is signalled by returning false.
+func (r *Reader) addRecord(cert model.CertID, role model.Role, first, sur, addr, occ string,
+	year int, gender model.Gender, truth model.PersonID) (model.RecordID, bool) {
+	if first == "" && sur == "" {
+		return 0, false // role absent from the certificate
+	}
+	id := model.RecordID(len(r.d.Records))
+	r.d.Records = append(r.d.Records, model.Record{
+		ID: id, Cert: cert, Role: role, Gender: gender,
+		FirstName: norm(first), Surname: norm(sur),
+		Address: norm(addr), Occupation: norm(occ),
+		Year: year, Truth: truth,
+	})
+	return id, true
+}
+
+func norm(s string) string { return strings.ToLower(strings.TrimSpace(s)) }
+
+func parseGender(s string) model.Gender {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "m", "male":
+		return model.Male
+	case "f", "female":
+		return model.Female
+	}
+	return model.GenderUnknown
+}
+
+func parseYear(s string) (int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	y, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad year %q", s)
+	}
+	return y, nil
+}
+
+func parseTruth(truth []string, i int) model.PersonID {
+	if i >= len(truth) {
+		return model.NoPerson
+	}
+	s := strings.TrimSpace(truth[i])
+	if s == "" {
+		return model.NoPerson
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil || v < 0 {
+		return model.NoPerson
+	}
+	return model.PersonID(v)
+}
+
+func (r *Reader) parseBirth(row, truth []string) error {
+	year, err := parseYear(row[1])
+	if err != nil {
+		return err
+	}
+	certID := model.CertID(len(r.d.Certificates))
+	cert := model.Certificate{
+		ID: certID, Type: model.Birth, Year: year,
+		Roles: map[model.Role]model.RecordID{}, Age: -1,
+	}
+	addr := row[9]
+	if id, ok := r.addRecord(certID, model.Bb, row[2], row[3], addr, "", year, parseGender(row[4]), parseTruth(truth, 0)); ok {
+		cert.Roles[model.Bb] = id
+	} else {
+		return fmt.Errorf("birth certificate without baby")
+	}
+	if id, ok := r.addRecord(certID, model.Bm, row[5], row[6], addr, "", year, model.Female, parseTruth(truth, 1)); ok {
+		cert.Roles[model.Bm] = id
+	}
+	if id, ok := r.addRecord(certID, model.Bf, row[7], row[8], addr, row[10], year, model.Male, parseTruth(truth, 2)); ok {
+		cert.Roles[model.Bf] = id
+	}
+	r.d.Certificates = append(r.d.Certificates, cert)
+	return nil
+}
+
+func (r *Reader) parseDeath(row, truth []string) error {
+	year, err := parseYear(row[1])
+	if err != nil {
+		return err
+	}
+	age := -1
+	if s := strings.TrimSpace(row[5]); s != "" {
+		if v, err := strconv.Atoi(s); err == nil {
+			age = v
+		}
+	}
+	certID := model.CertID(len(r.d.Certificates))
+	cert := model.Certificate{
+		ID: certID, Type: model.Death, Year: year,
+		Roles: map[model.Role]model.RecordID{},
+		Cause: norm(row[6]), Age: age,
+	}
+	addr := row[13]
+	if id, ok := r.addRecord(certID, model.Dd, row[2], row[3], addr, row[14], year, parseGender(row[4]), parseTruth(truth, 0)); ok {
+		cert.Roles[model.Dd] = id
+		if age >= 0 && year != 0 {
+			// The recorded age implies the deceased's birth year.
+			r.d.Records[id].BirthHint = year - age
+		}
+	} else {
+		return fmt.Errorf("death certificate without deceased")
+	}
+	if id, ok := r.addRecord(certID, model.Dm, row[7], row[8], "", "", year, model.Female, parseTruth(truth, 1)); ok {
+		cert.Roles[model.Dm] = id
+	}
+	if id, ok := r.addRecord(certID, model.Df, row[9], row[10], "", "", year, model.Male, parseTruth(truth, 2)); ok {
+		cert.Roles[model.Df] = id
+	}
+	if id, ok := r.addRecord(certID, model.Ds, row[11], row[12], addr, "", year, model.GenderUnknown, parseTruth(truth, 3)); ok {
+		cert.Roles[model.Ds] = id
+	}
+	r.d.Certificates = append(r.d.Certificates, cert)
+	return nil
+}
+
+func (r *Reader) parseMarriage(row, truth []string) error {
+	year, err := parseYear(row[1])
+	if err != nil {
+		return err
+	}
+	certID := model.CertID(len(r.d.Certificates))
+	cert := model.Certificate{
+		ID: certID, Type: model.Marriage, Year: year,
+		Roles: map[model.Role]model.RecordID{}, Age: -1,
+	}
+	addr := row[14]
+	type roleSpec struct {
+		role       model.Role
+		first, sur int
+		gender     model.Gender
+		truthIdx   int
+	}
+	specs := []roleSpec{
+		{model.Mm, 2, 3, model.Male, 0},
+		{model.Mf, 4, 5, model.Female, 1},
+		{model.Mmm, 6, 7, model.Female, 2},
+		{model.Mmf, 8, 9, model.Male, 3},
+		{model.Mfm, 10, 11, model.Female, 4},
+		{model.Mff, 12, 13, model.Male, 5},
+	}
+	for _, sp := range specs {
+		if id, ok := r.addRecord(certID, sp.role, row[sp.first], row[sp.sur], addr, "", year, sp.gender, parseTruth(truth, sp.truthIdx)); ok {
+			cert.Roles[sp.role] = id
+		} else if sp.role == model.Mm || sp.role == model.Mf {
+			return fmt.Errorf("marriage certificate without %v", sp.role)
+		}
+	}
+	r.d.Certificates = append(r.d.Certificates, cert)
+	return nil
+}
+
+// Writer exports a model.Dataset back to the three CSV schemas.
+type Writer struct {
+	d *model.Dataset
+	// IncludeTruth adds the ground-truth columns when set.
+	IncludeTruth bool
+}
+
+// NewWriter returns a writer for the data set.
+func NewWriter(d *model.Dataset, includeTruth bool) *Writer {
+	return &Writer{d: d, IncludeTruth: includeTruth}
+}
+
+// WriteBirths writes all birth certificates.
+func (w *Writer) WriteBirths(dst io.Writer) error {
+	cw := csv.NewWriter(dst)
+	header := BirthHeader
+	if w.IncludeTruth {
+		header = append(append([]string{}, header...), "baby_truth", "mother_truth", "father_truth")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := range w.d.Certificates {
+		c := &w.d.Certificates[i]
+		if c.Type != model.Birth {
+			continue
+		}
+		bb := w.rec(c, model.Bb)
+		bm := w.rec(c, model.Bm)
+		bf := w.rec(c, model.Bf)
+		row := []string{
+			strconv.Itoa(int(c.ID)), strconv.Itoa(c.Year),
+			first(bb), sur(bb), gender(bb),
+			first(bm), sur(bm), first(bf), sur(bf),
+			addrOf(bb, bm, bf), occ(bf),
+		}
+		if w.IncludeTruth {
+			row = append(row, truthStr(bb), truthStr(bm), truthStr(bf))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteDeaths writes all death certificates.
+func (w *Writer) WriteDeaths(dst io.Writer) error {
+	cw := csv.NewWriter(dst)
+	header := DeathHeader
+	if w.IncludeTruth {
+		header = append(append([]string{}, header...),
+			"deceased_truth", "mother_truth", "father_truth", "spouse_truth")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := range w.d.Certificates {
+		c := &w.d.Certificates[i]
+		if c.Type != model.Death {
+			continue
+		}
+		dd := w.rec(c, model.Dd)
+		dm := w.rec(c, model.Dm)
+		df := w.rec(c, model.Df)
+		ds := w.rec(c, model.Ds)
+		age := ""
+		if c.Age >= 0 {
+			age = strconv.Itoa(c.Age)
+		}
+		row := []string{
+			strconv.Itoa(int(c.ID)), strconv.Itoa(c.Year),
+			first(dd), sur(dd), gender(dd), age, c.Cause,
+			first(dm), sur(dm), first(df), sur(df),
+			first(ds), sur(ds), addrOf(dd, ds), occ(dd),
+		}
+		if w.IncludeTruth {
+			row = append(row, truthStr(dd), truthStr(dm), truthStr(df), truthStr(ds))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteMarriages writes all marriage certificates.
+func (w *Writer) WriteMarriages(dst io.Writer) error {
+	cw := csv.NewWriter(dst)
+	header := MarriageHeader
+	if w.IncludeTruth {
+		header = append(append([]string{}, header...),
+			"groom_truth", "bride_truth", "gm_truth", "gf_truth", "bm_truth", "bf_truth")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := range w.d.Certificates {
+		c := &w.d.Certificates[i]
+		if c.Type != model.Marriage {
+			continue
+		}
+		mm := w.rec(c, model.Mm)
+		mf := w.rec(c, model.Mf)
+		mmm := w.rec(c, model.Mmm)
+		mmf := w.rec(c, model.Mmf)
+		mfm := w.rec(c, model.Mfm)
+		mff := w.rec(c, model.Mff)
+		row := []string{
+			strconv.Itoa(int(c.ID)), strconv.Itoa(c.Year),
+			first(mm), sur(mm), first(mf), sur(mf),
+			first(mmm), sur(mmm), first(mmf), sur(mmf),
+			first(mfm), sur(mfm), first(mff), sur(mff),
+			addrOf(mm, mf),
+		}
+		if w.IncludeTruth {
+			row = append(row, truthStr(mm), truthStr(mf),
+				truthStr(mmm), truthStr(mmf), truthStr(mfm), truthStr(mff))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func (w *Writer) rec(c *model.Certificate, role model.Role) *model.Record {
+	id, ok := c.Roles[role]
+	if !ok {
+		return nil
+	}
+	return w.d.Record(id)
+}
+
+func first(r *model.Record) string {
+	if r == nil {
+		return ""
+	}
+	return r.FirstName
+}
+
+func sur(r *model.Record) string {
+	if r == nil {
+		return ""
+	}
+	return r.Surname
+}
+
+func occ(r *model.Record) string {
+	if r == nil {
+		return ""
+	}
+	return r.Occupation
+}
+
+func gender(r *model.Record) string {
+	if r == nil || r.Gender == model.GenderUnknown {
+		return ""
+	}
+	return r.Gender.String()
+}
+
+func addrOf(rs ...*model.Record) string {
+	for _, r := range rs {
+		if r != nil && r.Address != "" {
+			return r.Address
+		}
+	}
+	return ""
+}
+
+func truthStr(r *model.Record) string {
+	if r == nil || r.Truth == model.NoPerson {
+		return ""
+	}
+	return strconv.Itoa(int(r.Truth))
+}
