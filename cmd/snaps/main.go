@@ -14,6 +14,8 @@
 //	snaps -load out.snaps -serve :8080         # serve without re-resolving
 //	snaps -births b.csv -deaths d.csv -marriages m.csv -serve :8080
 //	snaps -dataset ios -feedback fb.csv -eval  # apply expert corrections
+//	snaps -load out.snaps -serve :8080 -ingest-journal wal.jsonl
+//	                                           # serve with live ingestion
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"github.com/snaps/snaps/internal/anonymize"
 	"github.com/snaps/snaps/internal/dataset"
@@ -31,6 +34,7 @@ import (
 	"github.com/snaps/snaps/internal/eval"
 	"github.com/snaps/snaps/internal/feedback"
 	"github.com/snaps/snaps/internal/geo"
+	"github.com/snaps/snaps/internal/ingest"
 	"github.com/snaps/snaps/internal/model"
 	"github.com/snaps/snaps/internal/pedigree"
 	"github.com/snaps/snaps/internal/query"
@@ -89,6 +93,10 @@ func main() {
 		feedbackCSV = flag.String("feedback", "", "apply an expert feedback journal (CSV) after resolution")
 		census      = flag.Bool("census", false, "include decennial census households in the simulated data set")
 		reportPath  = flag.String("report", "", "write a Markdown linkage report to this file")
+
+		ingestJournal = flag.String("ingest-journal", "", "journal live-ingested certificates to this WAL file (replayed on startup)")
+		ingestBatch   = flag.Int("ingest-batch", 16, "flush ingested certificates after this many accumulate")
+		ingestMaxAge  = flag.Duration("ingest-max-age", 2*time.Second, "flush a non-empty ingest batch after its oldest certificate waited this long")
 	)
 	flag.Parse()
 
@@ -201,7 +209,34 @@ func main() {
 		srv.EnableStats()
 		srv.EnableFeedback()
 		srv.EnableExplain()
-		log.Printf("serving on %s", *serve)
+
+		// Live ingestion: new certificates POSTed to /api/ingest are
+		// journalled, batch-resolved with er.Extend, and hot-swapped into
+		// the serving snapshot without downtime.
+		var (
+			journal *ingest.Journal
+			backlog []ingest.Certificate
+		)
+		if *ingestJournal != "" {
+			var err error
+			if journal, backlog, err = ingest.OpenJournal(*ingestJournal); err != nil {
+				log.Fatal(err)
+			}
+			if len(backlog) > 0 {
+				log.Printf("replaying %d journalled certificates from %s", len(backlog), *ingestJournal)
+			}
+		}
+		icfg := ingest.DefaultConfig()
+		icfg.BatchSize = *ingestBatch
+		icfg.MaxAge = *ingestMaxAge
+		sv := &ingest.Serving{Dataset: d, Store: entStore, Graph: g, Engine: engine}
+		pipe, err := ingest.NewPipeline(sv, journal, backlog, icfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv.EnableIngest(pipe)
+
+		log.Printf("serving on %s (ingest batch %d, max age %v)", *serve, icfg.BatchSize, icfg.MaxAge)
 		log.Fatal(http.ListenAndServe(*serve, srv))
 	}
 	if *queryNm == "" && *serve == "" && !*doEval {

@@ -180,6 +180,20 @@ func (s *EntityStore) Entities() []EntityID {
 	return out
 }
 
+// Clusters returns the live record clusters as freshly allocated record-id
+// slices, the persistable form of the clustering: internal link structure is
+// dropped, so rebuilding a store from the clusters (store.Snapshot.Restore)
+// yields cliques. Singleton (unlinked) records are not listed.
+func (s *EntityStore) Clusters() [][]model.RecordID {
+	out := make([][]model.RecordID, 0, len(s.entities))
+	for i := range s.entities {
+		if !s.entities[i].dead && len(s.entities[i].records) > 0 {
+			out = append(out, append([]model.RecordID(nil), s.entities[i].records...))
+		}
+	}
+	return out
+}
+
 // Values returns the distinct non-empty values (with counts) of an
 // attribute across the records currently in the entity of r, including r
 // itself when unlinked.

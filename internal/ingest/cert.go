@@ -1,0 +1,218 @@
+// Package ingest implements the live ingestion subsystem: new vital-event
+// certificates are accepted while the server keeps answering queries. A
+// submitted certificate is journalled to an append-only WAL, buffered in a
+// batch, and folded into the resolved data set by a background worker that
+// runs the incremental er.Extend pass and rebuilds the pedigree graph and
+// the query indexes off the hot path. The rebuilt bundle (data set, entity
+// store, graph, engine) is published with an RCU-style atomic pointer swap,
+// so in-flight queries keep their consistent snapshot and new queries see
+// the updated one — readers never block on a rebuild and never observe a
+// half-built index.
+package ingest
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/snaps/snaps/internal/model"
+)
+
+// Person is one role occurrence on a submitted certificate.
+type Person struct {
+	FirstName string `json:"first_name"`
+	Surname   string `json:"surname"`
+	// Gender is "m" or "f"; it is only consulted for roles whose gender the
+	// role code does not already fix (babies, deceased persons, spouses).
+	Gender string `json:"gender,omitempty"`
+}
+
+// Certificate is the wire format of one ingested certificate. Roles maps
+// the paper's role codes (Bb, Bm, Bf, Dd, Dm, Df, Ds, Mm, Mf, Mmm, Mmf,
+// Mfm, Mff, and the census roles) to the persons occupying them; only roles
+// belonging to the certificate type are accepted, and the principal role
+// (the baby, the deceased, or both spouses) is mandatory.
+type Certificate struct {
+	// Type is "birth", "death", "marriage", or "census".
+	Type string `json:"type"`
+	// Year of the vital event.
+	Year int `json:"year"`
+	// Address recorded on the certificate, shared by its roles.
+	Address string `json:"address,omitempty"`
+	// Age at death (death certificates); implies a birth-year hint.
+	Age int `json:"age,omitempty"`
+	// Cause of death (death certificates).
+	Cause string `json:"cause,omitempty"`
+	// Occupation of the certificate's principal earner.
+	Occupation string `json:"occupation,omitempty"`
+
+	Roles map[string]Person `json:"roles"`
+}
+
+// certType parses the type field.
+func (c *Certificate) certType() (model.CertType, error) {
+	switch strings.ToLower(strings.TrimSpace(c.Type)) {
+	case "birth", "b":
+		return model.Birth, nil
+	case "death", "d":
+		return model.Death, nil
+	case "marriage", "m":
+		return model.Marriage, nil
+	case "census", "c":
+		return model.Census, nil
+	}
+	return 0, fmt.Errorf("ingest: unknown certificate type %q", c.Type)
+}
+
+// roleByCode resolves a role code like "Bb" case-insensitively.
+func roleByCode(code string) (model.Role, bool) {
+	for r := model.Role(0); r < model.NumRoles; r++ {
+		if strings.EqualFold(r.String(), code) {
+			return r, true
+		}
+	}
+	return 0, false
+}
+
+// principalsFor lists the roles at least one of which must be present, and
+// whether all of them are required.
+func principalsFor(t model.CertType) (roles []model.Role, all bool) {
+	switch t {
+	case model.Birth:
+		return []model.Role{model.Bb}, true
+	case model.Death:
+		return []model.Role{model.Dd}, true
+	case model.Marriage:
+		return []model.Role{model.Mm, model.Mf}, true
+	default: // Census: any head present suffices.
+		return []model.Role{model.Cf, model.Cm}, false
+	}
+}
+
+// Validate rejects certificates that cannot be applied: unknown types or
+// role codes, roles from a different certificate type, nameless persons,
+// and missing principal roles.
+func (c *Certificate) Validate() error {
+	t, err := c.certType()
+	if err != nil {
+		return err
+	}
+	if len(c.Roles) == 0 {
+		return fmt.Errorf("ingest: certificate has no roles")
+	}
+	present := map[model.Role]bool{}
+	for code, p := range c.Roles {
+		role, ok := roleByCode(code)
+		if !ok {
+			return fmt.Errorf("ingest: unknown role code %q", code)
+		}
+		if role.CertType() != t {
+			return fmt.Errorf("ingest: role %v does not belong on a %s certificate", role, c.Type)
+		}
+		if present[role] {
+			return fmt.Errorf("ingest: role %v given twice", role)
+		}
+		present[role] = true
+		if strings.TrimSpace(p.FirstName) == "" && strings.TrimSpace(p.Surname) == "" {
+			return fmt.Errorf("ingest: role %v has neither first name nor surname", role)
+		}
+	}
+	principals, all := principalsFor(t)
+	any := false
+	for _, r := range principals {
+		if present[r] {
+			any = true
+		} else if all {
+			return fmt.Errorf("ingest: %s certificate missing principal role %v", c.Type, r)
+		}
+	}
+	if !any {
+		return fmt.Errorf("ingest: %s certificate missing a principal role", c.Type)
+	}
+	return nil
+}
+
+func norm(s string) string { return strings.ToLower(strings.TrimSpace(s)) }
+
+func parseGender(s string) model.Gender {
+	switch norm(s) {
+	case "m", "male":
+		return model.Male
+	case "f", "female":
+		return model.Female
+	}
+	return model.GenderUnknown
+}
+
+// Apply appends the certificate's records to the data set, following the
+// extraction conventions of internal/vitalio: names are normalised to lower
+// case, parent roles on death certificates carry no address (the address
+// belongs to the deceased's household), and a recorded age at death implies
+// a birth-year hint on the deceased's record. It returns the id of the
+// first record appended. The certificate must have passed Validate.
+func Apply(d *model.Dataset, c *Certificate) (model.RecordID, error) {
+	t, err := c.certType()
+	if err != nil {
+		return 0, err
+	}
+	certID := model.CertID(len(d.Certificates))
+	cert := model.Certificate{
+		ID: certID, Type: t, Year: c.Year,
+		Roles: make(map[model.Role]model.RecordID, len(c.Roles)),
+		Age:   -1,
+	}
+	if t == model.Death {
+		cert.Cause = norm(c.Cause)
+		if c.Age > 0 {
+			cert.Age = c.Age
+		}
+	}
+	firstNew := model.RecordID(len(d.Records))
+
+	// Iterate roles in the fixed model.Role order so record ids are
+	// deterministic regardless of JSON map iteration order.
+	for role := model.Role(0); role < model.NumRoles; role++ {
+		p, ok := rolePerson(c.Roles, role)
+		if !ok {
+			continue
+		}
+		gender := model.RoleGender(role)
+		if gender == model.GenderUnknown {
+			gender = parseGender(p.Gender)
+		}
+		addr := norm(c.Address)
+		if t == model.Death && (role == model.Dm || role == model.Df) {
+			addr = ""
+		}
+		occ := ""
+		if (t == model.Birth && role == model.Bf) || (t == model.Death && role == model.Dd) {
+			occ = norm(c.Occupation)
+		}
+		id := model.RecordID(len(d.Records))
+		rec := model.Record{
+			ID: id, Cert: certID, Role: role, Gender: gender,
+			FirstName: norm(p.FirstName), Surname: norm(p.Surname),
+			Address: addr, Occupation: occ,
+			Year: c.Year, Truth: model.NoPerson,
+		}
+		if t == model.Death && role == model.Dd && cert.Age >= 0 && c.Year != 0 {
+			rec.BirthHint = c.Year - cert.Age
+		}
+		d.Records = append(d.Records, rec)
+		cert.Roles[role] = id
+	}
+	d.Certificates = append(d.Certificates, cert)
+	return firstNew, nil
+}
+
+// rolePerson finds the person for a role under any casing of its code.
+func rolePerson(roles map[string]Person, role model.Role) (Person, bool) {
+	if p, ok := roles[role.String()]; ok {
+		return p, true
+	}
+	for code, p := range roles {
+		if strings.EqualFold(code, role.String()) {
+			return p, true
+		}
+	}
+	return Person{}, false
+}

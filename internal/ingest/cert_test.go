@@ -1,0 +1,143 @@
+package ingest
+
+import (
+	"testing"
+
+	"github.com/snaps/snaps/internal/model"
+)
+
+// familyDataset builds the small two-birth-certificate family of the
+// er.Extend tests: Torquil MacSween (b. 1870) and Una MacSween (b. 1872)
+// with shared parents Flora and Ewen at 5 Uig.
+func familyDataset() *model.Dataset {
+	d := &model.Dataset{Name: "ingest-family"}
+	add := func(role model.Role, cert model.CertID, first, sur string, year int, g model.Gender, truth model.PersonID) model.RecordID {
+		id := model.RecordID(len(d.Records))
+		d.Records = append(d.Records, model.Record{
+			ID: id, Cert: cert, Role: role, Gender: g,
+			FirstName: first, Surname: sur, Address: "5 uig", Year: year, Truth: truth,
+		})
+		return id
+	}
+	add(model.Bb, 0, "torquil", "macsween", 1870, model.Male, 1)
+	add(model.Bm, 0, "flora", "macsween", 1870, model.Female, 2)
+	add(model.Bf, 0, "ewen", "macsween", 1870, model.Male, 3)
+	d.Certificates = append(d.Certificates, model.Certificate{
+		ID: 0, Type: model.Birth, Year: 1870, Age: -1,
+		Roles: map[model.Role]model.RecordID{model.Bb: 0, model.Bm: 1, model.Bf: 2},
+	})
+	add(model.Bb, 1, "una", "macsween", 1872, model.Female, 4)
+	add(model.Bm, 1, "flora", "macsween", 1872, model.Female, 2)
+	add(model.Bf, 1, "ewen", "macsween", 1872, model.Male, 3)
+	d.Certificates = append(d.Certificates, model.Certificate{
+		ID: 1, Type: model.Birth, Year: 1872, Age: -1,
+		Roles: map[model.Role]model.RecordID{model.Bb: 3, model.Bm: 4, model.Bf: 5},
+	})
+	return d
+}
+
+// torquilDeath is the death certificate that should merge into the family.
+func torquilDeath() *Certificate {
+	return &Certificate{
+		Type: "death", Year: 1875, Age: 5, Cause: "Measles", Address: "5 Uig",
+		Roles: map[string]Person{
+			"Dd": {FirstName: "Torquil", Surname: "MacSween", Gender: "m"},
+			"Dm": {FirstName: "Flora", Surname: "MacSween"},
+			"Df": {FirstName: "Ewen", Surname: "MacSween"},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cert Certificate
+		ok   bool
+	}{
+		{"valid death", *torquilDeath(), true},
+		{"valid birth", Certificate{Type: "birth", Year: 1880, Roles: map[string]Person{
+			"Bb": {FirstName: "norman", Surname: "macsween"},
+		}}, true},
+		{"case-insensitive role code", Certificate{Type: "birth", Year: 1880, Roles: map[string]Person{
+			"bb": {FirstName: "norman", Surname: "macsween"},
+		}}, true},
+		{"unknown type", Certificate{Type: "baptism", Roles: map[string]Person{
+			"Bb": {FirstName: "a", Surname: "b"},
+		}}, false},
+		{"no roles", Certificate{Type: "birth"}, false},
+		{"unknown role", Certificate{Type: "birth", Roles: map[string]Person{
+			"Zz": {FirstName: "a", Surname: "b"},
+		}}, false},
+		{"role from wrong type", Certificate{Type: "birth", Roles: map[string]Person{
+			"Dd": {FirstName: "a", Surname: "b"},
+		}}, false},
+		{"missing principal", Certificate{Type: "birth", Roles: map[string]Person{
+			"Bm": {FirstName: "a", Surname: "b"},
+		}}, false},
+		{"nameless person", Certificate{Type: "birth", Roles: map[string]Person{
+			"Bb": {Gender: "m"},
+		}}, false},
+		{"marriage needs both spouses", Certificate{Type: "marriage", Roles: map[string]Person{
+			"Mm": {FirstName: "a", Surname: "b"},
+		}}, false},
+	}
+	for _, tc := range cases {
+		err := tc.cert.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: expected a validation error", tc.name)
+		}
+	}
+}
+
+func TestApply(t *testing.T) {
+	d := familyDataset()
+	before := len(d.Records)
+	c := torquilDeath()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	firstNew, err := Apply(d, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if firstNew != model.RecordID(before) {
+		t.Errorf("firstNew = %d, want %d", firstNew, before)
+	}
+	if len(d.Records) != before+3 {
+		t.Fatalf("appended %d records, want 3", len(d.Records)-before)
+	}
+	cert := d.Certificates[len(d.Certificates)-1]
+	if cert.Type != model.Death || cert.Year != 1875 || cert.Age != 5 || cert.Cause != "measles" {
+		t.Errorf("bad certificate: %+v", cert)
+	}
+	dd := d.Record(cert.Roles[model.Dd])
+	if dd.FirstName != "torquil" || dd.Surname != "macsween" {
+		t.Errorf("names not normalised: %q %q", dd.FirstName, dd.Surname)
+	}
+	if dd.Gender != model.Male {
+		t.Errorf("deceased gender = %v", dd.Gender)
+	}
+	if dd.Address != "5 uig" {
+		t.Errorf("deceased address = %q", dd.Address)
+	}
+	if dd.BirthHint != 1870 {
+		t.Errorf("BirthHint = %d, want 1870 (year-age)", dd.BirthHint)
+	}
+	// Death-certificate parents carry no address (vitalio convention).
+	dm := d.Record(cert.Roles[model.Dm])
+	if dm.Address != "" {
+		t.Errorf("death mother address = %q, want empty", dm.Address)
+	}
+	if dm.Gender != model.Female {
+		t.Errorf("role-implied gender ignored: %v", dm.Gender)
+	}
+	// Records ids are dense and in role order.
+	for i, want := range []model.Role{model.Dd, model.Dm, model.Df} {
+		if got := d.Records[before+i].Role; got != want {
+			t.Errorf("record %d role %v, want %v", before+i, got, want)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package ingest
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+)
+
+// journalMagic is the header line of an ingestion journal, following the
+// versioned-magic-header discipline of internal/store: unknown versions are
+// rejected instead of misinterpreted.
+const journalMagic = "SNAPSWALv01"
+
+// Journal is the append-only write-ahead log of ingested certificates: one
+// JSON-encoded certificate per line after the magic header. A certificate
+// is journalled (and fsynced) before it is acknowledged, so accepted
+// submissions survive a crash and are replayed into the pipeline on the
+// next startup.
+type Journal struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	entries int
+}
+
+// OpenJournal opens (or creates) the journal at path and replays its
+// entries. A torn final line — the signature of a crash mid-append — is
+// truncated away; corruption anywhere else is an error. The returned
+// certificates are the ones accepted since the journal was created; the
+// caller re-applies them before serving.
+func OpenJournal(path string) (*Journal, []Certificate, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	j := &Journal{f: f, path: path}
+	if info.Size() == 0 {
+		if _, err := f.WriteString(journalMagic + "\n"); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		return j, nil, nil
+	}
+	replayed, err := j.replay()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return j, replayed, nil
+}
+
+// replay reads the journal from the start, validates the header, decodes
+// every complete line, and truncates a torn tail.
+func (j *Journal) replay() ([]Certificate, error) {
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	r := bufio.NewReader(j.f)
+	header, err := r.ReadString('\n')
+	if err != nil || header != journalMagic+"\n" {
+		return nil, fmt.Errorf("ingest: %s: bad journal header %q (want %q)",
+			j.path, strings.TrimSuffix(header, "\n"), journalMagic)
+	}
+	var out []Certificate
+	good := int64(len(header)) // offset past the last intact line
+	for {
+		line, err := r.ReadBytes('\n')
+		if err == io.EOF && len(line) == 0 {
+			break
+		}
+		torn := err == io.EOF // no trailing newline: interrupted append
+		if err != nil && err != io.EOF {
+			return nil, fmt.Errorf("ingest: %s: reading journal: %w", j.path, err)
+		}
+		var c Certificate
+		if decErr := json.Unmarshal(bytes.TrimSuffix(line, []byte("\n")), &c); decErr != nil || c.Validate() != nil {
+			if torn {
+				break // drop the torn tail below
+			}
+			return nil, fmt.Errorf("ingest: %s: corrupt journal entry %d", j.path, len(out)+1)
+		}
+		if torn {
+			// A decodable line without newline still counts as torn: the
+			// append was not completed, so it was never acknowledged.
+			break
+		}
+		out = append(out, c)
+		good += int64(len(line))
+	}
+	if err := j.f.Truncate(good); err != nil {
+		return nil, err
+	}
+	if _, err := j.f.Seek(good, io.SeekStart); err != nil {
+		return nil, err
+	}
+	j.entries = len(out)
+	return out, nil
+}
+
+// Append journals one certificate durably: the entry is written and synced
+// before Append returns.
+func (j *Journal) Append(c *Certificate) error {
+	buf, err := json.Marshal(c)
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(buf); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.entries++
+	return nil
+}
+
+// Len returns the number of journalled certificates.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.entries
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Close closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

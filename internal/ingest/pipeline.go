@@ -1,0 +1,338 @@
+package ingest
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/snaps/snaps/internal/depgraph"
+	"github.com/snaps/snaps/internal/er"
+	"github.com/snaps/snaps/internal/index"
+	"github.com/snaps/snaps/internal/model"
+	"github.com/snaps/snaps/internal/pedigree"
+	"github.com/snaps/snaps/internal/query"
+	"github.com/snaps/snaps/internal/store"
+)
+
+// Serving bundles everything the online component answers queries from:
+// the data set, its resolved entity store, the pedigree graph, and the
+// query engine with its indexes. A bundle is immutable once published —
+// rebuilds produce a fresh bundle over a cloned data set and publish it
+// with an atomic pointer swap, so concurrent readers always see a
+// consistent generation.
+type Serving struct {
+	Dataset *model.Dataset
+	Store   *er.EntityStore
+	Graph   *pedigree.Graph
+	Engine  *query.Engine
+}
+
+// NewServing builds the initial serving bundle from a resolved data set.
+func NewServing(d *model.Dataset, st *er.EntityStore, simThreshold float64) *Serving {
+	g := pedigree.Build(d, st)
+	k, sim := index.Build(g, simThreshold)
+	return &Serving{Dataset: d, Store: st, Graph: g, Engine: query.NewEngine(g, k, sim)}
+}
+
+// Config tunes the ingestion pipeline.
+type Config struct {
+	// BatchSize flushes the pending batch when it reaches this many
+	// certificates (default 16).
+	BatchSize int
+	// MaxAge flushes a non-empty batch once its oldest certificate has
+	// waited this long (default 2s).
+	MaxAge time.Duration
+	// SimThreshold is the similarity-index threshold s_t used when the
+	// indexes are rebuilt (default 0.5).
+	SimThreshold float64
+	// Graph and Resolver configure the incremental er.Extend pass.
+	Graph    depgraph.Config
+	Resolver er.Config
+}
+
+// DefaultConfig returns the production defaults.
+func DefaultConfig() Config {
+	return Config{
+		BatchSize:    16,
+		MaxAge:       2 * time.Second,
+		SimThreshold: 0.5,
+		Graph:        depgraph.DefaultConfig(),
+		Resolver:     er.DefaultConfig(),
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.BatchSize <= 0 {
+		c.BatchSize = d.BatchSize
+	}
+	if c.MaxAge <= 0 {
+		c.MaxAge = d.MaxAge
+	}
+	if c.SimThreshold <= 0 {
+		c.SimThreshold = d.SimThreshold
+	}
+	return c
+}
+
+// Status is the snapshot returned by GET /api/ingest/status.
+type Status struct {
+	// Pending is the number of accepted certificates not yet resolved.
+	Pending int `json:"pending"`
+	// Accepted and Applied count certificates over the pipeline's lifetime.
+	Accepted int `json:"accepted"`
+	Applied  int `json:"applied"`
+	// Flushes counts completed batch rebuilds; LastFlushMillis is the wall
+	// time of the most recent one (journal replay included).
+	Flushes         int   `json:"flushes"`
+	LastFlushMillis int64 `json:"last_flush_millis"`
+	// Records and Entities describe the currently served generation.
+	Records  int `json:"records"`
+	Entities int `json:"entities"`
+	// JournalPath and JournalEntries describe the WAL ("" when disabled).
+	JournalPath    string `json:"journal_path,omitempty"`
+	JournalEntries int    `json:"journal_entries,omitempty"`
+	// LastError reports the most recent rebuild failure, if any.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// Pipeline accepts certificates, journals them, and folds them into the
+// serving bundle in batches on a background worker. The serving side is
+// wait-free: Serving() is a single atomic load.
+type Pipeline struct {
+	cfg     Config
+	journal *Journal // nil when journalling is disabled
+
+	serving atomic.Pointer[Serving]
+
+	mu       sync.Mutex
+	pending  []Certificate
+	oldestAt time.Time
+	accepted int
+	applied  int
+	flushes  int
+	lastDur  time.Duration
+	lastErr  string
+	swapFns  []func(*Serving)
+
+	// build state, owned by the worker goroutine (and by flushLocked
+	// callers holding buildMu): the data set and store the next generation
+	// grows from.
+	buildMu    sync.Mutex
+	buildD     *model.Dataset
+	buildStore *er.EntityStore
+
+	kick     chan struct{}
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// NewPipeline starts a pipeline over an initial serving bundle. The
+// pipeline takes ownership of the bundle's data set and entity store: the
+// caller must not mutate them afterwards. backlog holds journal entries
+// replayed by OpenJournal; they are applied synchronously (as one batch)
+// before NewPipeline returns, so the served generation reflects every
+// certificate accepted before the last shutdown.
+func NewPipeline(sv *Serving, jr *Journal, backlog []Certificate, cfg Config) (*Pipeline, error) {
+	p := &Pipeline{
+		cfg:        cfg.withDefaults(),
+		journal:    jr,
+		buildD:     sv.Dataset,
+		buildStore: sv.Store,
+		kick:       make(chan struct{}, 1),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	p.serving.Store(sv)
+	if len(backlog) > 0 {
+		p.mu.Lock()
+		p.pending = append(p.pending, backlog...)
+		p.accepted += len(backlog)
+		p.mu.Unlock()
+		if err := p.Flush(); err != nil {
+			return nil, fmt.Errorf("ingest: replaying journal: %w", err)
+		}
+	}
+	go p.run()
+	return p, nil
+}
+
+// Serving returns the current immutable serving bundle.
+func (p *Pipeline) Serving() *Serving { return p.serving.Load() }
+
+// OnSwap registers a callback invoked (from the worker goroutine) after
+// each new generation is published. Used by the HTTP server to retarget
+// its engine pointer.
+func (p *Pipeline) OnSwap(fn func(*Serving)) {
+	p.mu.Lock()
+	p.swapFns = append(p.swapFns, fn)
+	p.mu.Unlock()
+}
+
+// Submit validates, journals, and enqueues one certificate. It returns
+// once the certificate is durable (journalled) and scheduled; resolution
+// happens asynchronously within one batch flush.
+func (p *Pipeline) Submit(c *Certificate) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	if p.journal != nil {
+		if err := p.journal.Append(c); err != nil {
+			return fmt.Errorf("ingest: journalling certificate: %w", err)
+		}
+	}
+	p.mu.Lock()
+	if len(p.pending) == 0 {
+		p.oldestAt = time.Now()
+	}
+	p.pending = append(p.pending, *c)
+	p.accepted++
+	full := len(p.pending) >= p.cfg.BatchSize
+	p.mu.Unlock()
+	if full {
+		select {
+		case p.kick <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// Flush synchronously applies every pending certificate and publishes the
+// resulting generation. It is safe to call concurrently with Submit and
+// with the background worker.
+func (p *Pipeline) Flush() error {
+	p.buildMu.Lock()
+	defer p.buildMu.Unlock()
+	return p.flushLocked()
+}
+
+// Pending reports the number of accepted, not yet applied certificates.
+func (p *Pipeline) Pending() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.pending)
+}
+
+// Status returns a snapshot of the pipeline's counters and the served
+// generation's size.
+func (p *Pipeline) Status() Status {
+	sv := p.Serving()
+	p.mu.Lock()
+	st := Status{
+		Pending:         len(p.pending),
+		Accepted:        p.accepted,
+		Applied:         p.applied,
+		Flushes:         p.flushes,
+		LastFlushMillis: p.lastDur.Milliseconds(),
+		LastError:       p.lastErr,
+	}
+	p.mu.Unlock()
+	st.Records = len(sv.Dataset.Records)
+	st.Entities = len(sv.Graph.Nodes)
+	if p.journal != nil {
+		st.JournalPath = p.journal.Path()
+		st.JournalEntries = p.journal.Len()
+	}
+	return st
+}
+
+// Close stops the worker, applies any remaining batch, and closes the
+// journal.
+func (p *Pipeline) Close() error {
+	p.stopOnce.Do(func() { close(p.stop) })
+	<-p.done
+	err := p.Flush()
+	if p.journal != nil {
+		if cerr := p.journal.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// run is the background worker: it flushes when a batch fills (kick) or
+// when the oldest pending certificate exceeds MaxAge.
+func (p *Pipeline) run() {
+	defer close(p.done)
+	tick := time.NewTicker(p.tickInterval())
+	defer tick.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-p.kick:
+			p.Flush()
+		case <-tick.C:
+			p.mu.Lock()
+			due := len(p.pending) > 0 && time.Since(p.oldestAt) >= p.cfg.MaxAge
+			p.mu.Unlock()
+			if due {
+				p.Flush()
+			}
+		}
+	}
+}
+
+// tickInterval samples the age check a few times per MaxAge window.
+func (p *Pipeline) tickInterval() time.Duration {
+	iv := p.cfg.MaxAge / 4
+	if iv < 10*time.Millisecond {
+		iv = 10 * time.Millisecond
+	}
+	return iv
+}
+
+// flushLocked rebuilds the serving bundle from the pending batch. Caller
+// holds buildMu. The rebuild never touches the published generation: it
+// clones the data set, restores the clustering over the clone, extends it
+// with the new records, and rebuilds graph and indexes before the single
+// atomic swap.
+func (p *Pipeline) flushLocked() error {
+	p.mu.Lock()
+	batch := p.pending
+	p.pending = nil
+	p.mu.Unlock()
+	if len(batch) == 0 {
+		return nil
+	}
+	start := time.Now()
+
+	newD := p.buildD.Clone()
+	firstNew := model.RecordID(len(newD.Records))
+	for i := range batch {
+		if _, err := Apply(newD, &batch[i]); err != nil {
+			// Validate ran at Submit (and during journal replay), so this
+			// is unreachable short of a bug; surface it rather than panic.
+			p.mu.Lock()
+			p.lastErr = err.Error()
+			p.mu.Unlock()
+			return err
+		}
+	}
+
+	// Restore the previous clustering over the cloned data set as cliques
+	// (the persistence semantics of internal/store), then fold the new
+	// records in incrementally.
+	snap := store.Snapshot{Dataset: newD, Clusters: p.buildStore.Clusters()}
+	newStore := snap.Restore()
+	er.Extend(newD, newStore, firstNew, p.cfg.Graph, p.cfg.Resolver)
+
+	sv := NewServing(newD, newStore, p.cfg.SimThreshold)
+	p.buildD, p.buildStore = newD, newStore
+	p.serving.Store(sv)
+
+	p.mu.Lock()
+	p.applied += len(batch)
+	p.flushes++
+	p.lastDur = time.Since(start)
+	p.lastErr = ""
+	fns := append([]func(*Serving){}, p.swapFns...)
+	p.mu.Unlock()
+	for _, fn := range fns {
+		fn(sv)
+	}
+	return nil
+}

@@ -1,0 +1,236 @@
+package ingest
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/snaps/snaps/internal/depgraph"
+	"github.com/snaps/snaps/internal/er"
+	"github.com/snaps/snaps/internal/query"
+)
+
+// manualConfig disables the automatic triggers so tests control flushes.
+func manualConfig() Config {
+	cfg := DefaultConfig()
+	cfg.BatchSize = 1 << 20
+	cfg.MaxAge = time.Hour
+	return cfg
+}
+
+func familyPipeline(t *testing.T, jr *Journal, backlog []Certificate, cfg Config) *Pipeline {
+	t.Helper()
+	d := familyDataset()
+	pr := er.Run(d, depgraph.DefaultConfig(), er.DefaultConfig())
+	p, err := NewPipeline(NewServing(d, pr.Result.Store, 0.5), jr, backlog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// searchOne returns the top result for a first name + surname.
+func searchOne(sv *Serving, first, sur string) (query.Result, bool) {
+	res := sv.Engine.Search(query.Query{FirstName: first, Surname: sur})
+	if len(res) == 0 {
+		return query.Result{}, false
+	}
+	return res[0], true
+}
+
+func TestPipelineFlushMergesIntoExistingEntity(t *testing.T) {
+	p := familyPipeline(t, nil, nil, manualConfig())
+	defer p.Close()
+	old := p.Serving()
+	oldRecords := len(old.Dataset.Records)
+
+	if err := p.Submit(torquilDeath()); err != nil {
+		t.Fatal(err)
+	}
+	if p.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", p.Pending())
+	}
+	if p.Serving() != old {
+		t.Fatal("serving bundle swapped before any flush")
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	sv := p.Serving()
+	if sv == old {
+		t.Fatal("flush did not publish a new generation")
+	}
+	if got := len(sv.Dataset.Records); got != oldRecords+3 {
+		t.Fatalf("new generation has %d records, want %d", got, oldRecords+3)
+	}
+	res, ok := searchOne(sv, "torquil", "macsween")
+	if !ok {
+		t.Fatal("torquil not found in new generation")
+	}
+	n := sv.Graph.Node(res.Entity)
+	if n.BirthYear != 1870 || n.DeathYear != 1875 {
+		t.Errorf("entity years %d-%d, want 1870-1875 (death cert not merged)",
+			n.BirthYear, n.DeathYear)
+	}
+	if len(n.Records) < 2 {
+		t.Errorf("entity has %d records, want the birth and death records merged", len(n.Records))
+	}
+
+	// RCU: the old generation is untouched and still answers queries.
+	if len(old.Dataset.Records) != oldRecords {
+		t.Fatalf("old generation mutated: %d records", len(old.Dataset.Records))
+	}
+	oldRes, ok := searchOne(old, "torquil", "macsween")
+	if !ok {
+		t.Fatal("old generation stopped answering")
+	}
+	if old.Graph.Node(oldRes.Entity).DeathYear != 0 {
+		t.Error("old generation sees the new certificate")
+	}
+
+	st := p.Status()
+	if st.Applied != 1 || st.Flushes != 1 || st.Pending != 0 {
+		t.Errorf("status %+v", st)
+	}
+}
+
+func TestPipelineBatchSizeTriggersFlush(t *testing.T) {
+	cfg := manualConfig()
+	cfg.BatchSize = 2
+	p := familyPipeline(t, nil, nil, cfg)
+	defer p.Close()
+	old := p.Serving()
+
+	p.Submit(torquilDeath())
+	birth := &Certificate{
+		Type: "birth", Year: 1876, Address: "5 uig",
+		Roles: map[string]Person{
+			"Bb": {FirstName: "norman", Surname: "macsween", Gender: "m"},
+			"Bm": {FirstName: "flora", Surname: "macsween"},
+			"Bf": {FirstName: "ewen", Surname: "macsween"},
+		},
+	}
+	p.Submit(birth)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for p.Serving() == old && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	sv := p.Serving()
+	if sv == old {
+		t.Fatal("full batch did not flush within deadline")
+	}
+	if _, ok := searchOne(sv, "norman", "macsween"); !ok {
+		t.Error("ingested-only entity not searchable")
+	}
+}
+
+func TestPipelineMaxAgeTriggersFlush(t *testing.T) {
+	cfg := manualConfig()
+	cfg.MaxAge = 30 * time.Millisecond
+	p := familyPipeline(t, nil, nil, cfg)
+	defer p.Close()
+	old := p.Serving()
+
+	p.Submit(torquilDeath())
+	deadline := time.Now().Add(10 * time.Second)
+	for p.Serving() == old && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if p.Serving() == old {
+		t.Fatal("aged batch did not flush within deadline")
+	}
+}
+
+func TestPipelineJournalReplayAcrossRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	jr, backlog, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := familyPipeline(t, jr, backlog, manualConfig())
+	if err := p.Submit(torquilDeath()); err != nil {
+		t.Fatal(err)
+	}
+	// Crash before the batch is applied: the journal is the only trace.
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	jr2, backlog2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(backlog2) != 1 {
+		t.Fatalf("replayed %d certificates, want 1", len(backlog2))
+	}
+	p2 := familyPipeline(t, jr2, backlog2, manualConfig())
+	defer p2.Close()
+	sv := p2.Serving()
+	res, ok := searchOne(sv, "torquil", "macsween")
+	if !ok {
+		t.Fatal("torquil not found after replay")
+	}
+	if sv.Graph.Node(res.Entity).DeathYear != 1875 {
+		t.Error("journalled certificate not applied on startup")
+	}
+}
+
+// TestPipelineConcurrentSubmitSearchFlush hammers the swap path: searches
+// race submissions and flushes under the race detector.
+func TestPipelineConcurrentSubmitSearchFlush(t *testing.T) {
+	cfg := manualConfig()
+	cfg.BatchSize = 2
+	cfg.MaxAge = 10 * time.Millisecond
+	p := familyPipeline(t, nil, nil, cfg)
+	defer p.Close()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sv := p.Serving()
+				sv.Engine.Search(query.Query{FirstName: "torquil", Surname: "macsween"})
+				sv.Engine.Search(query.Query{FirstName: "flora", Surname: "macsween"})
+			}
+		}()
+	}
+	names := []string{"angus", "donald", "norman", "murdo", "kenneth", "roderick"}
+	for _, nm := range names {
+		c := &Certificate{
+			Type: "birth", Year: 1880, Address: "5 uig",
+			Roles: map[string]Person{
+				"Bb": {FirstName: nm, Surname: "macsween", Gender: "m"},
+				"Bm": {FirstName: "flora", Surname: "macsween"},
+			},
+		}
+		if err := p.Submit(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	sv := p.Serving()
+	for _, nm := range names {
+		if _, ok := searchOne(sv, nm, "macsween"); !ok {
+			t.Errorf("%s not searchable after flushes", nm)
+		}
+	}
+	if st := p.Status(); st.Applied != len(names) {
+		t.Errorf("applied %d, want %d", st.Applied, len(names))
+	}
+}

@@ -473,6 +473,19 @@ type Dataset struct {
 // the Records slice.
 func (d *Dataset) Record(id RecordID) *Record { return &d.Records[id] }
 
+// Clone returns a copy of the data set whose Records and Certificates
+// slices are independent of d, so records and certificates can be appended
+// to the clone while readers keep using d. Certificate role maps are shared:
+// they are never mutated after a certificate is created, so sharing them is
+// safe and keeps cloning O(records) rather than O(records + roles).
+func (d *Dataset) Clone() *Dataset {
+	return &Dataset{
+		Name:         d.Name,
+		Certificates: append([]Certificate(nil), d.Certificates...),
+		Records:      append([]Record(nil), d.Records...),
+	}
+}
+
 // RecordsByRole returns the ids of all records holding any of the given
 // roles.
 func (d *Dataset) RecordsByRole(roles ...Role) []RecordID {

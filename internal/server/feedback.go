@@ -41,20 +41,24 @@ type feedbackStatus struct {
 	CannotLink int `json:"cannot_link"`
 }
 
+// handle keeps its critical sections narrow: the mutex guards journal
+// access only, never request parsing or response encoding to the client (a
+// slow reader must not serialise every other feedback request).
 func (h *FeedbackHandler) handle(w http.ResponseWriter, r *http.Request) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	switch r.Method {
 	case http.MethodGet:
-		writeJSON(w, feedbackStatus{
+		h.mu.Lock()
+		st := feedbackStatus{
 			Decisions:  h.journal.Len(),
 			MustLink:   len(h.journal.MustLinks()),
 			CannotLink: len(h.journal.CannotLinks()),
-		})
+		}
+		h.mu.Unlock()
+		writeJSON(w, st)
 	case http.MethodPost:
 		a, err1 := strconv.Atoi(r.FormValue("a"))
 		b, err2 := strconv.Atoi(r.FormValue("b"))
-		n := len(h.srv.Engine.Graph.Dataset.Records)
+		n := len(h.srv.Engine().Graph.Dataset.Records)
 		if err1 != nil || err2 != nil || a < 0 || b < 0 || a >= n || b >= n || a == b {
 			http.Error(w, "invalid record ids", http.StatusBadRequest)
 			return
@@ -69,7 +73,9 @@ func (h *FeedbackHandler) handle(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "decision must be confirm or reject", http.StatusBadRequest)
 			return
 		}
+		h.mu.Lock()
 		h.journal.Record(model.RecordID(a), model.RecordID(b), d)
+		h.mu.Unlock()
 		w.WriteHeader(http.StatusNoContent)
 	default:
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -91,12 +97,13 @@ type StatsResponse struct {
 // EnableStats mounts GET /api/stats.
 func (s *Server) EnableStats() {
 	s.mux.HandleFunc("/api/stats", func(w http.ResponseWriter, r *http.Request) {
-		d := s.Engine.Graph.Dataset
+		g := s.Engine().Graph
+		d := g.Dataset
 		resp := StatsResponse{
 			Dataset:      d.Name,
 			Records:      len(d.Records),
 			Certificates: len(d.Certificates),
-			Entities:     len(s.Engine.Graph.Nodes),
+			Entities:     len(g.Nodes),
 		}
 		for i := range d.Certificates {
 			switch d.Certificates[i].Type {

@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"github.com/snaps/snaps/internal/gedcom"
 	"github.com/snaps/snaps/internal/index"
@@ -19,9 +20,13 @@ import (
 	"github.com/snaps/snaps/internal/query"
 )
 
-// Server serves the SNAPS web interface for one built data set.
+// Server serves the SNAPS web interface for one built data set. The engine
+// is held behind an atomic pointer so the live ingestion subsystem can
+// hot-swap a freshly rebuilt generation (engine + graph + indexes) without
+// blocking request handlers: each request loads the pointer once and works
+// on that consistent snapshot for its whole lifetime.
 type Server struct {
-	Engine *query.Engine
+	engine atomic.Pointer[query.Engine]
 	// Generations is the pedigree extraction depth g (paper: 2).
 	Generations int
 	mux         *http.ServeMux
@@ -29,7 +34,8 @@ type Server struct {
 
 // New wires the handlers.
 func New(engine *query.Engine) *Server {
-	s := &Server{Engine: engine, Generations: 2, mux: http.NewServeMux()}
+	s := &Server{Generations: 2, mux: http.NewServeMux()}
+	s.engine.Store(engine)
 	s.mux.HandleFunc("/", s.handleHome)
 	s.mux.HandleFunc("/api/search", s.handleSearch)
 	s.mux.HandleFunc("/api/pedigree", s.handlePedigree)
@@ -38,6 +44,14 @@ func New(engine *query.Engine) *Server {
 	s.mux.HandleFunc("/pedigree", s.handlePedigreeHTML)
 	return s
 }
+
+// Engine returns the currently served query engine (and, through it, the
+// pedigree graph and data set of the same generation).
+func (s *Server) Engine() *query.Engine { return s.engine.Load() }
+
+// SetEngine atomically swaps the served engine. In-flight requests keep
+// the generation they loaded; new requests see the new one.
+func (s *Server) SetEngine(e *query.Engine) { s.engine.Store(e) }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -109,10 +123,11 @@ func (s *Server) search(r *http.Request) ([]SearchResult, error) {
 	if q.FirstName == "" || q.Surname == "" {
 		return nil, fmt.Errorf("first_name and surname are required")
 	}
-	results := s.Engine.Search(q)
+	engine := s.Engine()
+	results := engine.Search(q)
 	out := make([]SearchResult, 0, len(results))
 	for _, res := range results {
-		n := s.Engine.Graph.Node(res.Entity)
+		n := engine.Graph.Node(res.Entity)
 		sr := SearchResult{
 			Entity: int32(res.Entity),
 			Name:   n.DisplayName(),
@@ -155,11 +170,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) extractPedigree(r *http.Request) (*PedigreeResponse, error) {
+	g := s.Engine().Graph
 	id, err := strconv.Atoi(r.FormValue("id"))
-	if err != nil || id < 0 || id >= len(s.Engine.Graph.Nodes) {
+	if err != nil || id < 0 || id >= len(g.Nodes) {
 		return nil, fmt.Errorf("invalid entity id")
 	}
-	g := s.Engine.Graph
 	p := g.Extract(pedigree.NodeID(id), s.Generations)
 	resp := &PedigreeResponse{Focus: int32(p.Focus), Text: g.RenderText(p)}
 	for member, hops := range p.Members {
@@ -207,12 +222,12 @@ func (s *Server) handlePedigree(w http.ResponseWriter, r *http.Request) {
 // handlePedigreeDot serves the Graphviz rendering of a pedigree, suitable
 // for piping into dot(1) to obtain the tree images of Figs. 7-8.
 func (s *Server) handlePedigreeDot(w http.ResponseWriter, r *http.Request) {
+	g := s.Engine().Graph
 	id, err := strconv.Atoi(r.FormValue("id"))
-	if err != nil || id < 0 || id >= len(s.Engine.Graph.Nodes) {
+	if err != nil || id < 0 || id >= len(g.Nodes) {
 		http.Error(w, "invalid entity id", http.StatusBadRequest)
 		return
 	}
-	g := s.Engine.Graph
 	p := g.Extract(pedigree.NodeID(id), s.Generations)
 	w.Header().Set("Content-Type", "text/vnd.graphviz; charset=utf-8")
 	fmt.Fprint(w, g.RenderDot(p))
@@ -221,12 +236,12 @@ func (s *Server) handlePedigreeDot(w http.ResponseWriter, r *http.Request) {
 // handlePedigreeGedcom serves one pedigree as a GEDCOM 5.5.1 document for
 // import into mainstream family-tree software.
 func (s *Server) handlePedigreeGedcom(w http.ResponseWriter, r *http.Request) {
+	g := s.Engine().Graph
 	id, err := strconv.Atoi(r.FormValue("id"))
-	if err != nil || id < 0 || id >= len(s.Engine.Graph.Nodes) {
+	if err != nil || id < 0 || id >= len(g.Nodes) {
 		http.Error(w, "invalid entity id", http.StatusBadRequest)
 		return
 	}
-	g := s.Engine.Graph
 	p := g.Extract(pedigree.NodeID(id), s.Generations)
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.Header().Set("Content-Disposition", "attachment; filename=pedigree.ged")
@@ -341,8 +356,9 @@ func BuildIndexes(g *pedigree.Graph, simThreshold float64) *query.Engine {
 // the data behind the result list's exact/approximate colour coding.
 func (s *Server) EnableExplain() {
 	s.mux.HandleFunc("/api/explain", func(w http.ResponseWriter, r *http.Request) {
+		engine := s.Engine()
 		id, err := strconv.Atoi(r.FormValue("id"))
-		if err != nil || id < 0 || id >= len(s.Engine.Graph.Nodes) {
+		if err != nil || id < 0 || id >= len(engine.Graph.Nodes) {
 			http.Error(w, "invalid entity id", http.StatusBadRequest)
 			return
 		}
@@ -351,7 +367,7 @@ func (s *Server) EnableExplain() {
 			http.Error(w, "first_name and surname are required", http.StatusBadRequest)
 			return
 		}
-		ex := s.Engine.Explain(q, pedigree.NodeID(id))
+		ex := engine.Explain(q, pedigree.NodeID(id))
 		type fieldJSON struct {
 			Field        string  `json:"field"`
 			QueryValue   string  `json:"query_value,omitempty"`

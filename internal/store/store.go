@@ -28,12 +28,7 @@ type Snapshot struct {
 
 // FromResult captures a snapshot from a pipeline result.
 func FromResult(d *model.Dataset, s *er.EntityStore) *Snapshot {
-	snap := &Snapshot{Dataset: d}
-	for _, e := range s.Entities() {
-		snap.Clusters = append(snap.Clusters,
-			append([]model.RecordID(nil), s.Records(e)...))
-	}
-	return snap
+	return &Snapshot{Dataset: d, Clusters: s.Clusters()}
 }
 
 // Restore rebuilds an entity store from the snapshot's clusters. Cluster

@@ -149,6 +149,93 @@ func TestSaveLoadFile(t *testing.T) {
 	}
 }
 
+// TestSnapshotRoundTripAfterExtend grows a resolved store with er.Extend
+// (the live-ingestion path) and checks that the clusters created after
+// Grow() survive Save/Load and come back as cliques.
+func TestSnapshotRoundTripAfterExtend(t *testing.T) {
+	d := &model.Dataset{Name: "extend-roundtrip"}
+	add := func(role model.Role, cert model.CertID, first, sur string, year int, g model.Gender) model.RecordID {
+		id := model.RecordID(len(d.Records))
+		d.Records = append(d.Records, model.Record{
+			ID: id, Cert: cert, Role: role, Gender: g,
+			FirstName: first, Surname: sur, Address: "5 uig", Year: year,
+			Truth: model.NoPerson,
+		})
+		return id
+	}
+	add(model.Bb, 0, "torquil", "macsween", 1870, model.Male)
+	add(model.Bm, 0, "flora", "macsween", 1870, model.Female)
+	add(model.Bf, 0, "ewen", "macsween", 1870, model.Male)
+	d.Certificates = append(d.Certificates, model.Certificate{
+		ID: 0, Type: model.Birth, Year: 1870, Age: -1,
+		Roles: map[model.Role]model.RecordID{model.Bb: 0, model.Bm: 1, model.Bf: 2},
+	})
+	add(model.Bb, 1, "una", "macsween", 1872, model.Female)
+	add(model.Bm, 1, "flora", "macsween", 1872, model.Female)
+	add(model.Bf, 1, "ewen", "macsween", 1872, model.Male)
+	d.Certificates = append(d.Certificates, model.Certificate{
+		ID: 1, Type: model.Birth, Year: 1872, Age: -1,
+		Roles: map[model.Role]model.RecordID{model.Bb: 3, model.Bm: 4, model.Bf: 5},
+	})
+
+	base := er.Run(d, depgraph.DefaultConfig(), er.DefaultConfig())
+	st := base.Result.Store
+
+	firstNew := model.RecordID(len(d.Records))
+	add(model.Dd, 2, "torquil", "macsween", 1875, model.Male)
+	add(model.Dm, 2, "flora", "macsween", 1875, model.Female)
+	add(model.Df, 2, "ewen", "macsween", 1875, model.Male)
+	d.Certificates = append(d.Certificates, model.Certificate{
+		ID: 2, Type: model.Death, Year: 1875, Age: 5, Cause: "measles",
+		Roles: map[model.Role]model.RecordID{
+			model.Dd: firstNew, model.Dm: firstNew + 1, model.Df: firstNew + 2,
+		},
+	})
+	er.Extend(d, st, firstNew, depgraph.DefaultConfig(), er.DefaultConfig())
+	if st.EntityOf(firstNew) == er.NoEntity {
+		t.Fatal("Extend did not cluster the new death record")
+	}
+
+	snap := FromResult(d, st)
+	var buf bytes.Buffer
+	if err := Write(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := got.Restore()
+
+	// The Extend-created links survive the round trip.
+	together := func(s *er.EntityStore, a, b model.RecordID) bool {
+		return s.EntityOf(a) != er.NoEntity && s.EntityOf(a) == s.EntityOf(b)
+	}
+	for _, pair := range [][2]model.RecordID{
+		{0, firstNew},     // baby + deceased
+		{1, firstNew + 1}, // birth mother + death mother
+		{2, firstNew + 2}, // birth father + death father
+		{1, 4}, {2, 5},    // original cross-certificate links
+	} {
+		if !together(st, pair[0], pair[1]) {
+			t.Fatalf("records %d and %d not co-clustered before save", pair[0], pair[1])
+		}
+		if !together(restored, pair[0], pair[1]) {
+			t.Errorf("records %d and %d not co-clustered after restore", pair[0], pair[1])
+		}
+	}
+	if len(restored.Entities()) != len(st.Entities()) {
+		t.Errorf("entity count %d after restore, want %d",
+			len(restored.Entities()), len(st.Entities()))
+	}
+
+	// Restored clusters are cliques: a refinement pass cannot peel them.
+	removed, splits := restored.Refine(0.3, 15)
+	if removed != 0 || splits != 0 {
+		t.Errorf("refine peeled restored Extend clusters: removed=%d splits=%d", removed, splits)
+	}
+}
+
 func TestRestoredClustersSurviveRefine(t *testing.T) {
 	// Persisted clusters passed refinement before saving; a REF pass over a
 	// restored store (e.g. during incremental resolution) must not peel
