@@ -97,6 +97,8 @@ func main() {
 		ingestJournal = flag.String("ingest-journal", "", "journal live-ingested certificates to this WAL file (replayed on startup)")
 		ingestBatch   = flag.Int("ingest-batch", 16, "flush ingested certificates after this many accumulate")
 		ingestMaxAge  = flag.Duration("ingest-max-age", 2*time.Second, "flush a non-empty ingest batch after its oldest certificate waited this long")
+
+		pprofFlag = flag.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/ (metrics at /metrics are always on)")
 	)
 	flag.Parse()
 
@@ -209,6 +211,10 @@ func main() {
 		srv.EnableStats()
 		srv.EnableFeedback()
 		srv.EnableExplain()
+		if *pprofFlag {
+			srv.EnablePprof()
+			log.Printf("pprof profiling enabled at /debug/pprof/")
+		}
 
 		// Live ingestion: new certificates POSTed to /api/ingest are
 		// journalled, batch-resolved with er.Extend, and hot-swapped into

@@ -1,0 +1,71 @@
+package er
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/snaps/snaps/internal/dataset"
+	"github.com/snaps/snaps/internal/depgraph"
+	"github.com/snaps/snaps/internal/model"
+)
+
+// canonicalClusters renders a clustering as a canonical string: record ids
+// sorted within each cluster, clusters sorted by their first id, singletons
+// excluded (they carry no linkage decision).
+func canonicalClusters(cl [][]model.RecordID) string {
+	var parts []string
+	for _, c := range cl {
+		if len(c) < 2 {
+			continue
+		}
+		ids := append([]model.RecordID(nil), c...)
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		var sb strings.Builder
+		for i, id := range ids {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%d", id)
+		}
+		parts = append(parts, sb.String())
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "\n")
+}
+
+// TestRunDeterministic is the golden determinism guard: er.Run on the same
+// seeded data set must produce the identical cluster set every time, even
+// though blocking and dependency-graph construction fan work out over
+// parallel goroutines (depgraph.parallelRange). A nondeterministic merge
+// order would silently change linkage results between runs — and make the
+// live ingestion path's restore-and-extend cycle diverge from a fresh
+// resolve.
+func TestRunDeterministic(t *testing.T) {
+	cfg := dataset.IOS().Scaled(0.04)
+	run := func() string {
+		p := dataset.Generate(cfg)
+		pr := Run(p.Dataset, depgraph.DefaultConfig(), DefaultConfig())
+		return canonicalClusters(pr.Result.Store.Clusters())
+	}
+	first := run()
+	if first == "" {
+		t.Fatal("no non-singleton clusters resolved; scale too small for the guard to bite")
+	}
+	for i := 0; i < 2; i++ {
+		if again := run(); again != first {
+			t.Fatalf("run %d produced a different cluster set (parallel stages are nondeterministic)\nfirst run:\n%s\nrun %d:\n%s",
+				i+2, head(first, 20), i+2, head(again, 20))
+		}
+	}
+}
+
+// head returns the first n lines of s, for readable failure output.
+func head(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = append(lines[:n], "...")
+	}
+	return strings.Join(lines, "\n")
+}

@@ -6,6 +6,7 @@ import (
 	"github.com/snaps/snaps/internal/blocking"
 	"github.com/snaps/snaps/internal/depgraph"
 	"github.com/snaps/snaps/internal/model"
+	"github.com/snaps/snaps/internal/obs"
 )
 
 // PipelineResult bundles everything the offline component of SNAPS
@@ -31,12 +32,14 @@ func (p *PipelineResult) Total() time.Duration {
 // graph construction, and the SNAPS bootstrapping/merging/refinement
 // process.
 func Run(d *model.Dataset, gcfg depgraph.Config, cfg Config) *PipelineResult {
-	t0 := time.Now()
+	st := obs.StartStage("blocking")
 	lsh := blocking.NewLSH(blocking.DefaultLSHConfig())
 	cands := lsh.Pairs(d, allRecordIDs(d))
-	blockTime := time.Since(t0)
+	blockTime := st.Stop()
 
 	g, stats := depgraph.Build(d, gcfg, cands)
+	obs.ObserveStage("graph_atomic", stats.GenAtomic)
+	obs.ObserveStage("graph_relational", stats.GenRelational)
 	res := NewResolver(g, cfg).Resolve()
 	return &PipelineResult{
 		Graph: g, Result: res,
@@ -66,16 +69,18 @@ func allRecordIDs(d *model.Dataset) []model.RecordID {
 // arrive, Extend folds them in, and the pedigree graph and indexes are
 // rebuilt from the updated store.
 func Extend(d *model.Dataset, store *EntityStore, firstNew model.RecordID, gcfg depgraph.Config, cfg Config) *PipelineResult {
-	t0 := time.Now()
+	st := obs.StartStage("blocking")
 	lsh := blocking.NewLSH(blocking.DefaultLSHConfig())
 	focus := make(map[model.RecordID]bool, len(d.Records)-int(firstNew))
 	for id := firstNew; int(id) < len(d.Records); id++ {
 		focus[id] = true
 	}
 	cands := lsh.PairsTouching(d, allRecordIDs(d), focus)
-	blockTime := time.Since(t0)
+	blockTime := st.Stop()
 
 	g, stats := depgraph.Build(d, gcfg, cands)
+	obs.ObserveStage("graph_atomic", stats.GenAtomic)
+	obs.ObserveStage("graph_relational", stats.GenRelational)
 	store.Grow()
 	r := NewResolver(g, cfg)
 	r.store = store

@@ -9,6 +9,7 @@ import (
 	"github.com/snaps/snaps/internal/constraint"
 	"github.com/snaps/snaps/internal/depgraph"
 	"github.com/snaps/snaps/internal/model"
+	"github.com/snaps/snaps/internal/obs"
 )
 
 // Config holds the SNAPS resolver parameters and the ablation switches used
@@ -135,6 +136,7 @@ func (r *Resolver) Resolve() *Result {
 	t0 := time.Now()
 	r.bootstrap(res)
 	res.Timings.Bootstrap = time.Since(t0)
+	obs.ObserveStage("bootstrap", res.Timings.Bootstrap)
 	r.refine(res)
 
 	t1 := time.Now()
@@ -147,6 +149,8 @@ func (r *Resolver) Resolve() *Result {
 		r.refine(res)
 	}
 	res.Timings.Merge = time.Since(t1) - res.Timings.Refine
+	obs.ObserveStage("merge", res.Timings.Merge)
+	obs.ObserveStage("refine", res.Timings.Refine)
 	return res
 }
 

@@ -15,8 +15,19 @@ import (
 	"strconv"
 	"sync"
 
+	"github.com/snaps/snaps/internal/obs"
 	"github.com/snaps/snaps/internal/pedigree"
 	"github.com/snaps/snaps/internal/strsim"
+)
+
+// Memoisation metrics of the similarity-aware index: a miss is a
+// query-time probe that had to scan the bigram postings and compute
+// similarities before being stored (Sec. 7's lazy extension of S).
+var (
+	mMemoHits = obs.Default.Counter("snaps_index_memo_hits_total",
+		"Similarity lookups answered from the memoised index S.")
+	mMemoMisses = obs.Default.Counter("snaps_index_memo_misses_total",
+		"Similarity lookups that computed and memoised a new value.")
 )
 
 // Field enumerates the searchable QID fields of the keyword index.
@@ -78,6 +89,7 @@ type Similarity struct {
 // (paper: 0.5). Precomputation covers first names and surnames (the
 // mandatory query fields); locations are extended lazily at query time.
 func Build(g *pedigree.Graph, simThreshold float64) (*Keyword, *Similarity) {
+	defer obs.StartStage("index_build").Stop()
 	k := &Keyword{}
 	for f := Field(0); f < NumFields; f++ {
 		k.postings[f] = map[string][]pedigree.NodeID{}
@@ -166,9 +178,11 @@ func (s *Similarity) Similar(f Field, value string) []SimilarValue {
 	s.mu.RLock()
 	if out, ok := s.sims[f][value]; ok {
 		s.mu.RUnlock()
+		mMemoHits.Inc()
 		return out
 	}
 	s.mu.RUnlock()
+	mMemoMisses.Inc()
 	out := s.computeSimilar(f, value)
 	s.mu.Lock()
 	s.sims[f][value] = out

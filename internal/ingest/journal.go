@@ -9,6 +9,16 @@ import (
 	"os"
 	"strings"
 	"sync"
+
+	"github.com/snaps/snaps/internal/obs"
+)
+
+// Journal metrics in the default registry.
+var (
+	mJournalAppends = obs.Default.Counter("snaps_ingest_journal_appends_total",
+		"Certificates durably appended (written and fsynced) to the WAL.")
+	mJournalReplayed = obs.Default.Counter("snaps_ingest_journal_replayed_total",
+		"Certificates replayed from the WAL on startup.")
 )
 
 // journalMagic is the header line of an ingestion journal, following the
@@ -108,6 +118,7 @@ func (j *Journal) replay() ([]Certificate, error) {
 		return nil, err
 	}
 	j.entries = len(out)
+	mJournalReplayed.Add(int64(len(out)))
 	return out, nil
 }
 
@@ -128,6 +139,7 @@ func (j *Journal) Append(c *Certificate) error {
 		return err
 	}
 	j.entries++
+	mJournalAppends.Inc()
 	return nil
 }
 

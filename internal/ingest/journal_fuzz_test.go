@@ -1,0 +1,159 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// fuzzCertLine returns one valid journal entry line (without newline).
+func fuzzCertLine(t testing.TB) []byte {
+	t.Helper()
+	buf, err := json.Marshal(torquilDeath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+// FuzzJournalReplay throws arbitrary bytes at the SNAPSWALv01 reader:
+// truncated tails, garbage, interleaved corruption, oversized lines.
+// Replay must never panic, and on success it must uphold the recovery
+// contract — a torn (newline-less) tail is truncated away so a reopen
+// replays exactly the same entries, while corruption before the tail is a
+// hard error rather than silent data loss.
+func FuzzJournalReplay(f *testing.F) {
+	cert := fuzzCertLine(f)
+	header := []byte(journalMagic + "\n")
+
+	f.Add([]byte{})
+	f.Add(header)
+	f.Add([]byte("WRONGMAGIC\n"))
+	f.Add(append(append([]byte{}, header...), append(cert, '\n')...))
+	// Torn tail: a complete entry, then a partial append.
+	f.Add(append(append(append([]byte{}, header...), append(cert, '\n')...), cert[:len(cert)/2]...))
+	// Decodable line without newline still counts as torn.
+	f.Add(append(append([]byte{}, header...), cert...))
+	// Mid-log corruption followed by a valid entry: must hard-error.
+	f.Add(append(append(append([]byte{}, header...), []byte("{not a cert}\n")...), append(cert, '\n')...))
+	// Interleaved garbage and valid JSON of the wrong shape.
+	f.Add(append(append([]byte{}, header...), []byte("[]\n\x00\xff\n")...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "wal.jsonl")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		j, replayed, err := OpenJournal(path)
+		if err != nil {
+			// A failed open must not have consumed the file handle twice or
+			// left a half-open journal: opening an empty fresh path in the
+			// same directory must still work.
+			return
+		}
+		defer j.Close()
+
+		if j.Len() != len(replayed) {
+			t.Fatalf("Len()=%d but %d entries replayed", j.Len(), len(replayed))
+		}
+		for i := range replayed {
+			if verr := replayed[i].Validate(); verr != nil {
+				t.Fatalf("replayed entry %d does not validate: %v", i, verr)
+			}
+		}
+
+		// The open truncated any torn tail, so the file now ends at the last
+		// intact line: a reopen must succeed and replay identical entries.
+		if err := j.Close(); err != nil {
+			t.Fatalf("close after replay: %v", err)
+		}
+		j2, replayed2, err := OpenJournal(path)
+		if err != nil {
+			t.Fatalf("reopen after successful open: %v", err)
+		}
+		defer j2.Close()
+		if !reflect.DeepEqual(replayed, replayed2) {
+			t.Fatalf("reopen replayed %d entries, first open %d: torn-tail truncation not idempotent",
+				len(replayed2), len(replayed))
+		}
+
+		// Appending to the recovered journal keeps it replayable, with the
+		// new entry following the recovered ones.
+		c := torquilDeath()
+		if err := j2.Append(c); err != nil {
+			t.Fatalf("append after recovery: %v", err)
+		}
+		if err := j2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		j3, replayed3, err := OpenJournal(path)
+		if err != nil {
+			t.Fatalf("reopen after append: %v", err)
+		}
+		defer j3.Close()
+		if len(replayed3) != len(replayed)+1 {
+			t.Fatalf("after append: %d entries, want %d", len(replayed3), len(replayed)+1)
+		}
+		got, _ := json.Marshal(replayed3[len(replayed3)-1])
+		want, _ := json.Marshal(c)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("appended entry corrupted on replay: %s != %s", got, want)
+		}
+	})
+}
+
+// TestJournalReplayContract pins the torn-tail-truncate versus
+// hard-error-on-mid-log-corruption distinction with deterministic cases,
+// independent of the fuzzer's corpus.
+func TestJournalReplayContract(t *testing.T) {
+	cert := fuzzCertLine(t)
+	header := journalMagic + "\n"
+
+	write := func(t *testing.T, content []byte) string {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "wal.jsonl")
+		if err := os.WriteFile(path, content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	t.Run("torn tail truncated", func(t *testing.T) {
+		content := append([]byte(header), append(cert, '\n')...)
+		content = append(content, cert[:10]...)
+		path := write(t, content)
+		j, replayed, err := OpenJournal(path)
+		if err != nil {
+			t.Fatalf("torn tail must recover, got %v", err)
+		}
+		defer j.Close()
+		if len(replayed) != 1 {
+			t.Fatalf("replayed %d entries, want 1", len(replayed))
+		}
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := int64(len(header) + len(cert) + 1); info.Size() != want {
+			t.Fatalf("file size %d after recovery, want %d (tail truncated)", info.Size(), want)
+		}
+	})
+
+	t.Run("mid-log corruption is a hard error", func(t *testing.T) {
+		content := append([]byte(header), []byte("{corrupt}\n")...)
+		content = append(content, append(cert, '\n')...)
+		if _, _, err := OpenJournal(write(t, content)); err == nil {
+			t.Fatal("corruption before an intact entry must not be silently dropped")
+		}
+	})
+
+	t.Run("bad header rejected", func(t *testing.T) {
+		if _, _, err := OpenJournal(write(t, []byte("SNAPSWALv99\n"))); err == nil {
+			t.Fatal("unknown journal version must be rejected")
+		}
+	})
+}

@@ -10,9 +10,30 @@ import (
 	"github.com/snaps/snaps/internal/er"
 	"github.com/snaps/snaps/internal/index"
 	"github.com/snaps/snaps/internal/model"
+	"github.com/snaps/snaps/internal/obs"
 	"github.com/snaps/snaps/internal/pedigree"
 	"github.com/snaps/snaps/internal/query"
 	"github.com/snaps/snaps/internal/store"
+)
+
+// Pipeline metrics in the default registry, exposed at GET /metrics.
+var (
+	mAccepted = obs.Default.Counter("snaps_ingest_accepted_total",
+		"Certificates accepted (validated and journalled) by the ingest pipeline.")
+	mApplied = obs.Default.Counter("snaps_ingest_applied_total",
+		"Certificates folded into a published serving generation.")
+	mFlushes = obs.Default.Counter("snaps_ingest_flushes_total",
+		"Completed batch flushes (incremental re-resolution + index rebuild).")
+	mSwaps = obs.Default.Counter("snaps_ingest_snapshot_swaps_total",
+		"Serving-bundle pointer swaps publishing a new generation.")
+	mQueueDepth = obs.Default.Gauge("snaps_ingest_queue_depth",
+		"Accepted certificates waiting for the next batch flush.")
+	mFlushSeconds = obs.Default.Histogram("snaps_ingest_flush_seconds",
+		"Wall-clock duration of one batch flush.", obs.DefBuckets)
+	mResolvedRecords = obs.Default.Counter("snaps_ingest_resolved_records_total",
+		"Records re-resolved incrementally by er.Extend during flushes.")
+	mCandidatePairs = obs.Default.Counter("snaps_ingest_candidate_pairs_total",
+		"Candidate record pairs re-examined by er.Extend during flushes.")
 )
 
 // Serving bundles everything the online component answers queries from:
@@ -190,6 +211,8 @@ func (p *Pipeline) Submit(c *Certificate) error {
 	p.pending = append(p.pending, *c)
 	p.accepted++
 	full := len(p.pending) >= p.cfg.BatchSize
+	mAccepted.Inc()
+	mQueueDepth.Set(int64(len(p.pending)))
 	p.mu.Unlock()
 	if full {
 		select {
@@ -294,6 +317,7 @@ func (p *Pipeline) flushLocked() error {
 	p.mu.Lock()
 	batch := p.pending
 	p.pending = nil
+	mQueueDepth.Set(0)
 	p.mu.Unlock()
 	if len(batch) == 0 {
 		return nil
@@ -318,11 +342,18 @@ func (p *Pipeline) flushLocked() error {
 	// records in incrementally.
 	snap := store.Snapshot{Dataset: newD, Clusters: p.buildStore.Clusters()}
 	newStore := snap.Restore()
-	er.Extend(newD, newStore, firstNew, p.cfg.Graph, p.cfg.Resolver)
+	epr := er.Extend(newD, newStore, firstNew, p.cfg.Graph, p.cfg.Resolver)
 
 	sv := NewServing(newD, newStore, p.cfg.SimThreshold)
 	p.buildD, p.buildStore = newD, newStore
 	p.serving.Store(sv)
+
+	mApplied.Add(int64(len(batch)))
+	mFlushes.Inc()
+	mSwaps.Inc()
+	mFlushSeconds.ObserveDuration(time.Since(start))
+	mResolvedRecords.Add(int64(len(newD.Records)) - int64(firstNew))
+	mCandidatePairs.Add(int64(epr.Candidates))
 
 	p.mu.Lock()
 	p.applied += len(batch)

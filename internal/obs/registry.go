@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// kind discriminates the metric types a registry can hold.
+type kind uint8
+
+const (
+	counterKind kind = iota
+	gaugeKind
+	histogramKind
+)
+
+func (k kind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind:
+		return "gauge"
+	case histogramKind:
+		return "histogram"
+	}
+	return "kind?"
+}
+
+// entry is one registered time series: a metric family name, an optional
+// label set, and the metric itself.
+type entry struct {
+	family string
+	labels string // rendered label pairs without braces, "" when unlabelled
+	help   string
+	kind   kind
+
+	counter   *Counter
+	gauge     *Gauge
+	histogram *Histogram
+}
+
+// Registry holds named metrics and renders them in the Prometheus text
+// exposition format. Series names may carry a label set in the name itself,
+// e.g. `snaps_http_requests_total{route="/api/search",code="2xx"}`; series
+// of the same family share one HELP/TYPE header in the exposition.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: map[string]*entry{}}
+}
+
+// Default is the process-wide registry every SNAPS component registers
+// into; internal/server exposes it at GET /metrics.
+var Default = NewRegistry()
+
+// splitName separates a series name into family and label set. The family
+// must look like a Prometheus metric name; the label part, when present,
+// is kept verbatim (callers construct it with Label).
+func splitName(name string) (family, labels string) {
+	family = name
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		if !strings.HasSuffix(name, "}") {
+			panic(fmt.Sprintf("obs: malformed series name %q", name))
+		}
+		family, labels = name[:i], name[i+1:len(name)-1]
+	}
+	if !validFamily(family) {
+		panic(fmt.Sprintf("obs: invalid metric family name %q", family))
+	}
+	return family, labels
+}
+
+func validFamily(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_' || r == ':'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// Label renders one label pair for inclusion in a series name, escaping
+// backslashes, quotes, and newlines in the value.
+func Label(name, value string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return name + `="` + r.Replace(value) + `"`
+}
+
+// lookup returns the entry for name, creating it with mk when absent, and
+// panics when the existing entry has a different kind — mixing kinds under
+// one name is a programming error, not a runtime condition.
+func (r *Registry) lookup(name, help string, k kind, mk func(*entry)) *entry {
+	r.mu.RLock()
+	e := r.entries[name]
+	r.mu.RUnlock()
+	if e == nil {
+		r.mu.Lock()
+		if e = r.entries[name]; e == nil {
+			family, labels := splitName(name)
+			e = &entry{family: family, labels: labels, help: help, kind: k}
+			mk(e)
+			r.entries[name] = e
+		}
+		r.mu.Unlock()
+	}
+	if e.kind != k {
+		panic(fmt.Sprintf("obs: metric %q registered as %v, requested as %v", name, e.kind, k))
+	}
+	return e
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. help is retained from the first registration.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.lookup(name, help, counterKind, func(e *entry) { e.counter = &Counter{} }).counter
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.lookup(name, help, gaugeKind, func(e *entry) { e.gauge = &Gauge{} }).gauge
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket upper bounds (seconds for latencies) on first use.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.lookup(name, help, histogramKind, func(e *entry) { e.histogram = newHistogram(buckets) }).histogram
+}
+
+// WriteText renders every registered series in the Prometheus text
+// exposition format (version 0.0.4), sorted by family then label set, with
+// one HELP/TYPE header per family.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.RLock()
+	entries := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].family != entries[j].family {
+			return entries[i].family < entries[j].family
+		}
+		return entries[i].labels < entries[j].labels
+	})
+
+	bw := bufio.NewWriter(w)
+	prevFamily := ""
+	for _, e := range entries {
+		if e.family != prevFamily {
+			if e.help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", e.family, e.help)
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", e.family, e.kind)
+			prevFamily = e.family
+		}
+		switch e.kind {
+		case counterKind:
+			fmt.Fprintf(bw, "%s %d\n", series(e.family, e.labels), e.counter.Value())
+		case gaugeKind:
+			fmt.Fprintf(bw, "%s %d\n", series(e.family, e.labels), e.gauge.Value())
+		case histogramKind:
+			h := e.histogram
+			cum, total := h.snapshot()
+			for i, bound := range h.bounds {
+				le := Label("le", formatFloat(bound))
+				fmt.Fprintf(bw, "%s %d\n", series(e.family+"_bucket", join(e.labels, le)), cum[i])
+			}
+			fmt.Fprintf(bw, "%s %d\n", series(e.family+"_bucket", join(e.labels, `le="+Inf"`)), total)
+			fmt.Fprintf(bw, "%s %s\n", series(e.family+"_sum", e.labels), formatFloat(h.Sum()))
+			fmt.Fprintf(bw, "%s %d\n", series(e.family+"_count", e.labels), total)
+		}
+	}
+	return bw.Flush()
+}
+
+func series(family, labels string) string {
+	if labels == "" {
+		return family
+	}
+	return family + "{" + labels + "}"
+}
+
+func join(labels, more string) string {
+	if labels == "" {
+		return more
+	}
+	return labels + "," + more
+}
+
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// each calls fn for every registered series of the family, sorted by label
+// set; used by the stage summary.
+func (r *Registry) each(family string, fn func(labels string, e *entry)) {
+	r.mu.RLock()
+	var matched []*entry
+	for _, e := range r.entries {
+		if e.family == family {
+			matched = append(matched, e)
+		}
+	}
+	r.mu.RUnlock()
+	sort.Slice(matched, func(i, j int) bool { return matched[i].labels < matched[j].labels })
+	for _, e := range matched {
+		fn(e.labels, e)
+	}
+}

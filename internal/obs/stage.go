@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// stageFamily is the shared histogram family for pipeline stage timings:
+// one labelled series per stage (blocking, graph construction, bootstrap,
+// merge, refine, indexing, ...), so the offline pipeline, the ingest
+// flush path, and the experiment harness all report through one source.
+const stageFamily = "snaps_stage_seconds"
+
+const stageHelp = "Wall-clock duration of one named pipeline stage."
+
+// StageHistogram returns the latency histogram of one named stage in the
+// default registry.
+func StageHistogram(name string) *Histogram {
+	return Default.Histogram(stageFamily+"{"+Label("stage", name)+"}", stageHelp, DefBuckets)
+}
+
+// Stage is a running timer for one named pipeline stage.
+type Stage struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartStage begins timing a named stage.
+func StartStage(name string) *Stage {
+	return &Stage{h: StageHistogram(name), start: time.Now()}
+}
+
+// Stop records the elapsed time into the stage's histogram and returns it,
+// so callers that also report the duration (er.PipelineResult, the
+// experiment tables) measure exactly what the metrics show.
+func (s *Stage) Stop() time.Duration {
+	d := time.Since(s.start)
+	s.h.ObserveDuration(d)
+	return d
+}
+
+// ObserveStage records an externally measured duration for a stage —
+// the path for code that already carries its own timings (depgraph build
+// statistics, the resolver's phase breakdown).
+func ObserveStage(name string, d time.Duration) {
+	StageHistogram(name).ObserveDuration(d)
+}
+
+// StageSummary prints one line per recorded stage — observation count,
+// total seconds, and the p50/p95/p99 latency estimates — in label order.
+// cmd/experiments uses it to print the per-stage breakdown behind the
+// runtime tables.
+func StageSummary(w io.Writer) {
+	fmt.Fprintf(w, "%-28s %8s %12s %10s %10s %10s\n",
+		"stage", "count", "total(s)", "p50(s)", "p95(s)", "p99(s)")
+	Default.each(stageFamily, func(labels string, e *entry) {
+		h := e.histogram
+		if h == nil || h.Count() == 0 {
+			return
+		}
+		fmt.Fprintf(w, "%-28s %8d %12.4f %10.4f %10.4f %10.4f\n",
+			stageLabelValue(labels), h.Count(), h.Sum(),
+			h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
+	})
+}
+
+// stageLabelValue extracts the stage name back out of the rendered label
+// set produced by StageHistogram.
+func stageLabelValue(labels string) string {
+	const pre, post = `stage="`, `"`
+	if len(labels) > len(pre)+len(post) && labels[:len(pre)] == pre && labels[len(labels)-1] == '"' {
+		return labels[len(pre) : len(labels)-1]
+	}
+	return labels
+}

@@ -15,6 +15,7 @@ import (
 
 	"github.com/snaps/snaps/internal/er"
 	"github.com/snaps/snaps/internal/model"
+	"github.com/snaps/snaps/internal/obs"
 )
 
 // EntityID aliases the resolver's entity id inside the pedigree graph. The
@@ -76,6 +77,7 @@ func (g *Graph) NodeOfRecord(r model.RecordID) (NodeID, bool) {
 // adds relationship edges between entities whose records co-occur on a
 // certificate with that relationship.
 func Build(d *model.Dataset, store *er.EntityStore) *Graph {
+	defer obs.StartStage("pedigree_build").Stop()
 	g := &Graph{Dataset: d, nodeOf: make([]NodeID, len(d.Records))}
 	for i := range g.nodeOf {
 		g.nodeOf[i] = -1

@@ -9,11 +9,23 @@ package query
 import (
 	"sort"
 	"strconv"
+	"time"
 
 	"github.com/snaps/snaps/internal/index"
 	"github.com/snaps/snaps/internal/model"
+	"github.com/snaps/snaps/internal/obs"
 	"github.com/snaps/snaps/internal/pedigree"
 	"github.com/snaps/snaps/internal/strsim"
+)
+
+// Engine metrics in the default registry, exposed at GET /metrics.
+var (
+	mSearches = obs.Default.Counter("snaps_query_searches_total",
+		"Search queries answered by the ranking engine.")
+	mSearchSeconds = obs.Default.Histogram("snaps_query_search_seconds",
+		"End-to-end Search latency.", obs.DefBuckets)
+	mCandidates = obs.Default.Histogram("snaps_query_candidates",
+		"Entities entering the score accumulator per search.", obs.CountBuckets)
 )
 
 // Query is a user search request. FirstName and Surname are mandatory; the
@@ -98,6 +110,7 @@ func (a *accum) score() float64 {
 // first name and/or surname); gender, year, and location only adjust scores
 // of accumulated entities, never add new ones (Sec. 7).
 func (e *Engine) Search(q Query) []Result {
+	start := time.Now()
 	m := map[pedigree.NodeID]*accum{}
 	weightSum := e.Weights.FirstName + e.Weights.Surname
 
@@ -185,6 +198,9 @@ func (e *Engine) Search(q Query) []Result {
 	if e.TopM > 0 && len(results) > e.TopM {
 		results = results[:e.TopM]
 	}
+	mSearches.Inc()
+	mCandidates.Observe(float64(len(m)))
+	mSearchSeconds.ObserveDuration(time.Since(start))
 	return results
 }
 

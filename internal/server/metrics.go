@@ -1,0 +1,80 @@
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"github.com/snaps/snaps/internal/obs"
+)
+
+// Request metrics, one series per registered route pattern. Pattern
+// cardinality is bounded by the mux registrations, never by client input:
+// unmatched paths all collapse into the "unmatched" series.
+const (
+	httpRequestsFamily = "snaps_http_requests_total"
+	httpLatencyFamily  = "snaps_http_request_seconds"
+)
+
+// statusWriter captures the status code a handler writes, so the request
+// counter can be labelled with its status class.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// statusClass buckets a status code into 2xx/3xx/4xx/5xx.
+func statusClass(code int) string {
+	switch {
+	case code >= 500:
+		return "5xx"
+	case code >= 400:
+		return "4xx"
+	case code >= 300:
+		return "3xx"
+	default:
+		return "2xx"
+	}
+}
+
+// observeRequest records one served request into the default registry.
+func observeRequest(route string, status int, d time.Duration) {
+	if route == "" {
+		route = "unmatched"
+	}
+	obs.Default.Counter(
+		httpRequestsFamily+"{"+obs.Label("route", route)+","+obs.Label("code", statusClass(status))+"}",
+		"Total HTTP requests served, by route pattern and status class.").Inc()
+	obs.Default.Histogram(
+		httpLatencyFamily+"{"+obs.Label("route", route)+"}",
+		"HTTP request latency by route pattern.", obs.DefBuckets).ObserveDuration(d)
+}
+
+// handleMetrics serves the Prometheus text exposition of every metric in
+// the default registry: request counts and latencies, ingest pipeline
+// counters, query-engine and index statistics, and the offline stage
+// timing histograms.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.Default.WriteText(w)
+}
+
+// EnablePprof mounts the net/http/pprof profiling handlers under
+// /debug/pprof/. Off by default — cmd/snaps gates it behind -pprof — since
+// profile endpoints expose internals and can be made to burn CPU.
+func (s *Server) EnablePprof() {
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

@@ -1,0 +1,152 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// scrape fetches /metrics and returns the parsed samples: series name
+// (with labels) to value.
+func scrape(t *testing.T, s *Server) map[string]float64 {
+	t.Helper()
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, httptest.NewRequest("GET", "/metrics", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("GET /metrics: content type %q", ct)
+	}
+	return parseExposition(t, w.Body.String())
+}
+
+// sampleRE is one non-comment line of the text exposition format.
+var sampleRE = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*(?:\{[^{}]*\})?) ([-+]?[0-9.]+(?:[eE][-+]?[0-9]+)?|NaN)$`)
+
+// parseExposition checks every line of the exposition parses and returns
+// the samples.
+func parseExposition(t *testing.T, body string) map[string]float64 {
+	t.Helper()
+	out := map[string]float64{}
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if strings.HasPrefix(line, "#") {
+			if !strings.HasPrefix(line, "# HELP ") && !strings.HasPrefix(line, "# TYPE ") {
+				t.Fatalf("unknown comment line %q", line)
+			}
+			continue
+		}
+		m := sampleRE.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("unparseable exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			t.Fatalf("unparseable sample value in %q: %v", line, err)
+		}
+		out[m[1]] = v
+	}
+	return out
+}
+
+// sumFamily totals every series of one family (across label sets).
+func sumFamily(samples map[string]float64, family string) float64 {
+	total := 0.0
+	for name, v := range samples {
+		if name == family || strings.HasPrefix(name, family+"{") {
+			total += v
+		}
+	}
+	return total
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s, g := testServer(t)
+	first, sur := someName(g)
+
+	before := scrape(t, s)
+
+	// Serve a search and a not-found so two status classes are recorded.
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, httptest.NewRequest("GET", "/api/search?first_name="+first+"&surname="+sur, nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("search status %d", w.Code)
+	}
+	w = httptest.NewRecorder()
+	s.ServeHTTP(w, httptest.NewRequest("GET", "/api/search", nil))
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("bad search status %d", w.Code)
+	}
+
+	after := scrape(t, s)
+
+	// Counters must be present, nonzero, and monotonic across requests.
+	reqBefore, reqAfter := sumFamily(before, "snaps_http_requests_total"), sumFamily(after, "snaps_http_requests_total")
+	if reqAfter == 0 {
+		t.Fatal("snaps_http_requests_total missing or zero after requests")
+	}
+	if reqAfter < reqBefore+2 {
+		t.Fatalf("request counter not monotonic: %v -> %v", reqBefore, reqAfter)
+	}
+	searchRoute := `snaps_http_requests_total{route="/api/search",code="2xx"}`
+	if after[searchRoute] < 1 {
+		t.Fatalf("per-route counter %s = %v, want >= 1", searchRoute, after[searchRoute])
+	}
+	badRoute := `snaps_http_requests_total{route="/api/search",code="4xx"}`
+	if after[badRoute] < 1 {
+		t.Fatalf("per-route counter %s = %v, want >= 1", badRoute, after[badRoute])
+	}
+	if sumFamily(after, "snaps_query_searches_total") < 1 {
+		t.Fatal("snaps_query_searches_total missing after a search")
+	}
+	// The request latency histogram must carry the served requests.
+	latCount := `snaps_http_request_seconds_count{route="/api/search"}`
+	if after[latCount] < 2 {
+		t.Fatalf("latency histogram count %v, want >= 2", after[latCount])
+	}
+	// A scrape itself is counted: /metrics appears as a route.
+	if sumFamily(after, `snaps_http_requests_total{route="/metrics",code="2xx"}`) < 1 {
+		t.Fatal("the /metrics route is not itself instrumented")
+	}
+}
+
+func TestMetricsEndpointMethodNotAllowed(t *testing.T) {
+	s, _ := testServer(t)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, httptest.NewRequest("POST", "/metrics", nil))
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /metrics: status %d, want 405", w.Code)
+	}
+}
+
+func TestPprofGatedBehindEnable(t *testing.T) {
+	s, _ := testServer(t)
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, httptest.NewRequest("GET", path, nil))
+		if w.Code != http.StatusNotFound {
+			t.Fatalf("GET %s without EnablePprof: status %d, want 404", path, w.Code)
+		}
+	}
+
+	s.EnablePprof()
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/ after EnablePprof: status %d", w.Code)
+	}
+	if !strings.Contains(w.Body.String(), "goroutine") {
+		t.Fatal("pprof index does not list profiles")
+	}
+}
+
+func TestStatusClass(t *testing.T) {
+	for code, want := range map[int]string{200: "2xx", 204: "2xx", 302: "3xx", 404: "4xx", 500: "5xx", 503: "5xx"} {
+		if got := statusClass(code); got != want {
+			t.Errorf("statusClass(%d) = %s, want %s", code, got, want)
+		}
+	}
+}

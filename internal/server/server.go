@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"github.com/snaps/snaps/internal/gedcom"
 	"github.com/snaps/snaps/internal/index"
@@ -42,6 +43,7 @@ func New(engine *query.Engine) *Server {
 	s.mux.HandleFunc("/api/pedigree.dot", s.handlePedigreeDot)
 	s.mux.HandleFunc("/api/pedigree.ged", s.handlePedigreeGedcom)
 	s.mux.HandleFunc("/pedigree", s.handlePedigreeHTML)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
 }
 
@@ -53,8 +55,15 @@ func (s *Server) Engine() *query.Engine { return s.engine.Load() }
 // the generation they loaded; new requests see the new one.
 func (s *Server) SetEngine(e *query.Engine) { s.engine.Store(e) }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. Every request is timed and counted
+// under its mux route pattern (bounded cardinality) and status class.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	_, route := s.mux.Handler(r)
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	start := time.Now()
+	s.mux.ServeHTTP(sw, r)
+	observeRequest(route, sw.status, time.Since(start))
+}
 
 // SearchResult is one row of the JSON result list.
 type SearchResult struct {
