@@ -21,7 +21,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"strings"
@@ -36,6 +36,7 @@ import (
 	"github.com/snaps/snaps/internal/geo"
 	"github.com/snaps/snaps/internal/ingest"
 	"github.com/snaps/snaps/internal/model"
+	"github.com/snaps/snaps/internal/obs"
 	"github.com/snaps/snaps/internal/pedigree"
 	"github.com/snaps/snaps/internal/query"
 	"github.com/snaps/snaps/internal/report"
@@ -99,8 +100,20 @@ func main() {
 		ingestMaxAge  = flag.Duration("ingest-max-age", 2*time.Second, "flush a non-empty ingest batch after its oldest certificate waited this long")
 
 		pprofFlag = flag.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/ (metrics at /metrics are always on)")
+
+		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, or error")
+		logFormat  = flag.String("log-format", "text", "log output format: text or json")
+		slowQuery  = flag.Duration("slow-query", -1, "log any search at or above this duration with its full span tree (0 logs every search; negative disables)")
+		traceDebug = flag.Bool("trace-debug", false, "mount GET /api/debug/traces serving the ring buffer of completed request traces")
 	)
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	slog.SetDefault(obs.NewLogger(os.Stderr, level, *logFormat))
 
 	var (
 		d        *model.Dataset
@@ -110,71 +123,71 @@ func main() {
 	case *loadPath != "":
 		snap, err := store.Load(*loadPath)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		d = snap.Dataset
 		entStore = snap.Restore()
-		log.Printf("loaded snapshot %s: %d records, %d clusters", *loadPath, len(d.Records), len(snap.Clusters))
+		slog.Info("loaded snapshot", "path", *loadPath, "records", len(d.Records), "clusters", len(snap.Clusters))
 	case *birthsCSV != "" || *deathsCSV != "" || *marriagesCSV != "" || *censusCSV != "":
 		var err error
 		if d, err = loadCSVs(*birthsCSV, *deathsCSV, *marriagesCSV, *censusCSV); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		geo.GeocodeDataset(d, geo.Skye())
-		log.Printf("imported %d certificates, %d records", len(d.Certificates), len(d.Records))
+		slog.Info("imported certificates", "certificates", len(d.Certificates), "records", len(d.Records))
 	default:
 		cfg, err := datasetConfig(*dsName)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		cfg = cfg.Scaled(*scale)
 		if *census {
 			cfg = cfg.WithCensus()
 		}
-		log.Printf("generating %s population (scale %.2f)...", cfg.Name, *scale)
+		slog.Info("generating population", "dataset", cfg.Name, "scale", *scale)
 		d = dataset.Generate(cfg).Dataset
-		log.Printf("%d certificates, %d records", len(d.Certificates), len(d.Records))
+		slog.Info("generated data set", "certificates", len(d.Certificates), "records", len(d.Records))
 	}
 
 	if entStore == nil {
-		log.Printf("resolving entities...")
+		slog.Info("resolving entities")
 		pr := er.Run(d, depgraph.DefaultConfig(), er.DefaultConfig())
-		log.Printf("linked %d record pairs in %v (|N_A|=%d |N_R|=%d)",
-			pr.Result.MergedNodes, pr.Total(), len(pr.Graph.Atomics), len(pr.Graph.Nodes))
+		slog.Info("resolved entities", "merged_pairs", pr.Result.MergedNodes, "took", pr.Total(),
+			"atomic_nodes", len(pr.Graph.Atomics), "relational_nodes", len(pr.Graph.Nodes))
 		entStore = pr.Result.Store
 		if *reportPath != "" {
 			f, err := os.Create(*reportPath)
 			if err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			report.Write(f, report.Input{Dataset: d, Pipeline: pr})
 			if err := f.Close(); err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
-			log.Printf("linkage report written to %s", *reportPath)
+			slog.Info("linkage report written", "path", *reportPath)
 		}
 	}
 
 	if *feedbackCSV != "" {
 		f, err := os.Open(*feedbackCSV)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		journal, err := feedback.Load(f)
 		f.Close()
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		unlinked, linked := feedback.Apply(entStore, journal)
-		log.Printf("applied %d feedback decisions: %d unlinked, %d linked, %d still violated",
-			journal.Len(), unlinked, linked, len(feedback.Violations(entStore, journal)))
+		slog.Info("applied feedback decisions", "decisions", journal.Len(),
+			"unlinked", unlinked, "linked", linked, "violated", len(feedback.Violations(entStore, journal)))
 	}
 
 	if *savePath != "" {
 		if err := store.Save(*savePath, store.FromResult(d, entStore)); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
-		log.Printf("snapshot saved to %s", *savePath)
+		slog.Info("snapshot saved", "path", *savePath)
 	}
 
 	if *doEval {
@@ -191,7 +204,7 @@ func main() {
 	}
 
 	if *anon {
-		log.Printf("anonymising...")
+		slog.Info("anonymising")
 		anonD, _ := anonymize.Anonymize(d, anonymize.DefaultConfig())
 		// Re-run the pipeline on the anonymised data so the served indexes
 		// never contain sensitive values.
@@ -201,7 +214,7 @@ func main() {
 
 	g := pedigree.Build(d, entStore)
 	engine := server.BuildIndexes(g, 0.5)
-	log.Printf("pedigree graph: %d entities", len(g.Nodes))
+	slog.Info("built pedigree graph", "entities", len(g.Nodes))
 
 	if *queryNm != "" {
 		runQuery(engine, g, *queryNm)
@@ -213,7 +226,17 @@ func main() {
 		srv.EnableExplain()
 		if *pprofFlag {
 			srv.EnablePprof()
-			log.Printf("pprof profiling enabled at /debug/pprof/")
+			slog.Info("pprof profiling enabled", "path", "/debug/pprof/")
+		}
+
+		// Request tracing: every request runs under a root span; slow
+		// searches log their full span tree, and -trace-debug exposes the
+		// ring buffer of completed traces.
+		srv.Tracer().SetLogger(slog.Default())
+		srv.Tracer().SetSlowQuery(*slowQuery, "search")
+		if *traceDebug {
+			srv.EnableTraceDebug()
+			slog.Info("trace debug enabled", "path", "/api/debug/traces")
 		}
 
 		// Live ingestion: new certificates POSTed to /api/ingest are
@@ -226,29 +249,37 @@ func main() {
 		if *ingestJournal != "" {
 			var err error
 			if journal, backlog, err = ingest.OpenJournal(*ingestJournal); err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			if len(backlog) > 0 {
-				log.Printf("replaying %d journalled certificates from %s", len(backlog), *ingestJournal)
+				slog.Info("replaying journalled certificates", "count", len(backlog), "path", *ingestJournal)
 			}
 		}
 		icfg := ingest.DefaultConfig()
 		icfg.BatchSize = *ingestBatch
 		icfg.MaxAge = *ingestMaxAge
+		icfg.Tracer = srv.Tracer()
 		sv := &ingest.Serving{Dataset: d, Store: entStore, Graph: g, Engine: engine}
 		pipe, err := ingest.NewPipeline(sv, journal, backlog, icfg)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		srv.EnableIngest(pipe)
 
-		log.Printf("serving on %s (ingest batch %d, max age %v)", *serve, icfg.BatchSize, icfg.MaxAge)
-		log.Fatal(http.ListenAndServe(*serve, srv))
+		slog.Info("serving", "addr", *serve, "ingest_batch", icfg.BatchSize,
+			"ingest_max_age", icfg.MaxAge, "slow_query", *slowQuery, "trace_debug", *traceDebug)
+		fatal(http.ListenAndServe(*serve, srv))
 	}
 	if *queryNm == "" && *serve == "" && !*doEval {
 		fmt.Fprintln(os.Stderr, "nothing to do: pass -serve, -query, or -eval")
 		os.Exit(2)
 	}
+}
+
+// fatal logs err at error level through the structured logger and exits.
+func fatal(err error) {
+	slog.Error(err.Error())
+	os.Exit(1)
 }
 
 func datasetConfig(name string) (dataset.Config, error) {
@@ -275,7 +306,7 @@ func runQuery(engine *query.Engine, g *pedigree.Graph, nameQuery string) {
 	} else {
 		parts := strings.Fields(strings.ToLower(nameQuery))
 		if len(parts) < 2 {
-			log.Fatalf("query must be \"<first name> <surname>\" or \"<first> / <surname>\", got %q", nameQuery)
+			fatal(fmt.Errorf("query must be %q or %q, got %q", "<first name> <surname>", "<first> / <surname>", nameQuery))
 		}
 		first = strings.Join(parts[:len(parts)-1], " ")
 		sur = parts[len(parts)-1]

@@ -1,6 +1,7 @@
 package er
 
 import (
+	"context"
 	"time"
 
 	"github.com/snaps/snaps/internal/blocking"
@@ -69,22 +70,41 @@ func allRecordIDs(d *model.Dataset) []model.RecordID {
 // arrive, Extend folds them in, and the pedigree graph and indexes are
 // rebuilt from the updated store.
 func Extend(d *model.Dataset, store *EntityStore, firstNew model.RecordID, gcfg depgraph.Config, cfg Config) *PipelineResult {
+	return ExtendContext(context.Background(), d, store, firstNew, gcfg, cfg)
+}
+
+// ExtendContext is Extend under the caller's trace: when the context
+// carries a span (the ingest pipeline's flush trace), the incremental
+// blocking, dependency-graph construction, and resolution phases each
+// record a child span, attributed with the candidate-pair and new-record
+// counts that drove their cost.
+func ExtendContext(ctx context.Context, d *model.Dataset, store *EntityStore, firstNew model.RecordID, gcfg depgraph.Config, cfg Config) *PipelineResult {
 	st := obs.StartStage("blocking")
+	_, bsp := obs.StartSpan(ctx, "er.blocking")
 	lsh := blocking.NewLSH(blocking.DefaultLSHConfig())
 	focus := make(map[model.RecordID]bool, len(d.Records)-int(firstNew))
 	for id := firstNew; int(id) < len(d.Records); id++ {
 		focus[id] = true
 	}
 	cands := lsh.PairsTouching(d, allRecordIDs(d), focus)
+	bsp.SetAttr("new_records", int64(len(focus)))
+	bsp.SetAttr("candidate_pairs", int64(len(cands)))
+	bsp.End()
 	blockTime := st.Stop()
 
+	_, gsp := obs.StartSpan(ctx, "er.graph")
 	g, stats := depgraph.Build(d, gcfg, cands)
+	gsp.End()
 	obs.ObserveStage("graph_atomic", stats.GenAtomic)
 	obs.ObserveStage("graph_relational", stats.GenRelational)
+
+	_, rsp := obs.StartSpan(ctx, "er.resolve")
 	store.Grow()
 	r := NewResolver(g, cfg)
 	r.store = store
 	res := r.Resolve()
+	rsp.SetAttr("merged_nodes", int64(res.MergedNodes))
+	rsp.End()
 	return &PipelineResult{
 		Graph: g, Result: res,
 		Blocking:      blockTime,

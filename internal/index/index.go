@@ -190,6 +190,16 @@ func (s *Similarity) Similar(f Field, value string) []SimilarValue {
 	return out
 }
 
+// Memoised reports whether a similarity list for the value is already
+// stored in S, without computing or storing one. The query engine uses it
+// to attribute memo hits to the trace span of the lookup.
+func (s *Similarity) Memoised(f Field, value string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.sims[f][value]
+	return ok
+}
+
 // computeSimilar scans the bigram postings for candidate values and keeps
 // those with Jaro-Winkler similarity at or above the threshold.
 func (s *Similarity) computeSimilar(f Field, value string) []SimilarValue {

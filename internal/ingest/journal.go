@@ -36,6 +36,7 @@ type Journal struct {
 	f       *os.File
 	path    string
 	entries int
+	size    int64 // bytes of durable journal content (header + intact lines)
 }
 
 // OpenJournal opens (or creates) the journal at path and replays its
@@ -63,6 +64,7 @@ func OpenJournal(path string) (*Journal, []Certificate, error) {
 			f.Close()
 			return nil, nil, err
 		}
+		j.size = int64(len(journalMagic) + 1)
 		return j, nil, nil
 	}
 	replayed, err := j.replay()
@@ -118,6 +120,7 @@ func (j *Journal) replay() ([]Certificate, error) {
 		return nil, err
 	}
 	j.entries = len(out)
+	j.size = good
 	mJournalReplayed.Add(int64(len(out)))
 	return out, nil
 }
@@ -139,6 +142,7 @@ func (j *Journal) Append(c *Certificate) error {
 		return err
 	}
 	j.entries++
+	j.size += int64(len(buf))
 	mJournalAppends.Inc()
 	return nil
 }
@@ -148,6 +152,14 @@ func (j *Journal) Len() int {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.entries
+}
+
+// Size returns the journal's durable size in bytes (magic header plus
+// every acknowledged entry), without touching the filesystem.
+func (j *Journal) Size() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.size
 }
 
 // Path returns the journal's file path.

@@ -1,7 +1,9 @@
 package ingest
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -70,6 +72,11 @@ type Config struct {
 	// Graph and Resolver configure the incremental er.Extend pass.
 	Graph    depgraph.Config
 	Resolver er.Config
+	// Tracer, when set, records one trace per batch flush (journal apply,
+	// cluster restore, er.Extend, index rebuild, snapshot swap as child
+	// spans) and parents journal-append spans under request traces passed
+	// to SubmitContext. Nil disables tracing.
+	Tracer *obs.Tracer
 }
 
 // DefaultConfig returns the production defaults.
@@ -105,15 +112,20 @@ type Status struct {
 	Accepted int `json:"accepted"`
 	Applied  int `json:"applied"`
 	// Flushes counts completed batch rebuilds; LastFlushMillis is the wall
-	// time of the most recent one (journal replay included).
-	Flushes         int   `json:"flushes"`
-	LastFlushMillis int64 `json:"last_flush_millis"`
+	// time of the most recent one (journal replay included), and
+	// LastFlushAt the wall-clock instant it completed (zero before the
+	// first flush).
+	Flushes         int       `json:"flushes"`
+	LastFlushMillis int64     `json:"last_flush_millis"`
+	LastFlushAt     time.Time `json:"last_flush_at"`
 	// Records and Entities describe the currently served generation.
 	Records  int `json:"records"`
 	Entities int `json:"entities"`
-	// JournalPath and JournalEntries describe the WAL ("" when disabled).
+	// JournalPath, JournalEntries, and JournalBytes describe the WAL
+	// ("" / 0 when disabled).
 	JournalPath    string `json:"journal_path,omitempty"`
 	JournalEntries int    `json:"journal_entries,omitempty"`
+	JournalBytes   int64  `json:"journal_bytes,omitempty"`
 	// LastError reports the most recent rebuild failure, if any.
 	LastError string `json:"last_error,omitempty"`
 }
@@ -134,6 +146,7 @@ type Pipeline struct {
 	applied  int
 	flushes  int
 	lastDur  time.Duration
+	lastAt   time.Time
 	lastErr  string
 	swapFns  []func(*Serving)
 
@@ -196,11 +209,22 @@ func (p *Pipeline) OnSwap(fn func(*Serving)) {
 // once the certificate is durable (journalled) and scheduled; resolution
 // happens asynchronously within one batch flush.
 func (p *Pipeline) Submit(c *Certificate) error {
+	return p.SubmitContext(context.Background(), c)
+}
+
+// SubmitContext is Submit under the caller's trace: the durable journal
+// append — the only blocking I/O on the submission path — records a child
+// span when the context carries one, so slow fsyncs show up attributed in
+// request traces.
+func (p *Pipeline) SubmitContext(ctx context.Context, c *Certificate) error {
 	if err := c.Validate(); err != nil {
 		return err
 	}
 	if p.journal != nil {
-		if err := p.journal.Append(c); err != nil {
+		_, jsp := obs.StartSpan(ctx, "journal.append")
+		err := p.journal.Append(c)
+		jsp.End()
+		if err != nil {
 			return fmt.Errorf("ingest: journalling certificate: %w", err)
 		}
 	}
@@ -250,6 +274,7 @@ func (p *Pipeline) Status() Status {
 		Applied:         p.applied,
 		Flushes:         p.flushes,
 		LastFlushMillis: p.lastDur.Milliseconds(),
+		LastFlushAt:     p.lastAt,
 		LastError:       p.lastErr,
 	}
 	p.mu.Unlock()
@@ -258,6 +283,7 @@ func (p *Pipeline) Status() Status {
 	if p.journal != nil {
 		st.JournalPath = p.journal.Path()
 		st.JournalEntries = p.journal.Len()
+		st.JournalBytes = p.journal.Size()
 	}
 	return st
 }
@@ -323,7 +349,10 @@ func (p *Pipeline) flushLocked() error {
 		return nil
 	}
 	start := time.Now()
+	ctx, root := p.cfg.Tracer.StartRoot(context.Background(), "ingest.flush", "")
+	root.SetAttr("batch", int64(len(batch)))
 
+	_, asp := obs.StartSpan(ctx, "apply_batch")
 	newD := p.buildD.Clone()
 	firstNew := model.RecordID(len(newD.Records))
 	for i := range batch {
@@ -333,18 +362,31 @@ func (p *Pipeline) flushLocked() error {
 			p.mu.Lock()
 			p.lastErr = err.Error()
 			p.mu.Unlock()
+			asp.End()
+			root.End()
 			return err
 		}
 	}
+	asp.End()
 
 	// Restore the previous clustering over the cloned data set as cliques
 	// (the persistence semantics of internal/store), then fold the new
 	// records in incrementally.
+	_, csp := obs.StartSpan(ctx, "restore_clusters")
 	snap := store.Snapshot{Dataset: newD, Clusters: p.buildStore.Clusters()}
 	newStore := snap.Restore()
-	epr := er.Extend(newD, newStore, firstNew, p.cfg.Graph, p.cfg.Resolver)
+	csp.End()
 
+	ectx, esp := obs.StartSpan(ctx, "er.extend")
+	epr := er.ExtendContext(ectx, newD, newStore, firstNew, p.cfg.Graph, p.cfg.Resolver)
+	esp.SetAttr("candidate_pairs", int64(epr.Candidates))
+	esp.End()
+
+	_, isp := obs.StartSpan(ctx, "rebuild_indexes")
 	sv := NewServing(newD, newStore, p.cfg.SimThreshold)
+	isp.End()
+
+	_, wsp := obs.StartSpan(ctx, "snapshot_swap")
 	p.buildD, p.buildStore = newD, newStore
 	p.serving.Store(sv)
 
@@ -359,11 +401,22 @@ func (p *Pipeline) flushLocked() error {
 	p.applied += len(batch)
 	p.flushes++
 	p.lastDur = time.Since(start)
+	p.lastAt = time.Now()
 	p.lastErr = ""
 	fns := append([]func(*Serving){}, p.swapFns...)
 	p.mu.Unlock()
 	for _, fn := range fns {
 		fn(sv)
 	}
+	wsp.End()
+	root.End()
+
+	slog.LogAttrs(ctx, slog.LevelDebug, "ingest flush published",
+		slog.Int("batch", len(batch)),
+		slog.Int("records", len(newD.Records)),
+		slog.Int("entities", len(sv.Graph.Nodes)),
+		slog.Int("candidate_pairs", epr.Candidates),
+		slog.Duration("took", time.Since(start)),
+	)
 	return nil
 }

@@ -1,0 +1,80 @@
+package ingest
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestStatusReportsJournalBytesAndFlushTime covers the status fields the
+// operators dashboard on: the journal's size in bytes and the wall-clock
+// time of the last completed flush.
+func TestStatusReportsJournalBytesAndFlushTime(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "intake.wal")
+	jr, backlog, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(backlog) != 0 {
+		t.Fatalf("fresh journal replayed %d certificates", len(backlog))
+	}
+	p := familyPipeline(t, jr, backlog, manualConfig())
+	defer p.Close()
+
+	st := p.Status()
+	if st.JournalBytes <= 0 {
+		t.Fatalf("fresh journal reports %d bytes, want the header", st.JournalBytes)
+	}
+	headerBytes := st.JournalBytes
+	if !st.LastFlushAt.IsZero() {
+		t.Errorf("last flush time %v before any flush, want zero", st.LastFlushAt)
+	}
+
+	before := time.Now()
+	if err := p.Submit(torquilDeath()); err != nil {
+		t.Fatal(err)
+	}
+	st = p.Status()
+	if st.JournalBytes <= headerBytes {
+		t.Errorf("journal bytes %d after an append, want > header (%d)", st.JournalBytes, headerBytes)
+	}
+	// The reported size mirrors the durable file.
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.JournalBytes != fi.Size() {
+		t.Errorf("status reports %d journal bytes, file holds %d", st.JournalBytes, fi.Size())
+	}
+
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st = p.Status()
+	if st.LastFlushAt.IsZero() {
+		t.Fatal("last flush time still zero after a completed flush")
+	}
+	if st.LastFlushAt.Before(before) || st.LastFlushAt.After(time.Now()) {
+		t.Errorf("last flush time %v outside the flush window", st.LastFlushAt)
+	}
+
+	// An empty flush (nothing pending) must not advance the timestamp.
+	prev := st.LastFlushAt
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Status().LastFlushAt; !got.Equal(prev) {
+		t.Errorf("empty flush moved the timestamp: %v -> %v", prev, got)
+	}
+}
+
+// TestStatusWithoutJournal: a journal-less pipeline reports zero bytes
+// rather than inventing a size.
+func TestStatusWithoutJournal(t *testing.T) {
+	p := familyPipeline(t, nil, nil, manualConfig())
+	defer p.Close()
+	if st := p.Status(); st.JournalBytes != 0 {
+		t.Errorf("journal-less pipeline reports %d journal bytes", st.JournalBytes)
+	}
+}

@@ -5,6 +5,12 @@
 // paper's per-stage runtime tables (Sec. 10, Tables 5-6) and the live
 // /metrics endpoint report from one timing source.
 //
+// On top of the aggregate metrics sit the request-scoped primitives: a
+// context-propagated span tracer with a ring buffer of completed traces
+// (trace.go) and a log/slog-based structured logger whose records carry
+// the trace ID of the context they were emitted under (obslog.go), so one
+// slow query can be decomposed span by span after the fact.
+//
 // Metrics are cheap enough for hot paths — an observation is one or two
 // atomic adds — and the package deliberately has no third-party
 // dependencies and no HTTP surface of its own; internal/server mounts the
@@ -49,6 +55,18 @@ func (g *Gauge) Add(n int64) { g.v.Add(n) }
 
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// FloatGauge is a gauge holding a float64, for values that are not whole
+// numbers (accumulated GC pause seconds).
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the current value.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // DefBuckets are the default latency buckets in seconds, spanning the
 // sub-millisecond query path up to multi-second offline stages.

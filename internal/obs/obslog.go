@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// This file is the structured-logging half of the observability layer: a
+// log/slog handler factory with a text/JSON switch and a wrapper that
+// stamps every record emitted with a traced context with its trace_id, so
+// log lines and GET /api/debug/traces entries correlate by one ID.
+
+// ParseLevel maps the -log-level flag values to slog levels.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn, or error)", s)
+}
+
+// NewLogger builds the SNAPS logger: format "json" selects the JSON
+// handler, anything else the text handler, both wrapped so records logged
+// with a traced context carry a trace_id attribute.
+func NewLogger(w io.Writer, level slog.Level, format string) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	if strings.EqualFold(format, "json") {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(traceHandler{h})
+}
+
+// traceHandler decorates another handler, adding the context's trace ID to
+// every record it passes through.
+type traceHandler struct {
+	inner slog.Handler
+}
+
+func (h traceHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h traceHandler) Handle(ctx context.Context, r slog.Record) error {
+	if id := TraceIDFromContext(ctx); id != "" {
+		r.AddAttrs(slog.String("trace_id", id))
+	}
+	return h.inner.Handle(ctx, r)
+}
+
+func (h traceHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return traceHandler{h.inner.WithAttrs(attrs)}
+}
+
+func (h traceHandler) WithGroup(name string) slog.Handler {
+	return traceHandler{h.inner.WithGroup(name)}
+}

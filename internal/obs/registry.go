@@ -16,6 +16,7 @@ type kind uint8
 const (
 	counterKind kind = iota
 	gaugeKind
+	floatGaugeKind
 	histogramKind
 )
 
@@ -23,7 +24,7 @@ func (k kind) String() string {
 	switch k {
 	case counterKind:
 		return "counter"
-	case gaugeKind:
+	case gaugeKind, floatGaugeKind:
 		return "gauge"
 	case histogramKind:
 		return "histogram"
@@ -39,9 +40,10 @@ type entry struct {
 	help   string
 	kind   kind
 
-	counter   *Counter
-	gauge     *Gauge
-	histogram *Histogram
+	counter    *Counter
+	gauge      *Gauge
+	floatGauge *FloatGauge
+	histogram  *Histogram
 }
 
 // Registry holds named metrics and renders them in the Prometheus text
@@ -133,6 +135,12 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return r.lookup(name, help, gaugeKind, func(e *entry) { e.gauge = &Gauge{} }).gauge
 }
 
+// FloatGauge returns the float-valued gauge registered under name,
+// creating it on first use.
+func (r *Registry) FloatGauge(name, help string) *FloatGauge {
+	return r.lookup(name, help, floatGaugeKind, func(e *entry) { e.floatGauge = &FloatGauge{} }).floatGauge
+}
+
 // Histogram returns the histogram registered under name, creating it with
 // the given bucket upper bounds (seconds for latencies) on first use.
 func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
@@ -171,6 +179,8 @@ func (r *Registry) WriteText(w io.Writer) error {
 			fmt.Fprintf(bw, "%s %d\n", series(e.family, e.labels), e.counter.Value())
 		case gaugeKind:
 			fmt.Fprintf(bw, "%s %d\n", series(e.family, e.labels), e.gauge.Value())
+		case floatGaugeKind:
+			fmt.Fprintf(bw, "%s %s\n", series(e.family, e.labels), formatFloat(e.floatGauge.Value()))
 		case histogramKind:
 			h := e.histogram
 			cum, total := h.snapshot()

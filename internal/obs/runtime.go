@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// Go runtime gauges, refreshed by SampleRuntime immediately before each
+// /metrics exposition so scrapes always see current values without a
+// background sampler goroutine.
+const (
+	goroutinesName = "snaps_goroutines"
+	heapAllocName  = "snaps_heap_alloc_bytes"
+	gcPauseName    = "snaps_gc_pause_seconds_total"
+	buildInfoName  = "snaps_build_info"
+)
+
+// buildInfoSeries is the labelled build-info series name, computed once at
+// init: the label values are process constants.
+var buildInfoSeries = func() string {
+	version := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	return buildInfoName + "{" + Label("go_version", runtime.Version()) + "," + Label("version", version) + "}"
+}()
+
+// SampleRuntime refreshes the Go runtime gauges in the registry: live
+// goroutines, heap bytes in use, and accumulated GC stop-the-world pause
+// seconds, plus a constant snaps_build_info series labelled with the Go
+// toolchain and module versions. The server's /metrics handler calls it on
+// every scrape; ReadMemStats is a brief stop-the-world, acceptable at
+// scrape cadence but not on request paths.
+func SampleRuntime(r *Registry) {
+	r.Gauge(goroutinesName,
+		"Live goroutines, sampled at scrape time.").Set(int64(runtime.NumGoroutine()))
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Gauge(heapAllocName,
+		"Bytes of allocated heap objects, sampled at scrape time.").Set(int64(ms.HeapAlloc))
+	r.FloatGauge(gcPauseName,
+		"Cumulative GC stop-the-world pause seconds since process start.").Set(float64(ms.PauseTotalNs) / 1e9)
+
+	r.Gauge(buildInfoSeries,
+		"Constant 1, labelled with the Go toolchain and module versions.").Set(1)
+}

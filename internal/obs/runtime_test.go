@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSampleRuntime(t *testing.T) {
+	r := NewRegistry()
+	SampleRuntime(r)
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+
+	for _, name := range []string{goroutinesName, heapAllocName, gcPauseName} {
+		if !strings.Contains(text, "# TYPE "+name+" gauge") {
+			t.Errorf("%s missing gauge TYPE line", name)
+		}
+	}
+	if !strings.Contains(text, buildInfoName+"{") {
+		t.Errorf("%s series missing labels:\n%s", buildInfoName, text)
+	}
+	if !strings.Contains(text, `go_version="go`) {
+		t.Error("build info missing go_version label")
+	}
+
+	// Goroutines and heap bytes are necessarily positive in a live process.
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, goroutinesName+" 0") || strings.HasPrefix(line, heapAllocName+" 0") {
+			t.Errorf("implausible zero sample: %q", line)
+		}
+	}
+
+	// Resampling must update in place, not duplicate series.
+	SampleRuntime(r)
+	var b2 strings.Builder
+	if err := r.WriteText(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(b2.String(), "# TYPE "+goroutinesName+" "); got != 1 {
+		t.Errorf("%d TYPE lines for %s after resample, want 1", got, goroutinesName)
+	}
+}
+
+func TestFloatGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.FloatGauge("snaps_test_seconds_total", "help")
+	g.Set(0.125)
+	if v := g.Value(); v != 0.125 {
+		t.Fatalf("Value = %v, want 0.125", v)
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "snaps_test_seconds_total 0.125") {
+		t.Errorf("float gauge not rendered:\n%s", b.String())
+	}
+	if r.FloatGauge("snaps_test_seconds_total", "help") != g {
+		t.Error("re-registration returned a different gauge")
+	}
+}

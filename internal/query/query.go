@@ -7,6 +7,7 @@
 package query
 
 import (
+	"context"
 	"sort"
 	"strconv"
 	"time"
@@ -110,14 +111,51 @@ func (a *accum) score() float64 {
 // first name and/or surname); gender, year, and location only adjust scores
 // of accumulated entities, never add new ones (Sec. 7).
 func (e *Engine) Search(q Query) []Result {
+	return e.SearchContext(context.Background(), q)
+}
+
+// SearchContext is Search under the caller's trace: when the context
+// carries a span (the server's request middleware starts one), the
+// query's four stages — blocking-key lookup, candidate accumulation,
+// refinement-field scoring, and ranking — each record a child span with
+// the sizes that drove their cost, so a slow search is attributable from
+// GET /api/debug/traces or the slow-query log.
+func (e *Engine) SearchContext(ctx context.Context, q Query) []Result {
 	start := time.Now()
+	ctx, sp := obs.StartSpan(ctx, "search")
+
+	// Blocking-key lookup: both query names resolve to their similar
+	// indexed values through the similarity-aware index S.
+	_, bsp := obs.StartSpan(ctx, "blocking")
+	memoHits := int64(0)
+	lookupName := func(f index.Field, value string) []index.SimilarValue {
+		if value == "" {
+			return nil
+		}
+		if e.Similar.Memoised(f, value) {
+			memoHits++
+		}
+		return e.Similar.Similar(f, value)
+	}
+	firstVals := lookupName(index.FieldFirstName, q.FirstName)
+	surVals := lookupName(index.FieldSurname, q.Surname)
+	bsp.SetAttr("similar_first_names", int64(len(firstVals)))
+	bsp.SetAttr("similar_surnames", int64(len(surVals)))
+	bsp.SetAttr("memo_hits", memoHits)
+	bsp.End()
+
+	// Candidate accumulation: entities carrying any similar name value
+	// enter the accumulator with their best weighted contribution.
 	m := map[pedigree.NodeID]*accum{}
 	weightSum := e.Weights.FirstName + e.Weights.Surname
-
-	e.accumulateName(m, index.FieldFirstName, q.FirstName, e.Weights.FirstName)
-	e.accumulateName(m, index.FieldSurname, q.Surname, e.Weights.Surname)
+	_, asp := obs.StartSpan(ctx, "accumulate")
+	e.accumulate(m, index.FieldFirstName, q.FirstName, firstVals, e.Weights.FirstName)
+	e.accumulate(m, index.FieldSurname, q.Surname, surVals, e.Weights.Surname)
+	asp.SetAttr("candidates", int64(len(m)))
+	asp.End()
 
 	// Refinement fields.
+	_, ssp := obs.StartSpan(ctx, "score")
 	if q.Gender != model.GenderUnknown {
 		weightSum += e.Weights.Gender
 		for id, a := range m {
@@ -171,7 +209,10 @@ func (e *Engine) Search(q Query) []Result {
 			}
 		}
 	}
+	ssp.End()
 
+	// Ranking: normalise, sort, and trim to the top-m list.
+	_, rsp := obs.StartSpan(ctx, "rank")
 	results := make([]Result, 0, len(m))
 	for id, a := range m {
 		if a.excluded {
@@ -198,20 +239,26 @@ func (e *Engine) Search(q Query) []Result {
 	if e.TopM > 0 && len(results) > e.TopM {
 		results = results[:e.TopM]
 	}
+	rsp.SetAttr("results", int64(len(results)))
+	rsp.End()
+
 	mSearches.Inc()
 	mCandidates.Observe(float64(len(m)))
 	mSearchSeconds.ObserveDuration(time.Since(start))
+	sp.SetAttr("candidates", int64(len(m)))
+	sp.SetAttr("results", int64(len(results)))
+	sp.End()
 	return results
 }
 
-// accumulateName adds entities matching the name value exactly or
-// approximately, weighting the contribution by string similarity. An entity
+// accumulate adds entities matching any of the precomputed similar name
+// values, weighting the contribution by string similarity. An entity
 // matching several similar values keeps the best contribution.
-func (e *Engine) accumulateName(m map[pedigree.NodeID]*accum, f index.Field, value string, weight float64) {
+func (e *Engine) accumulate(m map[pedigree.NodeID]*accum, f index.Field, value string, similar []index.SimilarValue, weight float64) {
 	if value == "" {
 		return
 	}
-	for _, sv := range e.Similar.Similar(f, value) {
+	for _, sv := range similar {
 		exact := sv.Value == value
 		contribution := weight * sv.Sim
 		for _, id := range e.Keyword.Lookup(f, sv.Value) {

@@ -36,7 +36,7 @@ func (s *Server) EnableIngest(p *ingest.Pipeline) {
 			http.Error(w, "bad certificate JSON: "+err.Error(), http.StatusBadRequest)
 			return
 		}
-		if err := p.Submit(&c); err != nil {
+		if err := p.SubmitContext(r.Context(), &c); err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}

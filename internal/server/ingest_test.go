@@ -79,14 +79,14 @@ func searchTorquil(t *testing.T, ts *httptest.Server) (SearchResult, bool) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("search status %d", resp.StatusCode)
 	}
-	var results []SearchResult
-	if err := json.NewDecoder(resp.Body).Decode(&results); err != nil {
+	var sr SearchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
 		t.Fatal(err)
 	}
-	if len(results) == 0 {
+	if len(sr.Results) == 0 {
 		return SearchResult{}, false
 	}
-	return results[0], true
+	return sr.Results[0], true
 }
 
 // deathYearOf extracts the focus member's death year from the pedigree of

@@ -64,8 +64,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
+	// Refresh the Go runtime gauges (goroutines, heap, GC pause total,
+	// build info) so every scrape reports current values.
+	obs.SampleRuntime(obs.Default)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	obs.Default.WriteText(w)
+}
+
+// EnableTraceDebug mounts GET /api/debug/traces, serving the tracer's ring
+// buffer of completed traces (most recent first) as JSON. Off by default —
+// cmd/snaps gates it behind -trace-debug, the same posture as -pprof —
+// since span attributes expose query internals.
+func (s *Server) EnableTraceDebug() {
+	s.mux.HandleFunc("/api/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w, s.tracer.Traces())
+	})
 }
 
 // EnablePprof mounts the net/http/pprof profiling handlers under

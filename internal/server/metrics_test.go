@@ -113,6 +113,39 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 }
 
+func TestRuntimeGaugesOnScrape(t *testing.T) {
+	s, _ := testServer(t)
+	samples := scrape(t, s)
+
+	if v := sumFamily(samples, "snaps_goroutines"); v < 1 {
+		t.Errorf("snaps_goroutines = %v, want >= 1", v)
+	}
+	if v := sumFamily(samples, "snaps_heap_alloc_bytes"); v <= 0 {
+		t.Errorf("snaps_heap_alloc_bytes = %v, want > 0", v)
+	}
+	found := false
+	for name := range samples {
+		if name == "snaps_gc_pause_seconds_total" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("snaps_gc_pause_seconds_total missing from scrape")
+	}
+	if v := sumFamily(samples, "snaps_build_info"); v != 1 {
+		t.Errorf("snaps_build_info = %v, want constant 1", v)
+	}
+	for name := range samples {
+		if strings.HasPrefix(name, "snaps_build_info{") {
+			if !strings.Contains(name, `go_version="go`) {
+				t.Errorf("build info series lacks go_version label: %s", name)
+			}
+			return
+		}
+	}
+	t.Error("snaps_build_info has no labels")
+}
+
 func TestMetricsEndpointMethodNotAllowed(t *testing.T) {
 	s, _ := testServer(t)
 	w := httptest.NewRecorder()

@@ -17,6 +17,7 @@ import (
 	"github.com/snaps/snaps/internal/gedcom"
 	"github.com/snaps/snaps/internal/index"
 	"github.com/snaps/snaps/internal/model"
+	"github.com/snaps/snaps/internal/obs"
 	"github.com/snaps/snaps/internal/pedigree"
 	"github.com/snaps/snaps/internal/query"
 )
@@ -31,11 +32,12 @@ type Server struct {
 	// Generations is the pedigree extraction depth g (paper: 2).
 	Generations int
 	mux         *http.ServeMux
+	tracer      *obs.Tracer
 }
 
 // New wires the handlers.
 func New(engine *query.Engine) *Server {
-	s := &Server{Generations: 2, mux: http.NewServeMux()}
+	s := &Server{Generations: 2, mux: http.NewServeMux(), tracer: obs.NewTracer(256)}
 	s.engine.Store(engine)
 	s.mux.HandleFunc("/", s.handleHome)
 	s.mux.HandleFunc("/api/search", s.handleSearch)
@@ -55,13 +57,29 @@ func (s *Server) Engine() *query.Engine { return s.engine.Load() }
 // the generation they loaded; new requests see the new one.
 func (s *Server) SetEngine(e *query.Engine) { s.engine.Store(e) }
 
+// Tracer returns the server's span tracer, for configuring slow-query
+// logging and for sharing with the ingest pipeline so flush traces land in
+// the same ring buffer the debug endpoint serves.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
 // ServeHTTP implements http.Handler. Every request is timed and counted
-// under its mux route pattern (bounded cardinality) and status class.
+// under its mux route pattern (bounded cardinality) and status class, and
+// runs under a root span: an inbound X-Request-ID becomes the trace ID
+// (minted otherwise) and is echoed on the response, so clients, log
+// records, and GET /api/debug/traces all correlate on one ID.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	_, route := s.mux.Handler(r)
+	spanName := route
+	if spanName == "" {
+		spanName = "unmatched"
+	}
+	ctx, span := s.tracer.StartRoot(r.Context(), r.Method+" "+spanName, r.Header.Get("X-Request-ID"))
+	w.Header().Set("X-Request-ID", obs.TraceIDFromContext(ctx))
 	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 	start := time.Now()
-	s.mux.ServeHTTP(sw, r)
+	s.mux.ServeHTTP(sw, r.WithContext(ctx))
+	span.SetAttr("status", int64(sw.status))
+	span.End()
 	observeRequest(route, sw.status, time.Since(start))
 }
 
@@ -133,7 +151,7 @@ func (s *Server) search(r *http.Request) ([]SearchResult, error) {
 		return nil, fmt.Errorf("first_name and surname are required")
 	}
 	engine := s.Engine()
-	results := engine.Search(q)
+	results := engine.SearchContext(r.Context(), q)
 	out := make([]SearchResult, 0, len(results))
 	for _, res := range results {
 		n := engine.Graph.Node(res.Entity)
@@ -169,13 +187,22 @@ func (s *Server) search(r *http.Request) ([]SearchResult, error) {
 	return out, nil
 }
 
+// SearchResponse is the JSON envelope of GET /api/search: the ranked rows
+// plus the trace ID of the request that produced them, so a ranking can be
+// correlated with its span tree in /api/debug/traces and with /api/explain
+// output for any returned entity.
+type SearchResponse struct {
+	TraceID string         `json:"trace_id,omitempty"`
+	Results []SearchResult `json:"results"`
+}
+
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	out, err := s.search(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	writeJSON(w, out)
+	writeJSON(w, SearchResponse{TraceID: obs.TraceIDFromContext(r.Context()), Results: out})
 }
 
 func (s *Server) extractPedigree(r *http.Request) (*PedigreeResponse, error) {

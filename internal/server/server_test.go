@@ -42,10 +42,14 @@ func TestSearchAPI(t *testing.T) {
 	if w.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", w.Code, w.Body.String())
 	}
-	var results []SearchResult
-	if err := json.Unmarshal(w.Body.Bytes(), &results); err != nil {
+	var resp SearchResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
 		t.Fatalf("bad JSON: %v", err)
 	}
+	if resp.TraceID == "" {
+		t.Error("search response missing trace_id")
+	}
+	results := resp.Results
 	if len(results) == 0 {
 		t.Fatal("no results for an indexed name")
 	}
