@@ -99,6 +99,8 @@ func main() {
 		ingestBatch   = flag.Int("ingest-batch", 16, "flush ingested certificates after this many accumulate")
 		ingestMaxAge  = flag.Duration("ingest-max-age", 2*time.Second, "flush a non-empty ingest batch after its oldest certificate waited this long")
 
+		queryCache = flag.Int("query-cache", 4096, "cache up to this many ranked result lists per serving generation (0 disables; invalidated on every ingest snapshot swap)")
+
 		pprofFlag = flag.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/ (metrics at /metrics are always on)")
 
 		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, or error")
@@ -258,6 +260,7 @@ func main() {
 		icfg := ingest.DefaultConfig()
 		icfg.BatchSize = *ingestBatch
 		icfg.MaxAge = *ingestMaxAge
+		icfg.QueryCache = *queryCache
 		icfg.Tracer = srv.Tracer()
 		sv := &ingest.Serving{Dataset: d, Store: entStore, Graph: g, Engine: engine}
 		pipe, err := ingest.NewPipeline(sv, journal, backlog, icfg)
@@ -267,7 +270,8 @@ func main() {
 		srv.EnableIngest(pipe)
 
 		slog.Info("serving", "addr", *serve, "ingest_batch", icfg.BatchSize,
-			"ingest_max_age", icfg.MaxAge, "slow_query", *slowQuery, "trace_debug", *traceDebug)
+			"ingest_max_age", icfg.MaxAge, "query_cache", icfg.QueryCache,
+			"slow_query", *slowQuery, "trace_debug", *traceDebug)
 		fatal(http.ListenAndServe(*serve, srv))
 	}
 	if *queryNm == "" && *serve == "" && !*doEval {

@@ -1,0 +1,24 @@
+package index
+
+import (
+	"testing"
+
+	"github.com/snaps/snaps/internal/dataset"
+	"github.com/snaps/snaps/internal/depgraph"
+	"github.com/snaps/snaps/internal/er"
+	"github.com/snaps/snaps/internal/pedigree"
+)
+
+// BenchmarkIndexRebuild measures the full keyword + similarity index build
+// over a resolved graph — the `rebuild_indexes` span that dominates every
+// live-ingest flush. The name-similarity precompute is the hot part.
+func BenchmarkIndexRebuild(b *testing.B) {
+	p := dataset.Generate(dataset.IOS().Scaled(0.1))
+	pr := er.Run(p.Dataset, depgraph.DefaultConfig(), er.DefaultConfig())
+	g := pedigree.Build(p.Dataset, pr.Result.Store)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(g, 0.5)
+	}
+}

@@ -1,18 +1,28 @@
 // Package index implements the two offline index structures of Sec. 6 of
 // the paper: the keyword index K, mapping QID values (first names,
-// surnames, gender, event years, locations) to entity identifiers in the
-// pedigree graph, and the similarity-aware index S, which precomputes
-// Jaro-Winkler similarities between all pairs of indexed string values that
-// share at least one bigram and reach the threshold s_t.
+// surnames, gender, locations) to entity identifiers in the pedigree
+// graph, and the similarity-aware index S, which precomputes Jaro-Winkler
+// similarities between all pairs of indexed string values that share at
+// least one bigram and reach the threshold s_t.
 //
 // At query time, a value not found in K is compared against the values
 // sharing a bigram with it, and the discovered similar values are added to
-// S to speed up future queries of the same value (Sec. 7).
+// S to speed up future queries of the same value (Sec. 7). The memo is
+// striped across hash-keyed shards so concurrent lookups contend only on
+// values landing in the same stripe, and concurrent first lookups of the
+// same unknown value compute its similarity list once (the others wait for
+// the leader) instead of racing through duplicate bigram scans.
+//
+// Event years are deliberately NOT materialised as string postings: an
+// entity's year span is an interval check against pedigree.Node.MinYear/
+// MaxYear at query time, so the index no longer stores one posting entry
+// per (entity, year) pair across the whole span. YearPostingEntries
+// reports how many entries the old scheme would have held.
 package index
 
 import (
+	"runtime"
 	"sort"
-	"strconv"
 	"sync"
 
 	"github.com/snaps/snaps/internal/obs"
@@ -22,12 +32,16 @@ import (
 
 // Memoisation metrics of the similarity-aware index: a miss is a
 // query-time probe that had to scan the bigram postings and compute
-// similarities before being stored (Sec. 7's lazy extension of S).
+// similarities before being stored (Sec. 7's lazy extension of S); an
+// inflight wait is a concurrent probe of the same value that reused the
+// leader's computation instead of duplicating it.
 var (
 	mMemoHits = obs.Default.Counter("snaps_index_memo_hits_total",
 		"Similarity lookups answered from the memoised index S.")
 	mMemoMisses = obs.Default.Counter("snaps_index_memo_misses_total",
 		"Similarity lookups that computed and memoised a new value.")
+	mMemoWaits = obs.Default.Counter("snaps_index_memo_inflight_waits_total",
+		"Similarity lookups that waited for a concurrent computation of the same value.")
 )
 
 // Field enumerates the searchable QID fields of the keyword index.
@@ -72,22 +86,58 @@ type Keyword struct {
 	postings [NumFields]map[string][]pedigree.NodeID
 }
 
+// memoShards stripes the similarity memo; must be a power of two. 32
+// stripes keep lock contention negligible at GOMAXPROCS-scale query
+// concurrency without bloating the struct.
+const memoShards = 32
+
+// memoShard is one stripe of the memo: its own lock, its slice of the
+// memoised lists, and the in-flight computations being deduplicated.
+type memoShard struct {
+	mu       sync.RWMutex
+	sims     map[string][]SimilarValue
+	inflight map[string]*memoCall
+}
+
+// memoCall is one leader computation concurrent probes of the same value
+// wait on. out is written before wg.Done, so waiters reading it after
+// wg.Wait observe the completed list.
+type memoCall struct {
+	wg  sync.WaitGroup
+	out []SimilarValue
+}
+
 // Similarity is the similarity-aware index S: for every known string value
 // of a field it stores the other values with similarity >= threshold. It
 // memoises query-time extensions, so lookups after the first are O(1).
 type Similarity struct {
-	mu        sync.RWMutex
 	threshold float64
-	// sims[field][value] lists similar values (including exact value
-	// first).
-	sims [NumFields]map[string][]SimilarValue
+	// shards[field][stripe] holds the memoised lists of values hashing to
+	// the stripe (exact value included, first).
+	shards [NumFields][memoShards]memoShard
 	// bigramPost[field][bigram] lists values containing the bigram.
+	// Read-only after Build — scanned without locks.
 	bigramPost [NumFields]map[string][]string
+}
+
+// shardOf stripes a value by FNV-1a hash.
+func shardOf(value string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(value); i++ {
+		h ^= uint32(value[i])
+		h *= 16777619
+	}
+	return h & (memoShards - 1)
+}
+
+func (s *Similarity) shard(f Field, value string) *memoShard {
+	return &s.shards[f][shardOf(value)]
 }
 
 // Build constructs both indexes from a pedigree graph. simThreshold is s_t
 // (paper: 0.5). Precomputation covers first names and surnames (the
-// mandatory query fields); locations are extended lazily at query time.
+// mandatory query fields) and runs across GOMAXPROCS workers with
+// deterministic output; locations are extended lazily at query time.
 func Build(g *pedigree.Graph, simThreshold float64) (*Keyword, *Similarity) {
 	defer obs.StartStage("index_build").Stop()
 	k := &Keyword{}
@@ -96,7 +146,10 @@ func Build(g *pedigree.Graph, simThreshold float64) (*Keyword, *Similarity) {
 	}
 	s := &Similarity{threshold: simThreshold}
 	for f := Field(0); f < NumFields; f++ {
-		s.sims[f] = map[string][]SimilarValue{}
+		for i := range s.shards[f] {
+			s.shards[f][i].sims = map[string][]SimilarValue{}
+			s.shards[f][i].inflight = map[string]*memoCall{}
+		}
 		s.bigramPost[f] = map[string][]string{}
 	}
 
@@ -114,9 +167,8 @@ func Build(g *pedigree.Graph, simThreshold float64) (*Keyword, *Similarity) {
 		if n.Gender.String() != "?" {
 			k.add(FieldGender, n.Gender.String(), n.ID)
 		}
-		for y := n.MinYear; y != 0 && y <= n.MaxYear; y++ {
-			k.add(FieldYear, strconv.Itoa(y), n.ID)
-		}
+		// Years are matched by interval against Node.MinYear/MaxYear at
+		// query time; no per-year postings are stored.
 	}
 	k.sortPostings()
 
@@ -131,13 +183,57 @@ func Build(g *pedigree.Graph, simThreshold float64) (*Keyword, *Similarity) {
 			sort.Strings(s.bigramPost[f][bg])
 		}
 	}
-	// Precompute similarities for the name fields.
+	// Precompute similarities for the name fields, fanning the
+	// per-value computations (the dominant cost of every ingest
+	// rebuild_indexes flush) across all cores. Each value's list depends
+	// only on the read-only bigram postings, so output is deterministic
+	// regardless of scheduling.
+	precompute := obs.StartStage("index_build_sims")
 	for _, f := range []Field{FieldFirstName, FieldSurname} {
+		vals := make([]string, 0, len(k.postings[f]))
 		for v := range k.postings[f] {
-			s.sims[f][v] = s.computeSimilar(f, v)
+			vals = append(vals, v)
+		}
+		sort.Strings(vals)
+		outs := make([][]SimilarValue, len(vals))
+		parallelRange(len(vals), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				outs[i] = s.computeSimilar(f, vals[i])
+			}
+		})
+		for i, v := range vals {
+			s.shard(f, v).sims[v] = outs[i]
 		}
 	}
+	precompute.Stop()
 	return k, s
+}
+
+// parallelRange splits [0,n) into GOMAXPROCS chunks run concurrently (the
+// same pattern as blocking's candidate-pair fan-out).
+func parallelRange(n int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
 }
 
 func (k *Keyword) add(f Field, value string, id pedigree.NodeID) {
@@ -163,30 +259,110 @@ func (k *Keyword) sortPostings() {
 }
 
 // Lookup returns the entities carrying the exact value in the field.
+//
+// The returned slice is the index's internal postings list, NOT a copy:
+// callers must treat it as read-only. The query engine (trusted, in
+// process) iterates it on every similar value of every search, so copying
+// here would put one allocation per similar value back on the hot path.
+// Callers that hand postings to untrusted code must use LookupCopy.
 func (k *Keyword) Lookup(f Field, value string) []pedigree.NodeID {
 	return k.postings[f][value]
+}
+
+// LookupCopy returns a private copy of the postings for the value, safe to
+// mutate or retain across index rebuilds.
+func (k *Keyword) LookupCopy(f Field, value string) []pedigree.NodeID {
+	ids := k.postings[f][value]
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]pedigree.NodeID, len(ids))
+	copy(out, ids)
+	return out
 }
 
 // Values returns the number of distinct values indexed for the field.
 func (k *Keyword) Values(f Field) int { return len(k.postings[f]) }
 
+// PostingStats describes the keyword index's footprint for one field.
+type PostingStats struct {
+	// Values is the number of distinct indexed values.
+	Values int
+	// Entries is the total number of posting-list entries.
+	Entries int
+	// Bytes approximates the heap footprint: value string bytes plus
+	// posting entries (4 bytes each) plus map/slice headers.
+	Bytes int
+}
+
+// Stats reports the field's posting footprint; the year-index shrink is
+// measured against it (see YearPostingEntries).
+func (k *Keyword) Stats(f Field) PostingStats {
+	st := PostingStats{Values: len(k.postings[f])}
+	for v, ids := range k.postings[f] {
+		st.Entries += len(ids)
+		st.Bytes += len(v) + 4*len(ids) + 48 // string bytes + NodeIDs + header overhead
+	}
+	return st
+}
+
+// YearPostingEntries reports how many posting entries the retired
+// string-keyed year index would have stored for the graph: one per
+// (entity, year) pair across each entity's MinYear..MaxYear span. The
+// interval check replaced all of them with zero index state.
+func YearPostingEntries(g *pedigree.Graph) int {
+	entries := 0
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		if n.MinYear != 0 && n.MaxYear >= n.MinYear {
+			entries += n.MaxYear - n.MinYear + 1
+		}
+	}
+	return entries
+}
+
 // Similar returns the indexed values of the field similar to the probe,
 // most similar first, including the probe itself when indexed. Results are
 // memoised in S: the first query for an unknown value computes similarities
-// against all bigram-sharing values and stores them (Sec. 7).
+// against all bigram-sharing values and stores them (Sec. 7). Concurrent
+// first queries of the same value compute once; the rest wait for the
+// leader. The returned slice is shared and read-only.
 func (s *Similarity) Similar(f Field, value string) []SimilarValue {
-	s.mu.RLock()
-	if out, ok := s.sims[f][value]; ok {
-		s.mu.RUnlock()
+	sh := s.shard(f, value)
+	sh.mu.RLock()
+	out, ok := sh.sims[value]
+	sh.mu.RUnlock()
+	if ok {
 		mMemoHits.Inc()
 		return out
 	}
-	s.mu.RUnlock()
+
+	sh.mu.Lock()
+	if out, ok := sh.sims[value]; ok { // memoised while we upgraded the lock
+		sh.mu.Unlock()
+		mMemoHits.Inc()
+		return out
+	}
+	if c, ok := sh.inflight[value]; ok { // a leader is already computing
+		sh.mu.Unlock()
+		c.wg.Wait()
+		mMemoWaits.Inc()
+		return c.out
+	}
+	c := &memoCall{}
+	c.wg.Add(1)
+	sh.inflight[value] = c
+	sh.mu.Unlock()
+
 	mMemoMisses.Inc()
-	out := s.computeSimilar(f, value)
-	s.mu.Lock()
-	s.sims[f][value] = out
-	s.mu.Unlock()
+	out = s.computeSimilar(f, value)
+
+	sh.mu.Lock()
+	sh.sims[value] = out
+	delete(sh.inflight, value)
+	sh.mu.Unlock()
+	c.out = out
+	c.wg.Done()
 	return out
 }
 
@@ -194,14 +370,16 @@ func (s *Similarity) Similar(f Field, value string) []SimilarValue {
 // stored in S, without computing or storing one. The query engine uses it
 // to attribute memo hits to the trace span of the lookup.
 func (s *Similarity) Memoised(f Field, value string) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	_, ok := s.sims[f][value]
+	sh := s.shard(f, value)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	_, ok := sh.sims[value]
 	return ok
 }
 
 // computeSimilar scans the bigram postings for candidate values and keeps
-// those with Jaro-Winkler similarity at or above the threshold.
+// those with Jaro-Winkler similarity at or above the threshold. bigramPost
+// is immutable after Build, so no lock is held while computing.
 func (s *Similarity) computeSimilar(f Field, value string) []SimilarValue {
 	cand := map[string]bool{}
 	for _, bg := range strsim.BigramSet(value) {
@@ -227,7 +405,12 @@ func (s *Similarity) computeSimilar(f Field, value string) []SimilarValue {
 
 // Size reports the number of memoised similarity lists for a field.
 func (s *Similarity) Size(f Field) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.sims[f])
+	n := 0
+	for i := range s.shards[f] {
+		sh := &s.shards[f][i]
+		sh.mu.RLock()
+		n += len(sh.sims)
+		sh.mu.RUnlock()
+	}
+	return n
 }

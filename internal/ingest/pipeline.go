@@ -49,6 +49,11 @@ type Serving struct {
 	Store   *er.EntityStore
 	Graph   *pedigree.Graph
 	Engine  *query.Engine
+	// Generation counts published snapshots, starting at 0 for the
+	// initial bundle and incrementing on every flush. The query result
+	// cache keys on it, so rankings computed against a superseded
+	// snapshot are never served after a swap.
+	Generation uint64
 }
 
 // NewServing builds the initial serving bundle from a resolved data set.
@@ -69,6 +74,9 @@ type Config struct {
 	// SimThreshold is the similarity-index threshold s_t used when the
 	// indexes are rebuilt (default 0.5).
 	SimThreshold float64
+	// QueryCache bounds the generation-keyed LRU of ranked search
+	// results shared across serving generations; 0 disables caching.
+	QueryCache int
 	// Graph and Resolver configure the incremental er.Extend pass.
 	Graph    depgraph.Config
 	Resolver er.Config
@@ -118,9 +126,11 @@ type Status struct {
 	Flushes         int       `json:"flushes"`
 	LastFlushMillis int64     `json:"last_flush_millis"`
 	LastFlushAt     time.Time `json:"last_flush_at"`
-	// Records and Entities describe the currently served generation.
-	Records  int `json:"records"`
-	Entities int `json:"entities"`
+	// Records and Entities describe the currently served generation;
+	// Generation is its snapshot counter (0 = the initial bundle).
+	Records    int    `json:"records"`
+	Entities   int    `json:"entities"`
+	Generation uint64 `json:"generation"`
 	// JournalPath, JournalEntries, and JournalBytes describe the WAL
 	// ("" / 0 when disabled).
 	JournalPath    string `json:"journal_path,omitempty"`
@@ -152,10 +162,14 @@ type Pipeline struct {
 
 	// build state, owned by the worker goroutine (and by flushLocked
 	// callers holding buildMu): the data set and store the next generation
-	// grows from.
+	// grows from, plus the generation counter of the last published
+	// bundle and the result cache shared across generations (nil when
+	// disabled).
 	buildMu    sync.Mutex
 	buildD     *model.Dataset
 	buildStore *er.EntityStore
+	generation uint64
+	cache      *query.ResultCache
 
 	kick     chan struct{}
 	stop     chan struct{}
@@ -175,10 +189,16 @@ func NewPipeline(sv *Serving, jr *Journal, backlog []Certificate, cfg Config) (*
 		journal:    jr,
 		buildD:     sv.Dataset,
 		buildStore: sv.Store,
+		cache:      query.NewResultCache(cfg.QueryCache),
 		kick:       make(chan struct{}, 1),
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
 	}
+	// The pipeline owns the bundle: stamp it as generation 0 and attach
+	// the shared result cache so the initial engine caches too.
+	sv.Generation = 0
+	sv.Engine.Generation = 0
+	sv.Engine.Cache = p.cache
 	p.serving.Store(sv)
 	if len(backlog) > 0 {
 		p.mu.Lock()
@@ -280,6 +300,7 @@ func (p *Pipeline) Status() Status {
 	p.mu.Unlock()
 	st.Records = len(sv.Dataset.Records)
 	st.Entities = len(sv.Graph.Nodes)
+	st.Generation = sv.Generation
 	if p.journal != nil {
 		st.JournalPath = p.journal.Path()
 		st.JournalEntries = p.journal.Len()
@@ -387,8 +408,18 @@ func (p *Pipeline) flushLocked() error {
 	isp.End()
 
 	_, wsp := obs.StartSpan(ctx, "snapshot_swap")
+	gen := p.generation + 1
+	sv.Generation = gen
+	sv.Engine.Generation = gen
+	sv.Engine.Cache = p.cache
 	p.buildD, p.buildStore = newD, newStore
+	p.generation = gen
 	p.serving.Store(sv)
+	// Rankings cached against older generations can no longer be served
+	// (the cache keys on the generation); free them eagerly.
+	if p.cache != nil {
+		p.cache.Invalidate(gen)
+	}
 
 	mApplied.Add(int64(len(batch)))
 	mFlushes.Inc()

@@ -1,0 +1,78 @@
+package query
+
+import (
+	"strconv"
+	"testing"
+
+	"github.com/snaps/snaps/internal/dataset"
+	"github.com/snaps/snaps/internal/depgraph"
+	"github.com/snaps/snaps/internal/er"
+	"github.com/snaps/snaps/internal/index"
+	"github.com/snaps/snaps/internal/pedigree"
+)
+
+// benchEngine builds one engine at benchmark scale, shared per benchmark.
+func benchEngine(b *testing.B) *Engine {
+	b.Helper()
+	p := dataset.Generate(dataset.IOS().Scaled(0.1))
+	pr := er.Run(p.Dataset, depgraph.DefaultConfig(), er.DefaultConfig())
+	g := pedigree.Build(p.Dataset, pr.Result.Store)
+	k, s := index.Build(g, 0.5)
+	return NewEngine(g, k, s)
+}
+
+// hotQuery returns the query with the most candidates the data set can
+// produce: the most frequent first name paired with the most frequent
+// surname (IOS-style name skew, where the top name covers >8% of records).
+func hotQuery(e *Engine) Query {
+	firstCount := map[string]int{}
+	surCount := map[string]int{}
+	for i := range e.Graph.Nodes {
+		n := &e.Graph.Nodes[i]
+		for _, v := range n.FirstNames {
+			firstCount[v]++
+		}
+		for _, v := range n.Surnames {
+			surCount[v]++
+		}
+	}
+	top := func(m map[string]int) string {
+		best, bestN := "", -1
+		for v, n := range m {
+			if n > bestN || (n == bestN && v < best) {
+				best, bestN = v, n
+			}
+		}
+		return best
+	}
+	return Query{FirstName: top(firstCount), Surname: top(surCount)}
+}
+
+// BenchmarkSearchHotName measures the accumulator + ranking hot path on a
+// popular-name query (similarity memo warm): the per-search overhead a
+// skewed workload pays on every request.
+func BenchmarkSearchHotName(b *testing.B) {
+	e := benchEngine(b)
+	q := hotQuery(e)
+	e.Search(q) // warm the similarity memo
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Search(q)
+	}
+}
+
+// BenchmarkSearchColdName measures the memo-miss path: every iteration
+// probes a surname never seen before, forcing a bigram-postings scan and
+// similarity computation before ranking.
+func BenchmarkSearchColdName(b *testing.B) {
+	e := benchEngine(b)
+	q := hotQuery(e)
+	sur := q.Surname
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Surname = sur + strconv.Itoa(i)
+		e.Search(q)
+	}
+}

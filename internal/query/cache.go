@@ -1,0 +1,158 @@
+package query
+
+import (
+	"container/list"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/snaps/snaps/internal/obs"
+)
+
+// Result-cache metrics in the default registry, exposed at GET /metrics.
+var (
+	mCacheHits = obs.Default.Counter("snaps_query_cache_hits_total",
+		"Searches answered from the generation-keyed result cache.")
+	mCacheMisses = obs.Default.Counter("snaps_query_cache_misses_total",
+		"Searches that missed the result cache and ran the full engine.")
+	mCacheEvictions = obs.Default.Counter("snaps_query_cache_evictions_total",
+		"Result-cache entries dropped (LRU pressure or superseded generation).")
+	mCacheEntries = obs.Default.Gauge("snaps_query_cache_entries",
+		"Result-cache entries currently resident.")
+)
+
+// ResultCache is a size-bounded LRU of ranked result lists, keyed by
+// (serving generation, normalised query). The live-ingestion pipeline
+// shares one cache across snapshot swaps and bumps the generation on every
+// swap, so entries written against a superseded snapshot can never be
+// served again; Invalidate drops them eagerly rather than waiting for LRU
+// pressure. Cached slices are shared with callers and are read-only by
+// contract (Engine.Search documents the same).
+type ResultCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[resultKey]*list.Element
+}
+
+type resultKey struct {
+	gen uint64
+	q   string
+}
+
+type cacheEntry struct {
+	key     resultKey
+	results []Result
+}
+
+// NewResultCache returns a cache bounded to capacity entries, or nil when
+// capacity <= 0 (a nil cache disables caching on the engine).
+func NewResultCache(capacity int) *ResultCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &ResultCache{cap: capacity, ll: list.New(), items: map[resultKey]*list.Element{}}
+}
+
+// Get returns the cached ranking for the query under the given generation.
+func (c *ResultCache) Get(gen uint64, key string) ([]Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[resultKey{gen, key}]
+	if !ok {
+		mCacheMisses.Inc()
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	mCacheHits.Inc()
+	return el.Value.(*cacheEntry).results, true
+}
+
+// Put stores a ranking under (generation, key), evicting the least
+// recently used entry when the cache is full.
+func (c *ResultCache) Put(gen uint64, key string, results []Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := resultKey{gen, key}
+	if el, ok := c.items[k]; ok {
+		el.Value.(*cacheEntry).results = results
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.ll.PushFront(&cacheEntry{key: k, results: results})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		mCacheEvictions.Inc()
+	}
+	mCacheEntries.Set(int64(c.ll.Len()))
+}
+
+// Invalidate evicts every entry whose generation is below gen. The ingest
+// pipeline calls it after each snapshot swap so superseded rankings free
+// their memory immediately instead of aging out.
+func (c *ResultCache) Invalidate(gen uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if e := el.Value.(*cacheEntry); e.key.gen < gen {
+			c.ll.Remove(el)
+			delete(c.items, e.key)
+			mCacheEvictions.Inc()
+		}
+		el = next
+	}
+	mCacheEntries.Set(int64(c.ll.Len()))
+}
+
+// Len reports the number of resident entries.
+func (c *ResultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// cacheKey canonicalises a query (plus the weights and result-list bound
+// that shape its ranking) into a cache key. Engines of different
+// generations never share entries — the generation is the other half of
+// the composite key.
+func cacheKey(q Query, w Weights, topM int) string {
+	var b strings.Builder
+	b.Grow(len(q.FirstName) + len(q.Surname) + len(q.Location) + 64)
+	b.WriteString(q.FirstName)
+	b.WriteByte(0)
+	b.WriteString(q.Surname)
+	b.WriteByte(0)
+	b.WriteString(q.Location)
+	b.WriteByte(0)
+	var num [24]byte
+	writeInt := func(v int64) {
+		b.Write(strconv.AppendInt(num[:0], v, 10))
+		b.WriteByte(0)
+	}
+	writeFloat := func(v float64) {
+		b.Write(strconv.AppendFloat(num[:0], v, 'g', -1, 64))
+		b.WriteByte(0)
+	}
+	writeInt(int64(q.Gender))
+	writeInt(int64(q.YearFrom))
+	writeInt(int64(q.YearTo))
+	writeInt(int64(q.CertType))
+	if q.HasCertType {
+		b.WriteByte(1)
+	} else {
+		b.WriteByte(0)
+	}
+	writeFloat(q.CenterLat)
+	writeFloat(q.CenterLon)
+	writeFloat(q.RadiusKm)
+	writeFloat(w.FirstName)
+	writeFloat(w.Surname)
+	writeFloat(w.Gender)
+	writeFloat(w.Year)
+	writeFloat(w.Location)
+	writeInt(int64(topM))
+	return b.String()
+}

@@ -1,0 +1,95 @@
+package query
+
+import (
+	"testing"
+
+	"github.com/snaps/snaps/internal/index"
+	"github.com/snaps/snaps/internal/pedigree"
+)
+
+func fakeResults(n int) []Result {
+	out := make([]Result, n)
+	for i := range out {
+		out[i] = Result{Entity: pedigree.NodeID(i), Score: float64(100 - i),
+			Matched: map[index.Field]bool{index.FieldFirstName: true}}
+	}
+	return out
+}
+
+func TestResultCacheLRU(t *testing.T) {
+	c := NewResultCache(2)
+	c.Put(1, "a", fakeResults(1))
+	c.Put(1, "b", fakeResults(2))
+	if _, ok := c.Get(1, "a"); !ok {
+		t.Fatal("a evicted below capacity")
+	}
+	// "a" is now most recently used; inserting "c" must evict "b".
+	c.Put(1, "c", fakeResults(3))
+	if _, ok := c.Get(1, "b"); ok {
+		t.Fatal("LRU entry b not evicted")
+	}
+	if _, ok := c.Get(1, "a"); !ok {
+		t.Fatal("recently used entry a evicted")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestResultCacheGenerationKeying(t *testing.T) {
+	c := NewResultCache(8)
+	c.Put(1, "q", fakeResults(5))
+	if _, ok := c.Get(2, "q"); ok {
+		t.Fatal("entry of generation 1 served under generation 2")
+	}
+	if res, ok := c.Get(1, "q"); !ok || len(res) != 5 {
+		t.Fatal("entry lost under its own generation")
+	}
+	c.Put(2, "q", fakeResults(3))
+	if res, ok := c.Get(2, "q"); !ok || len(res) != 3 {
+		t.Fatal("generation 2 entry not independently stored")
+	}
+	c.Invalidate(2)
+	if _, ok := c.Get(1, "q"); ok {
+		t.Fatal("Invalidate left a superseded-generation entry behind")
+	}
+	if _, ok := c.Get(2, "q"); !ok {
+		t.Fatal("Invalidate dropped a current-generation entry")
+	}
+}
+
+func TestNewResultCacheDisabled(t *testing.T) {
+	if NewResultCache(0) != nil || NewResultCache(-3) != nil {
+		t.Fatal("capacity <= 0 must return a nil (disabled) cache")
+	}
+}
+
+func TestCacheKeyDistinguishesQueries(t *testing.T) {
+	w := DefaultWeights()
+	base := Query{FirstName: "mary", Surname: "macdonald"}
+	variants := []Query{
+		{FirstName: "mary", Surname: "macdonal\x00d"}, // separator injection
+		{FirstName: "marymacdonald"},
+		{FirstName: "mary", Surname: "macdonald", YearFrom: 1850},
+		{FirstName: "mary", Surname: "macdonald", YearTo: 1850},
+		{FirstName: "mary", Surname: "macdonald", HasCertType: true},
+		{FirstName: "mary", Surname: "macdonald", RadiusKm: 5},
+	}
+	bk := cacheKey(base, w, 20)
+	for i, v := range variants {
+		if cacheKey(v, w, 20) == bk {
+			t.Fatalf("variant %d collides with base key", i)
+		}
+	}
+	if cacheKey(base, w, 20) != bk {
+		t.Fatal("cache key not deterministic")
+	}
+	if cacheKey(base, w, 3) == bk {
+		t.Fatal("TopM not part of the key")
+	}
+	w2 := w
+	w2.Surname = 0.2
+	if cacheKey(base, w2, 20) == bk {
+		t.Fatal("weights not part of the key")
+	}
+}

@@ -4,12 +4,20 @@
 // the keyword index (exactly and approximately through the similarity-aware
 // index), scored into an accumulator, and the top-m entities are returned
 // ranked by their normalised match scores.
+//
+// The serving path is allocation-free in the steady state: candidates score
+// into a pooled dense accumulator slab addressed through a reusable
+// NodeID→slot table (epoch-reset, so recycling is O(1)), and ranking uses
+// bounded top-m heap selection instead of sorting every candidate. Ranked
+// output is byte-identical to the naive map + full-sort engine; the golden
+// tests guard that equivalence.
 package query
 
 import (
 	"context"
 	"sort"
 	"strconv"
+	"sync"
 	"time"
 
 	"github.com/snaps/snaps/internal/index"
@@ -81,12 +89,28 @@ type Engine struct {
 	Similar *index.Similarity
 	Weights Weights
 	TopM    int
+
+	// Cache, when non-nil, memoises ranked result lists under
+	// (Generation, normalised query). The live-ingestion pipeline shares
+	// one cache across generations and bumps Generation on every
+	// snapshot swap, so entries of superseded generations can never be
+	// served. Cached result slices are shared between callers and must be
+	// treated as read-only (the HTTP layer only reads them).
+	Cache *ResultCache
+	// Generation identifies the serving snapshot this engine belongs to.
+	Generation uint64
+
+	// pool recycles per-search accumulator state. Nil (engines built with
+	// a struct literal rather than NewEngine) falls back to allocating
+	// fresh state per search.
+	pool *sync.Pool
 }
 
 // NewEngine wires an engine with default weights and the paper's result
 // list size.
 func NewEngine(g *pedigree.Graph, k *index.Keyword, s *index.Similarity) *Engine {
-	return &Engine{Graph: g, Keyword: k, Similar: s, Weights: DefaultWeights(), TopM: 20}
+	return &Engine{Graph: g, Keyword: k, Similar: s, Weights: DefaultWeights(), TopM: 20,
+		pool: &sync.Pool{}}
 }
 
 // accumulator entry per candidate entity: the best weighted contribution
@@ -106,10 +130,59 @@ func (a *accum) score() float64 {
 	return s
 }
 
+// searchState is the pooled per-search scratch: a dense accumulator slab
+// plus the NodeID→slot table addressing it. The table is epoch-marked, so
+// recycling it for the next search is a single counter increment instead
+// of an O(nodes) clear.
+type searchState struct {
+	slot  []int32  // NodeID → index into ids/slab, valid iff mark[id] == epoch
+	mark  []uint32 // epoch stamp per NodeID
+	epoch uint32
+	ids   []pedigree.NodeID // candidate NodeIDs in first-touch order
+	slab  []accum           // accumulator per candidate, parallel to ids
+	heap  []rankEntry       // top-m selection scratch
+}
+
+// getState fetches (or sizes) a search state for one search.
+func (e *Engine) getState() *searchState {
+	var st *searchState
+	if e.pool != nil {
+		st, _ = e.pool.Get().(*searchState)
+	}
+	if st == nil {
+		st = &searchState{}
+	}
+	if n := len(e.Graph.Nodes); len(st.slot) < n {
+		st.slot = make([]int32, n)
+		st.mark = make([]uint32, n)
+		st.epoch = 0
+	}
+	st.epoch++
+	if st.epoch == 0 { // wrapped: invalidate all marks once
+		for i := range st.mark {
+			st.mark[i] = 0
+		}
+		st.epoch = 1
+	}
+	st.ids = st.ids[:0]
+	st.slab = st.slab[:0]
+	st.heap = st.heap[:0]
+	return st
+}
+
+func (e *Engine) putState(st *searchState) {
+	if e.pool != nil {
+		e.pool.Put(st)
+	}
+}
+
 // Search runs the query and returns the top-m ranked entities. Entities
 // enter the accumulator only through a name match (exact or approximate, on
 // first name and/or surname); gender, year, and location only adjust scores
 // of accumulated entities, never add new ones (Sec. 7).
+//
+// The returned slice and its Matched maps may be shared with the result
+// cache; callers must not mutate them.
 func (e *Engine) Search(q Query) []Result {
 	return e.SearchContext(context.Background(), q)
 }
@@ -119,10 +192,24 @@ func (e *Engine) Search(q Query) []Result {
 // query's four stages — blocking-key lookup, candidate accumulation,
 // refinement-field scoring, and ranking — each record a child span with
 // the sizes that drove their cost, so a slow search is attributable from
-// GET /api/debug/traces or the slow-query log.
+// GET /api/debug/traces or the slow-query log. A result-cache hit skips
+// the stages and records cache_hit=1 on the search span.
 func (e *Engine) SearchContext(ctx context.Context, q Query) []Result {
 	start := time.Now()
 	ctx, sp := obs.StartSpan(ctx, "search")
+
+	var ckey string
+	if e.Cache != nil {
+		ckey = cacheKey(q, e.Weights, e.TopM)
+		if res, ok := e.Cache.Get(e.Generation, ckey); ok {
+			mSearches.Inc()
+			mSearchSeconds.ObserveDuration(time.Since(start))
+			sp.SetAttr("cache_hit", 1)
+			sp.SetAttr("results", int64(len(res)))
+			sp.End()
+			return res
+		}
+	}
 
 	// Blocking-key lookup: both query names resolve to their similar
 	// indexed values through the similarity-aware index S.
@@ -146,20 +233,21 @@ func (e *Engine) SearchContext(ctx context.Context, q Query) []Result {
 
 	// Candidate accumulation: entities carrying any similar name value
 	// enter the accumulator with their best weighted contribution.
-	m := map[pedigree.NodeID]*accum{}
+	st := e.getState()
 	weightSum := e.Weights.FirstName + e.Weights.Surname
 	_, asp := obs.StartSpan(ctx, "accumulate")
-	e.accumulate(m, index.FieldFirstName, q.FirstName, firstVals, e.Weights.FirstName)
-	e.accumulate(m, index.FieldSurname, q.Surname, surVals, e.Weights.Surname)
-	asp.SetAttr("candidates", int64(len(m)))
+	e.accumulate(st, index.FieldFirstName, q.FirstName, firstVals, e.Weights.FirstName)
+	e.accumulate(st, index.FieldSurname, q.Surname, surVals, e.Weights.Surname)
+	asp.SetAttr("candidates", int64(len(st.ids)))
 	asp.End()
 
 	// Refinement fields.
 	_, ssp := obs.StartSpan(ctx, "score")
 	if q.Gender != model.GenderUnknown {
 		weightSum += e.Weights.Gender
-		for id, a := range m {
-			if e.Graph.Node(id).Gender == q.Gender {
+		for i := range st.slab {
+			a := &st.slab[i]
+			if e.Graph.Node(st.ids[i]).Gender == q.Gender {
 				a.contrib[index.FieldGender] = e.Weights.Gender
 				a.matched[index.FieldGender] = true
 				a.hasField[index.FieldGender] = true
@@ -175,8 +263,9 @@ func (e *Engine) SearchContext(ctx context.Context, q Query) []Result {
 		if to == 0 {
 			to = 1 << 30
 		}
-		for id, a := range m {
-			n := e.Graph.Node(id)
+		for i := range st.slab {
+			a := &st.slab[i]
+			n := e.Graph.Node(st.ids[i])
 			if n.MinYear != 0 && n.MinYear <= to && n.MaxYear >= from {
 				a.contrib[index.FieldYear] = e.Weights.Year
 				a.matched[index.FieldYear] = true
@@ -186,8 +275,9 @@ func (e *Engine) SearchContext(ctx context.Context, q Query) []Result {
 	}
 	if q.Location != "" {
 		weightSum += e.Weights.Location
-		for id, a := range m {
-			if sim, exact, ok := e.bestLocation(id, q.Location); ok {
+		for i := range st.slab {
+			a := &st.slab[i]
+			if sim, exact, ok := e.bestLocation(st.ids[i], q.Location); ok {
 				a.contrib[index.FieldLocation] = e.Weights.Location * sim
 				a.matched[index.FieldLocation] = exact
 				a.hasField[index.FieldLocation] = true
@@ -195,66 +285,130 @@ func (e *Engine) SearchContext(ctx context.Context, q Query) []Result {
 		}
 	}
 	if q.HasCertType {
-		for id, a := range m {
-			if !e.hasCertType(id, q.CertType) {
-				a.excluded = true
+		for i := range st.slab {
+			if !e.hasCertType(st.ids[i], q.CertType) {
+				st.slab[i].excluded = true
 			}
 		}
 	}
 	if q.RadiusKm > 0 {
-		for id, a := range m {
-			n := e.Graph.Node(id)
+		for i := range st.slab {
+			n := e.Graph.Node(st.ids[i])
 			if n.HasGeo && strsim.GeoDistanceKm(q.CenterLat, q.CenterLon, n.Lat, n.Lon) > q.RadiusKm {
-				a.excluded = true
+				st.slab[i].excluded = true
 			}
 		}
 	}
 	ssp.End()
 
-	// Ranking: normalise, sort, and trim to the top-m list.
+	// Ranking: normalise, select the top-m by bounded heap, and
+	// materialise Result values (Matched maps included) only for the
+	// selected entities.
 	_, rsp := obs.StartSpan(ctx, "rank")
-	results := make([]Result, 0, len(m))
-	for id, a := range m {
+	results := e.rank(st, weightSum)
+	rsp.SetAttr("results", int64(len(results)))
+	rsp.End()
+
+	mSearches.Inc()
+	mCandidates.Observe(float64(len(st.ids)))
+	mSearchSeconds.ObserveDuration(time.Since(start))
+	sp.SetAttr("candidates", int64(len(st.ids)))
+	sp.SetAttr("results", int64(len(results)))
+	sp.End()
+
+	if e.Cache != nil {
+		e.Cache.Put(e.Generation, ckey, results)
+	}
+	e.putState(st)
+	return results
+}
+
+// rankEntry is one candidate in the top-m selection heap.
+type rankEntry struct {
+	id    pedigree.NodeID
+	score float64 // normalised score, identical to Result.Score
+}
+
+// rankBetter is the total order of the result list: score descending,
+// NodeID ascending on ties. Comparing normalised scores (not raw weighted
+// sums) keeps the order bit-identical to the historical sort-based engine.
+func rankBetter(a, b rankEntry) bool {
+	if a.score != b.score {
+		return a.score > b.score
+	}
+	return a.id < b.id
+}
+
+// rank selects the top-m candidates from the accumulator slab. With m > 0
+// it keeps a bounded min-heap (root = worst kept entry) so a hot-name
+// search does O(candidates · log m) work; m <= 0 returns every candidate,
+// fully sorted.
+func (e *Engine) rank(st *searchState, weightSum float64) []Result {
+	m := e.TopM
+	h := st.heap
+	for i := range st.slab {
+		a := &st.slab[i]
 		if a.excluded {
 			continue
 		}
+		ent := rankEntry{id: st.ids[i], score: 100 * a.score() / weightSum}
+		if m <= 0 || len(h) < m {
+			h = append(h, ent)
+			if m > 0 && len(h) == m {
+				// Heapify once the bound is reached.
+				for j := len(h)/2 - 1; j >= 0; j-- {
+					siftDown(h, j)
+				}
+			}
+			continue
+		}
+		if rankBetter(ent, h[0]) {
+			h[0] = ent
+			siftDown(h, 0)
+		}
+	}
+	st.heap = h // retain grown capacity for the next search
+	// Within-heap order is partial; sort the (at most m) survivors into
+	// the final ranking.
+	sort.Slice(h, func(i, j int) bool { return rankBetter(h[i], h[j]) })
+	results := make([]Result, 0, len(h))
+	for _, ent := range h {
+		a := &st.slab[st.slot[ent.id]]
 		matched := map[index.Field]bool{}
 		for f := index.Field(0); f < index.NumFields; f++ {
 			if a.hasField[f] {
 				matched[f] = a.matched[f]
 			}
 		}
-		results = append(results, Result{
-			Entity:  id,
-			Score:   100 * a.score() / weightSum,
-			Matched: matched,
-		})
+		results = append(results, Result{Entity: ent.id, Score: ent.score, Matched: matched})
 	}
-	sort.Slice(results, func(i, j int) bool {
-		if results[i].Score != results[j].Score {
-			return results[i].Score > results[j].Score
-		}
-		return results[i].Entity < results[j].Entity
-	})
-	if e.TopM > 0 && len(results) > e.TopM {
-		results = results[:e.TopM]
-	}
-	rsp.SetAttr("results", int64(len(results)))
-	rsp.End()
-
-	mSearches.Inc()
-	mCandidates.Observe(float64(len(m)))
-	mSearchSeconds.ObserveDuration(time.Since(start))
-	sp.SetAttr("candidates", int64(len(m)))
-	sp.SetAttr("results", int64(len(results)))
-	sp.End()
 	return results
+}
+
+// siftDown restores the min-heap property (root = worst entry under
+// rankBetter) for the subtree rooted at i.
+func siftDown(h []rankEntry, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		worst := i
+		if l < len(h) && rankBetter(h[worst], h[l]) {
+			worst = l
+		}
+		if r < len(h) && rankBetter(h[worst], h[r]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h[i], h[worst] = h[worst], h[i]
+		i = worst
+	}
 }
 
 // accumulate adds entities matching any of the precomputed similar name
 // values, weighting the contribution by string similarity. An entity
 // matching several similar values keeps the best contribution.
-func (e *Engine) accumulate(m map[pedigree.NodeID]*accum, f index.Field, value string, similar []index.SimilarValue, weight float64) {
+func (e *Engine) accumulate(st *searchState, f index.Field, value string, similar []index.SimilarValue, weight float64) {
 	if value == "" {
 		return
 	}
@@ -262,10 +416,15 @@ func (e *Engine) accumulate(m map[pedigree.NodeID]*accum, f index.Field, value s
 		exact := sv.Value == value
 		contribution := weight * sv.Sim
 		for _, id := range e.Keyword.Lookup(f, sv.Value) {
-			a := m[id]
-			if a == nil {
-				a = &accum{}
-				m[id] = a
+			var a *accum
+			if st.mark[id] == st.epoch {
+				a = &st.slab[st.slot[id]]
+			} else {
+				st.mark[id] = st.epoch
+				st.slot[id] = int32(len(st.slab))
+				st.ids = append(st.ids, id)
+				st.slab = append(st.slab, accum{})
+				a = &st.slab[len(st.slab)-1]
 			}
 			if contribution > a.contrib[f] {
 				a.contrib[f] = contribution

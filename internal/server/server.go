@@ -145,10 +145,13 @@ func (s *Server) parseQuery(r *http.Request) query.Query {
 	return q
 }
 
-func (s *Server) search(r *http.Request) ([]SearchResult, error) {
+// search runs the request's query against the currently served engine and
+// also reports that engine's snapshot generation, so handlers can stamp
+// responses with the generation that produced them.
+func (s *Server) search(r *http.Request) ([]SearchResult, uint64, error) {
 	q := s.parseQuery(r)
 	if q.FirstName == "" || q.Surname == "" {
-		return nil, fmt.Errorf("first_name and surname are required")
+		return nil, 0, fmt.Errorf("first_name and surname are required")
 	}
 	engine := s.Engine()
 	results := engine.SearchContext(r.Context(), q)
@@ -184,7 +187,7 @@ func (s *Server) search(r *http.Request) ([]SearchResult, error) {
 		}
 		out = append(out, sr)
 	}
-	return out, nil
+	return out, engine.Generation, nil
 }
 
 // SearchResponse is the JSON envelope of GET /api/search: the ranked rows
@@ -197,11 +200,14 @@ type SearchResponse struct {
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
-	out, err := s.search(r)
+	out, gen, err := s.search(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	// The serving snapshot that produced this ranking: lets clients (and
+	// the stress tests) correlate results with ingest generations.
+	w.Header().Set("X-Snaps-Generation", strconv.FormatUint(gen, 10))
 	writeJSON(w, SearchResponse{TraceID: obs.TraceIDFromContext(r.Context()), Results: out})
 }
 
@@ -358,7 +364,7 @@ func (s *Server) handleHome(w http.ResponseWriter, r *http.Request) {
 		Type:   r.FormValue("type"),
 	}
 	if data.Q.FirstName != "" && data.Q.Surname != "" {
-		if results, err := s.search(r); err == nil {
+		if results, _, err := s.search(r); err == nil {
 			data.Results = results
 		}
 	}

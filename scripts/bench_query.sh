@@ -1,0 +1,56 @@
+#!/bin/sh
+# bench_query.sh — run the query hot-path micro-benchmarks and emit
+# BENCH_query.json (ns/op, B/op, allocs/op per benchmark) so future PRs can
+# diff the serving-path performance trajectory against this one.
+#
+# Usage:
+#   ./scripts/bench_query.sh                 # default -benchtime (1s / 5x)
+#   BENCHTIME=1x ./scripts/bench_query.sh    # CI smoke: one iteration
+#   OUT=/tmp/b.json ./scripts/bench_query.sh
+#
+# For statistically sound comparisons run each side >= 10 times and feed
+# the raw `go test -bench` output to benchstat (see README).
+set -e
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1s}"
+REBUILD_BENCHTIME="${REBUILD_BENCHTIME:-${BENCHTIME}}"
+OUT="${OUT:-BENCH_query.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench 'BenchmarkSearchHotName|BenchmarkSearchColdName' \
+    -benchtime "$BENCHTIME" ./internal/query | tee "$RAW"
+go test -run '^$' -bench 'BenchmarkIndexRebuild' \
+    -benchtime "$REBUILD_BENCHTIME" ./internal/index | tee -a "$RAW"
+
+# Parse `BenchmarkName-N  iters  X ns/op  Y B/op  Z allocs/op` lines into
+# JSON. The baseline block records the pre-overhaul engine (map-per-
+# candidate accumulator, full sort, single-mutex memo, serial index build)
+# measured on the same benchmark bodies, for ratio checks without digging
+# through git history.
+{
+  printf '{\n  "benchmarks": [\n'
+  awk '
+    /^Benchmark/ {
+      name = $1; sub(/-[0-9]+$/, "", name)
+      ns = "null"; bytes = "null"; allocs = "null"
+      for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i-1)
+        if ($i == "B/op")      bytes = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+      }
+      printf "%s    {\"name\":\"%s\",\"iters\":%s,\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}", sep, name, $2, ns, bytes, allocs
+      sep = ",\n"
+    }
+    END { printf "\n" }
+  ' "$RAW"
+  printf '  ],\n'
+  printf '  "baseline_pre_overhaul": [\n'
+  printf '    {"name":"BenchmarkSearchHotName","ns_per_op":278385,"bytes_per_op":118657,"allocs_per_op":1540},\n'
+  printf '    {"name":"BenchmarkSearchColdName","ns_per_op":260187,"bytes_per_op":102226,"allocs_per_op":1456},\n'
+  printf '    {"name":"BenchmarkIndexRebuild","ns_per_op":187502511,"bytes_per_op":33403534,"allocs_per_op":1626878}\n'
+  printf '  ]\n}\n'
+} > "$OUT"
+
+echo "wrote $OUT"
