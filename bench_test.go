@@ -372,3 +372,30 @@ func BenchmarkExtend(b *testing.B) {
 		er.Extend(d, fresh, firstNew, depgraph.DefaultConfig(), er.DefaultConfig())
 	}
 }
+
+// BenchmarkOfflineRunWorkers runs the complete offline build — blocking,
+// dependency graph, and component-partitioned resolution — serially and
+// with one worker per core. The resolved clusters are identical for every
+// worker setting (see the golden-equivalence tests in er and blocking);
+// the gap between the two sub-benchmarks is the multi-core payoff.
+func BenchmarkOfflineRunWorkers(b *testing.B) {
+	d := dataset.Generate(dataset.IOS().Scaled(0.08)).Dataset
+	for _, bench := range []struct {
+		name    string
+		workers int
+	}{
+		{"workers=1", 1},
+		{"workers=gomaxprocs", 0},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			gcfg := depgraph.DefaultConfig()
+			gcfg.Workers = bench.workers
+			cfg := er.DefaultConfig()
+			cfg.Workers = bench.workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				er.Run(d, gcfg, cfg)
+			}
+		})
+	}
+}

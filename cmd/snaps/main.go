@@ -34,6 +34,7 @@ import (
 	"github.com/snaps/snaps/internal/eval"
 	"github.com/snaps/snaps/internal/feedback"
 	"github.com/snaps/snaps/internal/geo"
+	"github.com/snaps/snaps/internal/index"
 	"github.com/snaps/snaps/internal/ingest"
 	"github.com/snaps/snaps/internal/model"
 	"github.com/snaps/snaps/internal/obs"
@@ -78,6 +79,7 @@ func main() {
 	var (
 		dsName  = flag.String("dataset", "ios", "data set: ios, kil, ds, or bhic")
 		scale   = flag.Float64("scale", 0.25, "population scale factor")
+		workers = flag.Int("workers", 0, "worker goroutines for the offline build stages: blocking, dependency graph, and component-partitioned resolve (0 = GOMAXPROCS, 1 = serial; results are identical)")
 		anon    = flag.Bool("anonymize", false, "anonymise the data set before building indexes")
 		serve   = flag.String("serve", "", "serve the web interface on this address (e.g. :8080)")
 		queryNm = flag.String("query", "", "run one query: \"<first name> <surname>\"")
@@ -117,6 +119,13 @@ func main() {
 	}
 	slog.SetDefault(obs.NewLogger(os.Stderr, level, *logFormat))
 
+	// One worker bound drives every parallel offline stage; the resolved
+	// clusters are identical for any setting.
+	gcfg := depgraph.DefaultConfig()
+	gcfg.Workers = *workers
+	rcfg := er.DefaultConfig()
+	rcfg.Workers = *workers
+
 	var (
 		d        *model.Dataset
 		entStore *er.EntityStore
@@ -153,7 +162,7 @@ func main() {
 
 	if entStore == nil {
 		slog.Info("resolving entities")
-		pr := er.Run(d, depgraph.DefaultConfig(), er.DefaultConfig())
+		pr := er.Run(d, gcfg, rcfg)
 		slog.Info("resolved entities", "merged_pairs", pr.Result.MergedNodes, "took", pr.Total(),
 			"atomic_nodes", len(pr.Graph.Atomics), "relational_nodes", len(pr.Graph.Nodes))
 		entStore = pr.Result.Store
@@ -211,11 +220,15 @@ func main() {
 		// Re-run the pipeline on the anonymised data so the served indexes
 		// never contain sensitive values.
 		d = anonD
-		entStore = er.Run(d, depgraph.DefaultConfig(), er.DefaultConfig()).Result.Store
+		entStore = er.Run(d, gcfg, rcfg).Result.Store
 	}
 
 	g := pedigree.Build(d, entStore)
-	engine := server.BuildIndexes(g, 0.5)
+	// Build the indexes here rather than through server.BuildIndexes: the
+	// serving bundle keeps them so the first ingest flush can patch them
+	// incrementally instead of falling back to a full rebuild.
+	kidx, sidx := index.Build(g, 0.5)
+	engine := query.NewEngine(g, kidx, sidx)
 	slog.Info("built pedigree graph", "entities", len(g.Nodes))
 
 	if *queryNm != "" {
@@ -262,7 +275,10 @@ func main() {
 		icfg.MaxAge = *ingestMaxAge
 		icfg.QueryCache = *queryCache
 		icfg.Tracer = srv.Tracer()
-		sv := &ingest.Serving{Dataset: d, Store: entStore, Graph: g, Engine: engine}
+		icfg.Graph = gcfg
+		icfg.Resolver = rcfg
+		sv := &ingest.Serving{Dataset: d, Store: entStore, Graph: g,
+			Keyword: kidx, Similar: sidx, Engine: engine}
 		pipe, err := ingest.NewPipeline(sv, journal, backlog, icfg)
 		if err != nil {
 			fatal(err)

@@ -1,0 +1,88 @@
+package blocking
+
+import (
+	"testing"
+
+	"github.com/snaps/snaps/internal/dataset"
+	"github.com/snaps/snaps/internal/model"
+)
+
+// TestPairsShardedByteIdentical locks the sharded emitPairs to the serial
+// one: the candidate list must be byte-identical — same pairs, same order —
+// for every worker setting, because downstream dependency-graph node ids
+// derive from candidate order.
+func TestPairsShardedByteIdentical(t *testing.T) {
+	d := dataset.Generate(dataset.IOS().Scaled(0.08)).Dataset
+	ids := allIDs(d)
+	base := func() []Candidate {
+		cfg := DefaultLSHConfig()
+		cfg.Workers = 1
+		return NewLSH(cfg).Pairs(d, ids)
+	}()
+	if len(base) == 0 {
+		t.Fatal("no candidates from serial blocking")
+	}
+	for _, w := range []int{2, 4, 7} {
+		cfg := DefaultLSHConfig()
+		cfg.Workers = w
+		got := NewLSH(cfg).Pairs(d, ids)
+		if len(got) != len(base) {
+			t.Fatalf("workers=%d emitted %d pairs, serial emitted %d", w, len(got), len(base))
+		}
+		for i := range got {
+			if got[i] != base[i] {
+				t.Fatalf("workers=%d pair %d = %v, serial = %v", w, i, got[i], base[i])
+			}
+		}
+	}
+}
+
+// BenchmarkEmitPairs measures pair emission alone (blocks prebuilt), the
+// stage the sharded dedup and output preallocation target.
+func BenchmarkEmitPairs(b *testing.B) {
+	d := dataset.Generate(dataset.IOS().Scaled(0.1)).Dataset
+	ids := allIDs(d)
+	cfg := DefaultLSHConfig()
+	l := NewLSH(cfg)
+
+	type recHashes struct{ full, surname []uint64 }
+	hashes := make([]recHashes, len(ids))
+	parallelRange(len(ids), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			rec := d.Record(ids[i])
+			hashes[i].full = l.bandHashes(nameKey(rec))
+			if rec.Surname != "" {
+				hashes[i].surname = l.bandHashes(rec.Surname)
+			}
+		}
+	})
+	blocks := make(map[blockKey][]model.RecordID)
+	for i, id := range ids {
+		for band, h := range hashes[i].full {
+			key := blockKey{band: band, hash: h}
+			blocks[key] = append(blocks[key], id)
+		}
+		for band, h := range hashes[i].surname {
+			key := blockKey{band: cfg.Bands + band, hash: h}
+			blocks[key] = append(blocks[key], id)
+		}
+	}
+
+	for _, bench := range []struct {
+		name    string
+		workers int
+	}{
+		{"workers=1", 1},
+		{"workers=gomaxprocs", 0},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out := emitPairs(d, blocks, cfg.MaxBlockSize, nil, bench.workers)
+				if len(out) == 0 {
+					b.Fatal("no pairs emitted")
+				}
+			}
+		})
+	}
+}

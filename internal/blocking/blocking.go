@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"github.com/snaps/snaps/internal/model"
+	"github.com/snaps/snaps/internal/obs"
 	"github.com/snaps/snaps/internal/strsim"
 )
 
@@ -45,6 +46,11 @@ type LSHConfig struct {
 	// skipped to avoid quadratic blowup on very frequent values, mirroring
 	// standard blocking practice. Zero means no cap.
 	MaxBlockSize int
+	// Workers bounds the concurrency of signature hashing and pair
+	// emission; 0 uses GOMAXPROCS. Output is identical for every setting:
+	// pair emission shards the sorted block keys and merges shard outputs
+	// in order, reproducing the serial first-occurrence order exactly.
+	Workers int
 }
 
 // DefaultLSHConfig returns the configuration used by SNAPS: 8 bands of 4
@@ -138,7 +144,7 @@ func (l *LSH) Pairs(d *model.Dataset, ids []model.RecordID) []Candidate {
 		surname []uint64 // nil when the record has no surname
 	}
 	hashes := make([]recHashes, len(ids))
-	parallelRange(len(ids), func(lo, hi int) {
+	parallelRangeW(l.cfg.Workers, len(ids), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			rec := d.Record(ids[i])
 			hashes[i].full = l.bandHashes(nameKey(rec))
@@ -158,7 +164,7 @@ func (l *LSH) Pairs(d *model.Dataset, ids []model.RecordID) []Candidate {
 			blocks[key] = append(blocks[key], id)
 		}
 	}
-	return emitPairs(d, blocks, l.cfg.MaxBlockSize, nil)
+	return emitPairs(d, blocks, l.cfg.MaxBlockSize, nil, l.cfg.Workers)
 }
 
 // PairsTouching blocks all records but emits only candidate pairs with at
@@ -196,8 +202,14 @@ func (l *LSH) bandHashes(name string) []uint64 {
 }
 
 // parallelRange splits [0,n) into GOMAXPROCS chunks run concurrently.
-func parallelRange(n int, fn func(lo, hi int)) {
-	workers := runtime.GOMAXPROCS(0)
+func parallelRange(n int, fn func(lo, hi int)) { parallelRangeW(0, n, fn) }
+
+// parallelRangeW is parallelRange with an explicit worker bound (0 means
+// GOMAXPROCS).
+func parallelRangeW(workers, n int, fn func(lo, hi int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > n {
 		workers = n
 	}
@@ -226,12 +238,26 @@ func nameKey(rec *model.Record) string { return rec.FirstName + "|" + rec.Surnam
 
 // emitPairs deduplicates pair emission across blocks and applies the
 // gender-compatibility filter. A non-nil keep filter restricts emission.
-func emitPairs(d *model.Dataset, blocks map[blockKey][]model.RecordID, maxBlock int, keep func(a, b model.RecordID) bool) []Candidate {
-	seen := make(map[model.PairKey]bool)
-	var out []Candidate
-	// Deterministic iteration: sort keys.
+//
+// The sorted block keys are split into contiguous shards balanced by
+// pair-count, each shard emits with a local dedup map, and shard outputs
+// are concatenated in shard order under a global first-wins dedup. Because
+// shards are contiguous runs of the serial iteration order, the merged
+// output reproduces the serial first-occurrence order byte for byte; the
+// gender/certificate filters are pure pair predicates, so applying them
+// before or after deduplication yields the same candidate list.
+func emitPairs(d *model.Dataset, blocks map[blockKey][]model.RecordID, maxBlock int, keep func(a, b model.RecordID) bool, workers int) []Candidate {
+	st := obs.StartStage("blocking.emit_pairs")
+	defer st.Stop()
+
+	// Deterministic iteration: sort keys, dropping capped blocks up front
+	// and summing emittable pair counts for shard balancing and output
+	// preallocation.
 	keys := make([]blockKey, 0, len(blocks))
-	for k := range blocks {
+	for k, blk := range blocks {
+		if maxBlock > 0 && len(blk) > maxBlock {
+			continue
+		}
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool {
@@ -240,11 +266,72 @@ func emitPairs(d *model.Dataset, blocks map[blockKey][]model.RecordID, maxBlock 
 		}
 		return keys[i].hash < keys[j].hash
 	})
+	total := 0
+	for _, k := range keys {
+		n := len(blocks[k])
+		total += n * (n - 1) / 2
+	}
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Sharding pays a second dedup pass at merge; a single shard skips it.
+	if workers <= 1 || total < 1<<12 {
+		return emitShard(d, blocks, keys, keep, total)
+	}
+
+	// Contiguous shards with roughly equal pair counts.
+	type span struct{ lo, hi, pairs int }
+	var spans []span
+	target := (total + workers - 1) / workers
+	cur := span{}
+	for i, k := range keys {
+		n := len(blocks[k])
+		cur.pairs += n * (n - 1) / 2
+		if cur.pairs >= target || i == len(keys)-1 {
+			cur.hi = i + 1
+			spans = append(spans, cur)
+			cur = span{lo: i + 1}
+		}
+	}
+	outs := make([][]Candidate, len(spans))
+	parallelRangeW(workers, len(spans), func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			sp := spans[s]
+			outs[s] = emitShard(d, blocks, keys[sp.lo:sp.hi], keep, sp.pairs)
+		}
+	})
+	// Ordered merge with first-wins dedup across shards.
+	emitted := 0
+	for _, o := range outs {
+		emitted += len(o)
+	}
+	seen := make(map[model.PairKey]bool, emitted)
+	out := make([]Candidate, 0, emitted)
+	for _, o := range outs {
+		for _, c := range o {
+			pk := model.MakePairKey(c.A, c.B)
+			if seen[pk] {
+				continue
+			}
+			seen[pk] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// emitShard emits the deduplicated, filtered pairs of one contiguous run of
+// sorted block keys. pairHint is the worst-case pair count (every block
+// visit distinct); a pair that survives blocking typically recurs in many
+// of its bands, so measured distinct counts run an order of magnitude
+// below worst case. Sizing to pairHint/8 stays under the real count in
+// practice — no 10× over-allocation, at worst a rehash or two.
+func emitShard(d *model.Dataset, blocks map[blockKey][]model.RecordID, keys []blockKey, keep func(a, b model.RecordID) bool, pairHint int) []Candidate {
+	seen := make(map[model.PairKey]bool, pairHint/8+16)
+	out := make([]Candidate, 0, pairHint/16+16)
 	for _, k := range keys {
 		blk := blocks[k]
-		if maxBlock > 0 && len(blk) > maxBlock {
-			continue
-		}
 		for i := 0; i < len(blk); i++ {
 			for j := i + 1; j < len(blk); j++ {
 				a, b := blk[i], blk[j]
@@ -327,5 +414,5 @@ func (s *Soundex) Pairs(d *model.Dataset, ids []model.RecordID) []Candidate {
 		k2 := encode(rec.Surname)
 		blocks[blockKey{band: 1, hash: keyID(k2)}] = append(blocks[blockKey{band: 1, hash: keyID(k2)}], id)
 	}
-	return emitPairs(d, blocks, s.MaxBlockSize, nil)
+	return emitPairs(d, blocks, s.MaxBlockSize, nil, 0)
 }

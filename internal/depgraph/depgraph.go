@@ -235,14 +235,35 @@ func Build(d *model.Dataset, cfg Config, cands []blocking.Candidate) (*Graph, Bu
 	sims := make([][model.NumAttrs]float64, len(cands))
 	present := make([][model.NumAttrs]bool, len(cands))
 	parallelRange(cfg.Workers, len(cands), func(lo, hi int) {
+		// Per-worker value-pair memo: candidate pairs repeat the same name
+		// and occupation value pairs constantly (that repetition is why
+		// atomic nodes are interned at all), and these comparisons are pure
+		// functions of the two strings. Address is excluded — geocoded
+		// records compare by coordinates, not by the address string alone.
+		memo := make(map[AtomicKey]float64)
 		for ci := lo; ci < hi; ci++ {
 			c := cands[ci]
 			ra, rb := d.Record(c.A), d.Record(c.B)
 			for _, attr := range compareAttrs {
-				if s, ok := CompareAttr(cfg, ra, rb, attr); ok {
-					sims[ci][attr] = s
-					present[ci][attr] = true
+				if attr == model.Address {
+					if s, ok := CompareAttr(cfg, ra, rb, attr); ok {
+						sims[ci][attr] = s
+						present[ci][attr] = true
+					}
+					continue
 				}
+				va, vb := ra.Value(attr), rb.Value(attr)
+				if va == "" || vb == "" {
+					continue
+				}
+				key := MakeAtomicKey(attr, va, vb)
+				s, ok := memo[key]
+				if !ok {
+					s, _ = CompareAttr(cfg, ra, rb, attr)
+					memo[key] = s
+				}
+				sims[ci][attr] = s
+				present[ci][attr] = true
 			}
 		}
 	})
@@ -323,39 +344,42 @@ func (g *Graph) connectRelationships() {
 			relOf[from] = append(relOf[from], relEdge{to: to, rel: cr.Rel})
 		}
 	}
-	for i := range g.Nodes {
-		n := &g.Nodes[i]
-		for _, ea := range relOf[n.A] {
-			for _, eb := range relOf[n.B] {
-				if ea.rel != eb.rel {
-					continue
+	// Each node's neighbour list is written only by the worker owning that
+	// node; relOf and pairIndex are read-only here, so the wiring loop
+	// parallelises without synchronisation, and per-node dedup+sort keeps
+	// the result independent of the worker count.
+	parallelRange(g.Config.Workers, len(g.Nodes), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			n := &g.Nodes[i]
+			for _, ea := range relOf[n.A] {
+				for _, eb := range relOf[n.B] {
+					if ea.rel != eb.rel {
+						continue
+					}
+					if other, ok := g.NodeFor(ea.to, eb.to); ok {
+						n.Neighbours = append(n.Neighbours, Neighbour{Node: other, Rel: ea.rel})
+					}
 				}
-				if other, ok := g.NodeFor(ea.to, eb.to); ok {
-					n.Neighbours = append(n.Neighbours, Neighbour{Node: other, Rel: ea.rel})
+			}
+			if len(n.Neighbours) < 2 {
+				continue
+			}
+			// Deduplicate and sort the neighbour list for determinism.
+			sort.Slice(n.Neighbours, func(a, b int) bool {
+				if n.Neighbours[a].Node != n.Neighbours[b].Node {
+					return n.Neighbours[a].Node < n.Neighbours[b].Node
+				}
+				return n.Neighbours[a].Rel < n.Neighbours[b].Rel
+			})
+			out := n.Neighbours[:1]
+			for _, nb := range n.Neighbours[1:] {
+				if nb != out[len(out)-1] {
+					out = append(out, nb)
 				}
 			}
+			n.Neighbours = out
 		}
-	}
-	// Deduplicate and sort neighbour lists for determinism.
-	for i := range g.Nodes {
-		n := &g.Nodes[i]
-		if len(n.Neighbours) < 2 {
-			continue
-		}
-		sort.Slice(n.Neighbours, func(a, b int) bool {
-			if n.Neighbours[a].Node != n.Neighbours[b].Node {
-				return n.Neighbours[a].Node < n.Neighbours[b].Node
-			}
-			return n.Neighbours[a].Rel < n.Neighbours[b].Rel
-		})
-		out := n.Neighbours[:1]
-		for _, nb := range n.Neighbours[1:] {
-			if nb != out[len(out)-1] {
-				out = append(out, nb)
-			}
-		}
-		n.Neighbours = out
-	}
+	})
 }
 
 // buildGroups forms node groups as connected components over relationship
@@ -364,13 +388,23 @@ func (g *Graph) connectRelationships() {
 // same family".
 func (g *Graph) buildGroups() {
 	d := g.Dataset
-	certPair := func(n *RelationalNode) [2]model.CertID {
-		ca, cb := d.Record(n.A).Cert, d.Record(n.B).Cert
-		if cb < ca {
-			ca, cb = cb, ca
+	// Certificate pairs are pure per-node lookups; precompute them in
+	// parallel so the serial component walk below only chases pointers.
+	certPairs := make([][2]model.CertID, len(g.Nodes))
+	parallelRange(g.Config.Workers, len(g.Nodes), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			n := &g.Nodes[i]
+			ca, cb := d.Record(n.A).Cert, d.Record(n.B).Cert
+			if cb < ca {
+				ca, cb = cb, ca
+			}
+			certPairs[i] = [2]model.CertID{ca, cb}
 		}
-		return [2]model.CertID{ca, cb}
-	}
+	})
+	// The component walk stays serial: group ids must be numbered by their
+	// smallest member node id (the resolver's queue tie-break), which the
+	// ascending scan guarantees for free. The walk itself is O(nodes+edges)
+	// pointer chasing — negligible next to the similarity phases.
 	visited := make([]bool, len(g.Nodes))
 	for i := range g.Nodes {
 		if visited[i] {
@@ -380,7 +414,7 @@ func (g *Graph) buildGroups() {
 		var members []NodeID
 		stack := []NodeID{NodeID(i)}
 		visited[i] = true
-		cp := certPair(&g.Nodes[i])
+		cp := certPairs[i]
 		for len(stack) > 0 {
 			id := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
@@ -391,7 +425,7 @@ func (g *Graph) buildGroups() {
 				if visited[nb.Node] {
 					continue
 				}
-				if certPair(&g.Nodes[nb.Node]) != cp {
+				if certPairs[nb.Node] != cp {
 					continue
 				}
 				visited[nb.Node] = true

@@ -61,6 +61,92 @@ func TestRunDeterministic(t *testing.T) {
 	}
 }
 
+// TestResolveParallelGoldenEquivalence locks the component-partitioned
+// parallel resolver to the serial one: on the same data set, workers=1 and
+// workers=GOMAXPROCS (plus a fixed workers=4 so the parallel path runs even
+// on single-CPU hosts) must produce the identical cluster set. Entity
+// enumeration order is allowed to differ — cluster contents are not.
+func TestResolveParallelGoldenEquivalence(t *testing.T) {
+	cfg := dataset.IOS().Scaled(0.04)
+	p := dataset.Generate(cfg)
+	run := func(workers int) (string, *Result) {
+		d := p.Dataset.Clone()
+		rcfg := DefaultConfig()
+		rcfg.Workers = workers
+		pr := Run(d, depgraph.DefaultConfig(), rcfg)
+		return canonicalClusters(pr.Result.Store.Clusters()), pr.Result
+	}
+	serial, sres := run(1)
+	if serial == "" {
+		t.Fatal("no non-singleton clusters resolved; scale too small for the guard to bite")
+	}
+	for _, w := range []int{0, 4} {
+		par, pres := run(w)
+		if par != serial {
+			t.Fatalf("workers=%d cluster set differs from serial\nserial:\n%s\nworkers=%d:\n%s",
+				w, head(serial, 20), w, head(par, 20))
+		}
+		if w == 4 && pres.MergedNodes != sres.MergedNodes {
+			t.Fatalf("workers=4 merged %d nodes, serial merged %d", pres.MergedNodes, sres.MergedNodes)
+		}
+	}
+}
+
+// TestExtendParallelGoldenEquivalence covers the ingest path: restoring a
+// previous clustering and extending it with new records must yield the same
+// clusters whether the resolve over the extension graph runs serially or
+// component-parallel. This exercises seeding pre-existing entities into
+// component stores.
+func TestExtendParallelGoldenEquivalence(t *testing.T) {
+	cfg := dataset.IOS().Scaled(0.04)
+	p := dataset.Generate(cfg)
+	base := Run(p.Dataset, depgraph.DefaultConfig(), DefaultConfig())
+	clusters := base.Result.Store.Clusters()
+
+	// Split off the final certificate's records as the "new" batch by
+	// resolving a clone and re-extending: simply re-run Extend over the
+	// full set with the restored clusters and an arbitrary cut point.
+	firstNew := model.RecordID(len(p.Dataset.Records) * 9 / 10)
+	run := func(workers int) string {
+		d := p.Dataset.Clone()
+		st := restoreForTest(d, clusters, firstNew)
+		rcfg := DefaultConfig()
+		rcfg.Workers = workers
+		Extend(d, st, firstNew, depgraph.DefaultConfig(), rcfg)
+		return canonicalClusters(st.Clusters())
+	}
+	serial := run(1)
+	if par := run(4); par != serial {
+		t.Fatalf("parallel Extend cluster set differs from serial\nserial:\n%s\nparallel:\n%s",
+			head(serial, 20), head(par, 20))
+	}
+}
+
+// restoreForTest rebuilds an EntityStore holding only the clusters made
+// entirely of records below firstNew, as the ingest flush does when it
+// restores the previous build's clustering before extending.
+func restoreForTest(d *model.Dataset, clusters [][]model.RecordID, firstNew model.RecordID) *EntityStore {
+	st := NewEntityStore(d)
+	for _, c := range clusters {
+		old := true
+		for _, r := range c {
+			if r >= firstNew {
+				old = false
+				break
+			}
+		}
+		if !old {
+			continue
+		}
+		for i := 1; i < len(c); i++ {
+			for j := 0; j < i; j++ {
+				st.Link(c[j], c[i])
+			}
+		}
+	}
+	return st
+}
+
 // head returns the first n lines of s, for readable failure output.
 func head(s string, n int) string {
 	lines := strings.SplitN(s, "\n", n+1)

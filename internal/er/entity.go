@@ -42,6 +42,12 @@ type EntityStore struct {
 	d        *model.Dataset
 	entityOf []EntityID // per record; NoEntity when singleton/unassigned
 	entities []entity
+	// ver stamps each record's entity view: any mutation that changes the
+	// record set visible from a record (Link, Unlink, bridge splits) bumps
+	// the stamp of every affected record. The resolver's node-similarity
+	// cache keys on these stamps, so a cached score stays valid exactly as
+	// long as both records' views are unchanged.
+	ver []uint32
 }
 
 // NewEntityStore returns an empty store over the data set.
@@ -50,7 +56,35 @@ func NewEntityStore(d *model.Dataset) *EntityStore {
 	for i := range eo {
 		eo[i] = NoEntity
 	}
-	return &EntityStore{d: d, entityOf: eo}
+	return &EntityStore{d: d, entityOf: eo, ver: make([]uint32, len(d.Records))}
+}
+
+// newSharedStore wraps pre-allocated record tables: component resolvers of
+// the parallel resolve share one entityOf and one ver slab (records are
+// partitioned across components, so slots never contend) while keeping
+// their own entity lists.
+func newSharedStore(d *model.Dataset, entityOf []EntityID, ver []uint32) *EntityStore {
+	return &EntityStore{d: d, entityOf: entityOf, ver: ver}
+}
+
+// bumpViews marks every record of an entity as having a changed view.
+func (s *EntityStore) bumpViews(e EntityID) {
+	for _, r := range s.entities[e].records {
+		s.ver[r]++
+	}
+}
+
+// seed installs an existing cluster (records plus link edges) as the next
+// entity, used when the parallel resolve hands a component's share of a
+// pre-populated store to its component resolver. The slices are owned by
+// the store afterwards.
+func (s *EntityStore) seed(records []model.RecordID, links []linkEdge) {
+	id := EntityID(len(s.entities))
+	s.entities = append(s.entities, entity{id: id, records: records, links: links})
+	for _, r := range records {
+		s.entityOf[r] = id
+		s.ver[r]++
+	}
 }
 
 // EntityOf returns the entity of a record, or NoEntity for unlinked
@@ -62,6 +96,9 @@ func (s *EntityStore) EntityOf(r model.RecordID) EntityID { return s.entityOf[r]
 func (s *EntityStore) Grow() {
 	for len(s.entityOf) < len(s.d.Records) {
 		s.entityOf = append(s.entityOf, NoEntity)
+	}
+	for len(s.ver) < len(s.d.Records) {
+		s.ver = append(s.ver, 0)
 	}
 }
 
@@ -95,18 +132,24 @@ func (s *EntityStore) Link(a, b model.RecordID) EntityID {
 		s.entities = append(s.entities, entity{id: id, records: []model.RecordID{a, b}})
 		s.entityOf[a], s.entityOf[b] = id, id
 		s.entities[id].links = append(s.entities[id].links, linkEdge{a, b})
+		s.ver[a]++
+		s.ver[b]++
 		return id
 	case ea == NoEntity:
 		s.entityOf[a] = eb
 		s.entities[eb].records = append(s.entities[eb].records, a)
 		s.entities[eb].links = append(s.entities[eb].links, linkEdge{a, b})
+		s.bumpViews(eb)
 		return eb
 	case eb == NoEntity:
 		s.entityOf[b] = ea
 		s.entities[ea].records = append(s.entities[ea].records, b)
 		s.entities[ea].links = append(s.entities[ea].links, linkEdge{a, b})
+		s.bumpViews(ea)
 		return ea
 	case ea == eb:
+		// Only the link multigraph changes; the record view is untouched,
+		// so similarity caches keyed on ver stay valid.
 		s.entities[ea].links = append(s.entities[ea].links, linkEdge{a, b})
 		return ea
 	}
@@ -122,6 +165,7 @@ func (s *EntityStore) Link(a, b model.RecordID) EntityID {
 	dst.links = append(dst.links, src.links...)
 	dst.links = append(dst.links, linkEdge{a, b})
 	src.records, src.links, src.dead = nil, nil, true
+	s.bumpViews(ea)
 	return ea
 }
 
@@ -133,6 +177,7 @@ func (s *EntityStore) Unlink(r model.RecordID) {
 	if e == NoEntity {
 		return
 	}
+	s.bumpViews(e) // every member's view shrinks, including r's
 	ent := &s.entities[e]
 	recs := ent.records[:0]
 	for _, x := range ent.records {
@@ -160,12 +205,14 @@ func (s *EntityStore) Unlink(r model.RecordID) {
 func (s *EntityStore) replaceCluster(records []model.RecordID, links []linkEdge) {
 	if len(records) == 1 {
 		s.entityOf[records[0]] = NoEntity
+		s.ver[records[0]]++
 		return
 	}
 	id := EntityID(len(s.entities))
 	s.entities = append(s.entities, entity{id: id, records: records, links: links})
 	for _, r := range records {
 		s.entityOf[r] = id
+		s.ver[r]++
 	}
 }
 

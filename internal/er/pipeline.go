@@ -34,7 +34,9 @@ func (p *PipelineResult) Total() time.Duration {
 // process.
 func Run(d *model.Dataset, gcfg depgraph.Config, cfg Config) *PipelineResult {
 	st := obs.StartStage("blocking")
-	lsh := blocking.NewLSH(blocking.DefaultLSHConfig())
+	lcfg := blocking.DefaultLSHConfig()
+	lcfg.Workers = gcfg.Workers
+	lsh := blocking.NewLSH(lcfg)
 	cands := lsh.Pairs(d, allRecordIDs(d))
 	blockTime := st.Stop()
 
@@ -81,7 +83,9 @@ func Extend(d *model.Dataset, store *EntityStore, firstNew model.RecordID, gcfg 
 func ExtendContext(ctx context.Context, d *model.Dataset, store *EntityStore, firstNew model.RecordID, gcfg depgraph.Config, cfg Config) *PipelineResult {
 	st := obs.StartStage("blocking")
 	_, bsp := obs.StartSpan(ctx, "er.blocking")
-	lsh := blocking.NewLSH(blocking.DefaultLSHConfig())
+	lcfg := blocking.DefaultLSHConfig()
+	lcfg.Workers = gcfg.Workers
+	lsh := blocking.NewLSH(lcfg)
 	focus := make(map[model.RecordID]bool, len(d.Records)-int(firstNew))
 	for id := firstNew; int(id) < len(d.Records); id++ {
 		focus[id] = true

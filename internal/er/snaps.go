@@ -10,6 +10,7 @@ import (
 	"github.com/snaps/snaps/internal/depgraph"
 	"github.com/snaps/snaps/internal/model"
 	"github.com/snaps/snaps/internal/obs"
+	"github.com/snaps/snaps/internal/strsim"
 )
 
 // Config holds the SNAPS resolver parameters and the ablation switches used
@@ -51,6 +52,14 @@ type Config struct {
 	// negative evidence; farther apart, the attribute may legitimately have
 	// changed and contributes nothing.
 	ExtraYearWindow int
+
+	// Workers bounds the concurrency of the component-partitioned resolve:
+	// 0 uses GOMAXPROCS, 1 forces the serial resolver. Groups in different
+	// connected components of the dependency graph share no records, so
+	// their merge decisions are independent and the parallel resolve
+	// produces the same clusters as the serial one (entity enumeration
+	// order differs; cluster contents do not).
+	Workers int
 }
 
 // DefaultConfig returns the paper's published parameter values with every
@@ -101,6 +110,34 @@ type Resolver struct {
 	// nameFreq counts records per (first name | surname) combination; the
 	// denominator of the disambiguation similarity in Eq. (2).
 	nameFreq map[string]int
+
+	// simCache memoises nodeSim per relational node. A node's similarity is
+	// a pure function of the current entity views of its two records, so a
+	// cached score is valid while both records' store version stamps are
+	// unchanged. The merge queue and the REL iteration re-score the same
+	// nodes many times between store mutations, making this the hottest
+	// cache in the offline build.
+	simCache []nodeSimEntry
+	// valCache memoises entityValues per record, invalidated by the same
+	// version stamps: a record participates in many relational nodes, and
+	// each re-score of any of them re-derives the same value lists.
+	valCache []valuesEntry
+}
+
+// valuesEntry caches the propagated value lists of one record at store
+// version ver.
+type valuesEntry struct {
+	ver   uint32
+	valid [model.NumAttrs]bool
+	vals  [model.NumAttrs][]string
+}
+
+// nodeSimEntry is one memoised node similarity, valid while the version
+// stamps of the node's records still equal verA/verB.
+type nodeSimEntry struct {
+	verA, verB uint32
+	sim        float64
+	valid      bool
 }
 
 // NewResolver prepares a resolver for the graph.
@@ -112,6 +149,8 @@ func NewResolver(g *depgraph.Graph, cfg Config) *Resolver {
 		store:    NewEntityStore(g.Dataset),
 		val:      constraint.NewValidator(g.Dataset),
 		nameFreq: map[string]int{},
+		simCache: make([]nodeSimEntry, len(g.Nodes)),
+		valCache: make([]valuesEntry, len(g.Dataset.Records)),
 	}
 	for i := range r.d.Records {
 		r.nameFreq[nameCombo(&r.d.Records[i])]++
@@ -129,29 +168,48 @@ func nameCombo(rec *model.Record) string {
 }
 
 // Resolve runs bootstrapping, merging, and refinement, and returns the
-// resulting clusters.
+// resulting clusters. With Config.Workers allowing more than one worker the
+// dependency graph is partitioned into connected components and resolved
+// concurrently (see resolveParallel); otherwise the serial process runs.
 func (r *Resolver) Resolve() *Result {
+	if w := r.cfg.effectiveWorkers(); w > 1 {
+		if res := r.resolveParallel(w); res != nil {
+			return res
+		}
+	}
 	res := &Result{Store: r.store}
-
-	t0 := time.Now()
-	r.bootstrap(res)
-	res.Timings.Bootstrap = time.Since(t0)
+	groups := make([]int32, len(r.g.Groups))
+	for i := range groups {
+		groups[i] = int32(i)
+	}
+	r.resolveGroups(res, groups)
 	obs.ObserveStage("bootstrap", res.Timings.Bootstrap)
+	obs.ObserveStage("merge", res.Timings.Merge)
+	obs.ObserveStage("refine", res.Timings.Refine)
+	return res
+}
+
+// resolveGroups runs the full bootstrap → refine → (merge+refine)×passes
+// schedule restricted to the given node groups (indices into g.Groups,
+// ascending), accumulating timings and counters into res. The serial
+// resolver passes every group; component resolvers pass their partition.
+func (r *Resolver) resolveGroups(res *Result, groups []int32) {
+	t0 := time.Now()
+	r.bootstrap(res, groups)
+	res.Timings.Bootstrap += time.Since(t0)
 	r.refine(res)
 
+	refineBefore := res.Timings.Refine
 	t1 := time.Now()
 	passes := r.cfg.Passes
 	if passes < 1 {
 		passes = 1
 	}
 	for p := 0; p < passes; p++ {
-		r.merge(res)
+		r.merge(res, groups)
 		r.refine(res)
 	}
-	res.Timings.Merge = time.Since(t1) - res.Timings.Refine
-	obs.ObserveStage("merge", res.Timings.Merge)
-	obs.ObserveStage("refine", res.Timings.Refine)
-	return res
+	res.Timings.Merge += time.Since(t1) - (res.Timings.Refine - refineBefore)
 }
 
 // refine runs the REF technique when enabled.
@@ -169,8 +227,8 @@ func (r *Resolver) refine(res *Result) {
 // bootstrap merges node groups whose average atomic similarity is at least
 // t_b. Only proper groups (two or more nodes) are bootstrapped: groups
 // carry relationship evidence that singleton pairs lack (Sec. 4.2.6).
-func (r *Resolver) bootstrap(res *Result) {
-	for gi := range r.g.Groups {
+func (r *Resolver) bootstrap(res *Result, groups []int32) {
+	for _, gi := range groups {
 		grp := &r.g.Groups[gi]
 		if len(grp.Nodes) < 2 {
 			continue
@@ -202,8 +260,8 @@ func (r *Resolver) bootstrap(res *Result) {
 // merge processes node groups from a priority queue ordered by group size
 // and then by average node similarity, applying PROP-C validation, PROP-A
 // propagation, AMB similarity, and REL drop-lowest iteration (Sec. 4.2.6).
-func (r *Resolver) merge(res *Result) {
-	pq := r.buildQueue()
+func (r *Resolver) merge(res *Result, groups []int32) {
+	pq := r.buildQueue(groups)
 	for pq.Len() > 0 {
 		item := heap.Pop(pq).(*queueItem)
 		r.mergeGroup(item.nodes, res)
@@ -242,9 +300,9 @@ func (q *groupQueue) Pop() any {
 	return it
 }
 
-func (r *Resolver) buildQueue() *groupQueue {
+func (r *Resolver) buildQueue(groups []int32) *groupQueue {
 	q := &groupQueue{}
-	for gi := range r.g.Groups {
+	for _, gi := range groups {
 		grp := &r.g.Groups[gi]
 		// Singleton groups carry no relationship evidence and are never
 		// merged: an isolated record pair that matches only by name is
@@ -484,6 +542,18 @@ func (r *Resolver) strictAtomicSim(n *depgraph.RelationalNode) float64 {
 // first name but no sufficiently similar pairing exists — not even through
 // propagated entity values — the node scores zero.
 func (r *Resolver) nodeSim(n *depgraph.RelationalNode) float64 {
+	e := &r.simCache[n.ID]
+	va, vb := r.store.ver[n.A], r.store.ver[n.B]
+	if e.valid && e.verA == va && e.verB == vb {
+		return e.sim
+	}
+	s := r.nodeSimUncached(n)
+	*e = nodeSimEntry{verA: va, verB: vb, sim: s, valid: true}
+	return s
+}
+
+// nodeSimUncached evaluates the similarity from scratch; see nodeSim.
+func (r *Resolver) nodeSimUncached(n *depgraph.RelationalNode) float64 {
 	if !r.mustOK(n) {
 		return 0
 	}
@@ -588,8 +658,23 @@ func (r *Resolver) propagatedSim(n *depgraph.RelationalNode) float64 {
 
 // entityValues returns up to MaxPropValues distinct values of the attribute
 // across the record's entity, most frequent first, always including the
-// record's own value.
+// record's own value. The result is cached against the record's store
+// version stamp and must not be modified.
 func (r *Resolver) entityValues(id model.RecordID, attr model.Attr) []string {
+	e := &r.valCache[id]
+	if ver := r.store.ver[id]; e.ver != ver {
+		*e = valuesEntry{ver: ver}
+	}
+	if e.valid[attr] {
+		return e.vals[attr]
+	}
+	vals := r.entityValuesUncached(id, attr)
+	e.valid[attr] = true
+	e.vals[attr] = vals
+	return vals
+}
+
+func (r *Resolver) entityValuesUncached(id model.RecordID, attr model.Attr) []string {
 	own := r.d.Record(id).Value(attr)
 	vals := r.store.Values(id, attr)
 	if len(vals) == 0 {
@@ -631,34 +716,24 @@ func (r *Resolver) entityValues(id model.RecordID, attr model.Attr) []string {
 }
 
 // compareValues scores a propagated value pair with the attribute's
-// comparison function. Geocoded comparison only applies to the records'
-// own addresses, so propagated address values fall back to bigram Jaccard.
+// comparison function, mirroring depgraph.CompareAttr on records carrying
+// the substituted values x and y. Geocoded comparison only applies to the
+// records' own addresses, so propagated address values fall back to bigram
+// Jaccard.
 func compareValues(cfg depgraph.Config, ra, rb *model.Record, attr model.Attr, x, y string) float64 {
+	if x == "" || y == "" {
+		return 0
+	}
 	switch attr {
 	case model.FirstName, model.Surname:
-		tmpA, tmpB := *ra, *rb
-		if attr == model.FirstName {
-			tmpA.FirstName, tmpB.FirstName = x, y
-		} else {
-			tmpA.Surname, tmpB.Surname = x, y
-		}
-		s, _ := depgraph.CompareAttr(cfg, &tmpA, &tmpB, attr)
-		return s
+		return strsim.NameSim(x, y)
 	case model.Address:
 		if x == ra.Address && y == rb.Address && ra.Lat != 0 && rb.Lat != 0 {
-			s, _ := depgraph.CompareAttr(cfg, ra, rb, attr)
-			return s
+			return strsim.GeoSim(ra.Lat, ra.Lon, rb.Lat, rb.Lon, cfg.GeoMaxKm)
 		}
-		tmpA, tmpB := *ra, *rb
-		tmpA.Address, tmpB.Address = x, y
-		tmpA.Lat, tmpB.Lat = 0, 0
-		s, _ := depgraph.CompareAttr(cfg, &tmpA, &tmpB, attr)
-		return s
+		return strsim.Jaccard(x, y)
 	case model.Occupation:
-		tmpA, tmpB := *ra, *rb
-		tmpA.Occupation, tmpB.Occupation = x, y
-		s, _ := depgraph.CompareAttr(cfg, &tmpA, &tmpB, attr)
-		return s
+		return strsim.TokenJaccard(x, y)
 	}
 	return 0
 }

@@ -40,6 +40,26 @@ type Options struct {
 	// fraction of true Bp-Dp pairs retained when scoring. 1.0 disables it.
 	TruthKeepBpDpIOS float64
 	TruthKeepBpDpKIL float64
+	// Workers bounds the goroutines of the offline build stages (blocking,
+	// dependency-graph construction, component-partitioned resolve); 0
+	// uses GOMAXPROCS, 1 forces the serial paths. Results are identical
+	// for every setting.
+	Workers int
+}
+
+// graphConfig is the dependency-graph config under the options' worker
+// bound (which Run also forwards to blocking).
+func (o Options) graphConfig() depgraph.Config {
+	cfg := depgraph.DefaultConfig()
+	cfg.Workers = o.Workers
+	return cfg
+}
+
+// erConfig is the resolver config under the options' worker bound.
+func (o Options) erConfig() er.Config {
+	cfg := er.DefaultConfig()
+	cfg.Workers = o.Workers
+	return cfg
 }
 
 // DefaultOptions mirror the paper's evaluation setup.
@@ -201,9 +221,10 @@ func allIDs(d *model.Dataset) []model.RecordID {
 	return ids
 }
 
-// runSNAPS executes the full pipeline with the given resolver config.
-func runSNAPS(d *model.Dataset, cfg er.Config) *er.PipelineResult {
-	return er.Run(d, depgraph.DefaultConfig(), cfg)
+// runSNAPS executes the full pipeline with the given graph and resolver
+// configs.
+func runSNAPS(d *model.Dataset, gcfg depgraph.Config, cfg er.Config) *er.PipelineResult {
+	return er.Run(d, gcfg, cfg)
 }
 
 // score evaluates a prediction against (possibly thinned) truth.
@@ -238,9 +259,9 @@ func Table3(w io.Writer, opt Options) {
 	}
 	var rows []row
 	for _, v := range variants {
-		cfg := er.DefaultConfig()
+		cfg := opt.erConfig()
 		v.mod(&cfg)
-		pr := runSNAPS(d, cfg)
+		pr := runSNAPS(d, opt.graphConfig(), cfg)
 		rows = append(rows, row{
 			name: v.name,
 			bpbp: score(d, combinedPred(pr.Result.Store, BpBp), BpBp, 1),
@@ -281,7 +302,7 @@ func Table4(w io.Writer, opt Options) {
 		} {
 			fmt.Fprintf(w, "%s (%s):\n", ds.cfg.Name, grp.name)
 
-			pr := runSNAPS(d, er.DefaultConfig())
+			pr := runSNAPS(d, opt.graphConfig(), opt.erConfig())
 			q := score(d, combinedPred(pr.Result.Store, grp.rps), grp.rps, grp.keep)
 			fmt.Fprintf(w, "  %-12s %v\n", "SNAPS", q)
 
@@ -289,12 +310,12 @@ func Table4(w io.Writer, opt Options) {
 			q = score(d, attr, grp.rps, grp.keep)
 			fmt.Fprintf(w, "  %-12s %v\n", "Attr-Sim", q)
 
-			g, _ := depgraph.Build(d, depgraph.DefaultConfig(), cands)
+			g, _ := depgraph.Build(d, opt.graphConfig(), cands)
 			store := baseline.NewDepGraph().Resolve(d, g)
 			q = score(d, combinedPred(store, grp.rps), grp.rps, grp.keep)
 			fmt.Fprintf(w, "  %-12s %v\n", "Dep-Graph", q)
 
-			g2, _ := depgraph.Build(d, depgraph.DefaultConfig(), cands)
+			g2, _ := depgraph.Build(d, opt.graphConfig(), cands)
 			store = baseline.NewRelCluster().Resolve(d, g2)
 			q = score(d, combinedPred(store, grp.rps), grp.rps, grp.keep)
 			fmt.Fprintf(w, "  %-12s %v\n", "Rel-Cluster", q)
@@ -364,7 +385,7 @@ func Table5(w io.Writer, opt Options) {
 		ids := allIDs(d)
 		cands := blocking.NewLSH(blocking.DefaultLSHConfig()).Pairs(d, ids)
 
-		pr := runSNAPS(d, er.DefaultConfig())
+		pr := runSNAPS(d, opt.graphConfig(), opt.erConfig())
 		snapsTime := pr.Total()
 
 		// Baselines are timed through the shared Stage API, so the table's
@@ -373,12 +394,12 @@ func Table5(w io.Writer, opt Options) {
 		baseline.NewAttrSim().Match(d, toBaselineCands(cands))
 		attrTime := st.Stop()
 
-		g, _ := depgraph.Build(d, depgraph.DefaultConfig(), cands)
+		g, _ := depgraph.Build(d, opt.graphConfig(), cands)
 		st = obs.StartStage("baseline_dep_graph")
 		baseline.NewDepGraph().Resolve(d, g)
 		depTime := st.Stop()
 
-		g2, _ := depgraph.Build(d, depgraph.DefaultConfig(), cands)
+		g2, _ := depgraph.Build(d, opt.graphConfig(), cands)
 		st = obs.StartStage("baseline_rel_cluster")
 		baseline.NewRelCluster().Resolve(d, g2)
 		relTime := st.Stop()
@@ -404,7 +425,7 @@ func Table6(w io.Writer, opt Options) {
 		cfg := dataset.BHIC(startYear).Scaled(opt.Scale)
 		p := dataset.Generate(cfg)
 		d := p.Dataset
-		pr := runSNAPS(d, er.DefaultConfig())
+		pr := runSNAPS(d, opt.graphConfig(), opt.erConfig())
 
 		nodes := len(pr.Graph.Atomics) + len(pr.Graph.Nodes)
 		edges := 0
@@ -435,7 +456,7 @@ func maxInt(a, b int) int {
 func Table7(w io.Writer, opt Options) {
 	fmt.Fprintln(w, "Table 7: query and pedigree extraction latency (seconds)")
 	p := dataset.Generate(dataset.IOS().Scaled(opt.Scale))
-	pr := runSNAPS(p.Dataset, er.DefaultConfig())
+	pr := runSNAPS(p.Dataset, opt.graphConfig(), opt.erConfig())
 	g := pedigree.Build(p.Dataset, pr.Result.Store)
 	k, s := index.Build(g, 0.5)
 	engine := query.NewEngine(g, k, s)
@@ -488,7 +509,7 @@ func printLatencies(w io.Writer, label string, ts []time.Duration) {
 func Figure7(w io.Writer, opt Options) {
 	fmt.Fprintln(w, "Figures 7-8: example family pedigree renderings")
 	p := dataset.Generate(dataset.IOS().Scaled(opt.Scale))
-	pr := runSNAPS(p.Dataset, er.DefaultConfig())
+	pr := runSNAPS(p.Dataset, opt.graphConfig(), opt.erConfig())
 	g := pedigree.Build(p.Dataset, pr.Result.Store)
 	// Pick the best-connected entity for an interesting tree.
 	best, bestEdges := pedigree.NodeID(0), -1
@@ -511,17 +532,17 @@ func Sensitivity(w io.Writer, opt Options) {
 
 	fmt.Fprintln(w, "sweep of merge threshold t_m (γ=0.6):")
 	for _, tm := range []float64{0.75, 0.80, 0.85, 0.90, 0.95} {
-		cfg := er.DefaultConfig()
+		cfg := opt.erConfig()
 		cfg.MergeThreshold = tm
-		pr := runSNAPS(d, cfg)
+		pr := runSNAPS(d, opt.graphConfig(), cfg)
 		q := score(d, combinedPred(pr.Result.Store, BpBp), BpBp, 1)
 		fmt.Fprintf(w, "  t_m=%.2f  %v\n", tm, q)
 	}
 	fmt.Fprintln(w, "sweep of γ (t_m=0.85):")
 	for _, gamma := range []float64{0.4, 0.5, 0.6, 0.7, 0.8, 1.0} {
-		cfg := er.DefaultConfig()
+		cfg := opt.erConfig()
 		cfg.Gamma = gamma
-		pr := runSNAPS(d, cfg)
+		pr := runSNAPS(d, opt.graphConfig(), cfg)
 		q := score(d, combinedPred(pr.Result.Store, BpBp), BpBp, 1)
 		fmt.Fprintf(w, "  γ=%.2f    %v\n", gamma, q)
 	}
@@ -544,7 +565,7 @@ func Census(w io.Writer, opt Options) {
 		if len(cfg.CensusYears) > 0 {
 			label = fmt.Sprintf("with %d censuses", len(cfg.CensusYears))
 		}
-		pr := runSNAPS(d, er.DefaultConfig())
+		pr := runSNAPS(d, opt.graphConfig(), opt.erConfig())
 		fmt.Fprintf(w, "%s (%d records):\n", label, len(d.Records))
 		q := score(d, combinedPred(pr.Result.Store, BpBp), BpBp, 1)
 		fmt.Fprintf(w, "  %-28s %v\n", "Bp-Bp", q)
@@ -603,7 +624,7 @@ func Blocking(w io.Writer, opt Options) {
 func Tuning(w io.Writer, opt Options) {
 	fmt.Fprintln(w, "Learned query-ranking weights (future-work extension)")
 	p := dataset.Generate(dataset.IOS().Scaled(opt.Scale))
-	pr := runSNAPS(p.Dataset, er.DefaultConfig())
+	pr := runSNAPS(p.Dataset, opt.graphConfig(), opt.erConfig())
 	g := pedigree.Build(p.Dataset, pr.Result.Store)
 	k, s := index.Build(g, 0.5)
 	engine := query.NewEngine(g, k, s)

@@ -1,0 +1,503 @@
+// Incremental index maintenance for live-ingest flushes.
+//
+// A flush extends the previous resolution with one small batch of records,
+// so most pedigree nodes carry exactly the record set they carried in the
+// previous generation — and therefore exactly the same aggregated values.
+// Update exploits that: instead of rebuilding K and S from scratch (the
+// dominant cost of every flush is recomputing name-similarity lists), it
+// translates the previous keyword postings through an old→new node-id map,
+// reindexes only the nodes whose clusters changed, and patches the
+// similarity index around the handful of indexed values that appeared or
+// disappeared. Everything untouched is shared by reference with the
+// previous generation, which keeps serving concurrently: shared posting
+// lists, similarity lists, and bigram lists are never mutated in place.
+package index
+
+import (
+	"sort"
+
+	"github.com/snaps/snaps/internal/model"
+	"github.com/snaps/snaps/internal/obs"
+	"github.com/snaps/snaps/internal/pedigree"
+	"github.com/snaps/snaps/internal/strsim"
+)
+
+var (
+	mIncremental = obs.Default.Counter("snaps_index_incremental_total",
+		"Index updates satisfied by patching the previous generation's indexes.")
+	mFullRebuild = obs.Default.Counter("snaps_index_full_rebuild_total",
+		"Index updates that fell back to a full rebuild.")
+)
+
+// MaxDirtyFraction bounds the incremental path: when more than this
+// fraction of the pedigree nodes changed cluster membership since the
+// previous build, patching the indexes approaches the cost of rebuilding
+// them and Update falls back to a full Build.
+const MaxDirtyFraction = 0.25
+
+// UpdateStats reports how an index update was satisfied.
+type UpdateStats struct {
+	// Incremental is true when the previous indexes were patched; false
+	// when a full Build ran, with Reason saying why.
+	Incremental bool
+	Reason      string
+	// TotalNodes and DirtyNodes size the update: dirty nodes are the
+	// pedigree nodes whose record set has no identical counterpart in the
+	// previous graph and therefore had to be reindexed.
+	TotalNodes int
+	DirtyNodes int
+	// AddedValues and RemovedValues count distinct indexed string values
+	// that appeared or disappeared across the similarity fields.
+	AddedValues   int
+	RemovedValues int
+	// ReusedSimLists, PatchedSimLists, and DroppedSimLists count memoised
+	// similarity lists carried over by reference, copied with added/removed
+	// entries merged in, and invalidated for lazy recompute (non-indexed
+	// probe values whose candidate set changed), respectively.
+	ReusedSimLists  int
+	PatchedSimLists int
+	DroppedSimLists int
+}
+
+// simFields are the string fields covered by the similarity index S.
+var simFields = []Field{FieldFirstName, FieldSurname, FieldLocation}
+
+// Update builds the indexes for g by patching the previous generation's
+// indexes where their contents are provably unchanged. prevG, prevK, and
+// prevS are the graph and indexes of the generation still being served;
+// they are read (under the memo locks where required) but never mutated.
+// The returned indexes answer Lookup and Similar identically to a fresh
+// Build(g, simThreshold).
+//
+// Update falls back to a full Build — and says so in the returned stats —
+// when there is no previous generation, the similarity threshold changed,
+// or too many nodes are dirty for patching to pay off.
+func Update(g, prevG *pedigree.Graph, prevK *Keyword, prevS *Similarity, simThreshold float64) (*Keyword, *Similarity, UpdateStats) {
+	if prevG == nil || prevK == nil || prevS == nil {
+		return fullRebuild(g, simThreshold, "no previous index")
+	}
+	if prevS.threshold != simThreshold {
+		return fullRebuild(g, simThreshold, "similarity threshold changed")
+	}
+	oldToNew, isDirty, dirtyCount := classifyNodes(g, prevG)
+	if len(g.Nodes) == 0 || float64(dirtyCount) > MaxDirtyFraction*float64(len(g.Nodes)) {
+		return fullRebuild(g, simThreshold, "dirty fraction above threshold")
+	}
+	defer obs.StartStage("index.update").Stop()
+	mIncremental.Inc()
+	stats := UpdateStats{
+		Incremental: true,
+		TotalNodes:  len(g.Nodes),
+		DirtyNodes:  dirtyCount,
+	}
+
+	k := updateKeyword(g, prevK, oldToNew, isDirty)
+	s := updateSimilarity(k, prevK, prevS, simThreshold, &stats)
+	return k, s, stats
+}
+
+func fullRebuild(g *pedigree.Graph, simThreshold float64, reason string) (*Keyword, *Similarity, UpdateStats) {
+	mFullRebuild.Inc()
+	k, s := Build(g, simThreshold)
+	return k, s, UpdateStats{Reason: reason, TotalNodes: len(g.Nodes)}
+}
+
+// classifyNodes matches each node of g against the previous graph. A node
+// is clean when its record set is exactly the record set of one previous
+// node: aggregation is a pure function of the record set (records are
+// append-only across generations), so a clean node carries byte-identical
+// indexed values and only its NodeID may have changed. oldToNew maps each
+// previous node to its clean counterpart (-1 when its cluster changed).
+func classifyNodes(g, prevG *pedigree.Graph) (oldToNew []pedigree.NodeID, isDirty []bool, dirtyCount int) {
+	oldToNew = make([]pedigree.NodeID, len(prevG.Nodes))
+	for i := range oldToNew {
+		oldToNew[i] = -1
+	}
+	isDirty = make([]bool, len(g.Nodes))
+	prevRecs := model.RecordID(len(prevG.Dataset.Records))
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		old := pedigree.NodeID(-1)
+		clean := len(n.Records) > 0
+		for j, r := range n.Records {
+			if r >= prevRecs {
+				clean = false
+				break
+			}
+			o, ok := prevG.NodeOfRecord(r)
+			if !ok {
+				clean = false
+				break
+			}
+			if j == 0 {
+				old = o
+			} else if o != old {
+				clean = false
+				break
+			}
+		}
+		// Same count plus containment means the sets are equal (records
+		// appear in exactly one node per graph).
+		if clean && len(prevG.Node(old).Records) != len(n.Records) {
+			clean = false
+		}
+		if clean {
+			oldToNew[old] = n.ID
+		} else {
+			isDirty[i] = true
+			dirtyCount++
+		}
+	}
+	return oldToNew, isDirty, dirtyCount
+}
+
+// fieldValue keys a posting list across the per-field maps.
+type fieldValue struct {
+	f Field
+	v string
+}
+
+// updateKeyword translates the previous postings through oldToNew and
+// reindexes the dirty nodes. Lists whose ids are unchanged are shared with
+// the previous index (which is immutable after its own build); any list
+// that is translated, filtered, or appended to is a fresh allocation,
+// sorted before return.
+func updateKeyword(g *pedigree.Graph, prevK *Keyword, oldToNew []pedigree.NodeID, isDirty []bool) *Keyword {
+	k := &Keyword{}
+	touched := map[fieldValue]bool{}
+	for f := Field(0); f < NumFields; f++ {
+		k.postings[f] = make(map[string][]pedigree.NodeID, len(prevK.postings[f]))
+		for v, ids := range prevK.postings[f] {
+			out, shared := translatePostings(ids, oldToNew)
+			if shared {
+				k.postings[f][v] = ids
+				continue
+			}
+			if len(out) == 0 {
+				continue // value disappeared with its dirty nodes
+			}
+			k.postings[f][v] = out
+			touched[fieldValue{f, v}] = true
+		}
+	}
+
+	add := func(f Field, v string, id pedigree.NodeID) {
+		key := fieldValue{f, v}
+		ids := k.postings[f][v]
+		if !touched[key] {
+			// Copy-on-write: the list may be shared with the previous
+			// index, so the first append to it copies.
+			ids = append(make([]pedigree.NodeID, 0, len(ids)+1), ids...)
+			touched[key] = true
+		}
+		k.postings[f][v] = append(ids, id)
+	}
+	for i := range g.Nodes {
+		if !isDirty[i] {
+			continue
+		}
+		n := &g.Nodes[i]
+		for _, v := range n.FirstNames {
+			add(FieldFirstName, v, n.ID)
+		}
+		for _, v := range n.Surnames {
+			add(FieldSurname, v, n.ID)
+		}
+		for _, v := range n.Locations {
+			add(FieldLocation, v, n.ID)
+		}
+		if gd := n.Gender.String(); gd != "?" {
+			add(FieldGender, gd, n.ID)
+		}
+	}
+
+	for key := range touched {
+		ids := k.postings[key.f][key.v]
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	}
+	return k
+}
+
+// translatePostings maps a posting list through oldToNew, dropping ids of
+// previous nodes that no longer have a clean counterpart. When the mapping
+// is the identity for every id the original (sorted) list is reported as
+// shareable; otherwise a fresh, possibly unsorted list is returned.
+func translatePostings(ids, oldToNew []pedigree.NodeID) ([]pedigree.NodeID, bool) {
+	shared := true
+	for _, id := range ids {
+		if oldToNew[id] != id {
+			shared = false
+			break
+		}
+	}
+	if shared {
+		return ids, true
+	}
+	out := make([]pedigree.NodeID, 0, len(ids))
+	for _, id := range ids {
+		if nid := oldToNew[id]; nid >= 0 {
+			out = append(out, nid)
+		}
+	}
+	return out, false
+}
+
+// simPatch collects the edits one carried-over similarity list needs:
+// entries for values that just became indexed, entries of values that left
+// the index.
+type simPatch struct {
+	add []SimilarValue
+	rem map[string]bool
+}
+
+// simBefore is the similarity-list order: similarity descending, value
+// ascending (the comparator of computeSimilar).
+func simBefore(x, y SimilarValue) bool {
+	if x.Sim != y.Sim {
+		return x.Sim > y.Sim
+	}
+	return x.Value < y.Value
+}
+
+// applyPatch merges a sorted similarity list with a patch into a fresh,
+// sorted list; the input list (shared with the previous generation) is not
+// modified.
+func applyPatch(list []SimilarValue, p *simPatch) []SimilarValue {
+	sort.Slice(p.add, func(i, j int) bool { return simBefore(p.add[i], p.add[j]) })
+	out := make([]SimilarValue, 0, len(list)+len(p.add))
+	i, j := 0, 0
+	for i < len(list) || j < len(p.add) {
+		if i >= len(list) || (j < len(p.add) && simBefore(p.add[j], list[i])) {
+			out = append(out, p.add[j])
+			j++
+			continue
+		}
+		if p.rem == nil || !p.rem[list[i].Value] {
+			out = append(out, list[i])
+		}
+		i++
+	}
+	return out
+}
+
+// updateSimilarity patches S around the indexed-value diff. S is entirely
+// value-keyed — node ids never appear in it — so a memoised similarity
+// list changes only when a value similar to it (which therefore shares a
+// bigram with it) was added to or removed from the index. The edits are
+// driven from the diff side: each added value's candidate scan says
+// exactly which existing lists gain an entry, each removed value's scan
+// (over the previous bigram postings) says which lists lose one. Every
+// untouched list — precomputed or query-extended — is carried over by
+// reference; patched lists are fresh copies; only memoised lists of
+// NON-indexed probe values whose candidate set may have changed are
+// dropped for lazy recompute (the diff scans cannot see probes).
+func updateSimilarity(k, prevK *Keyword, prevS *Similarity, simThreshold float64, stats *UpdateStats) *Similarity {
+	s := &Similarity{threshold: simThreshold}
+	for f := Field(0); f < NumFields; f++ {
+		for i := range s.shards[f] {
+			s.shards[f][i].sims = map[string][]SimilarValue{}
+			s.shards[f][i].inflight = map[string]*memoCall{}
+		}
+		s.bigramPost[f] = map[string][]string{}
+	}
+
+	for _, f := range simFields {
+		added, removed := valueDiff(k.postings[f], prevK.postings[f])
+		stats.AddedValues += len(added)
+		stats.RemovedValues += len(removed)
+		removedSet := make(map[string]bool, len(removed))
+		for _, v := range removed {
+			removedSet[v] = true
+		}
+		changed := map[string]bool{}
+		for _, v := range added {
+			for _, bg := range strsim.BigramSet(v) {
+				changed[bg] = true
+			}
+		}
+		for _, v := range removed {
+			for _, bg := range strsim.BigramSet(v) {
+				changed[bg] = true
+			}
+		}
+
+		// Bigram postings, copy-on-write: lists touched by the diff are
+		// rebuilt (removed values filtered out, added values appended and
+		// re-sorted); the rest are shared.
+		bp := make(map[string][]string, len(prevS.bigramPost[f]))
+		for bg, vals := range prevS.bigramPost[f] {
+			if !changed[bg] {
+				bp[bg] = vals
+				continue
+			}
+			out := make([]string, 0, len(vals)+1)
+			for _, v := range vals {
+				if !removedSet[v] {
+					out = append(out, v)
+				}
+			}
+			bp[bg] = out
+		}
+		for _, a := range added {
+			for _, bg := range strsim.BigramSet(a) {
+				bp[bg] = append(bp[bg], a)
+			}
+		}
+		for bg := range changed {
+			if len(bp[bg]) == 0 {
+				delete(bp, bg)
+				continue
+			}
+			sort.Strings(bp[bg])
+		}
+		s.bigramPost[f] = bp
+
+		// Compute the added values' own lists against the patched bigram
+		// postings (they see each other and every surviving value), and
+		// derive from each scan the patch every existing indexed value's
+		// list needs: a's candidates with sim >= threshold are exactly the
+		// lists a belongs in, with the same (symmetric) similarity.
+		addedSet := make(map[string]bool, len(added))
+		for _, a := range added {
+			addedSet[a] = true
+		}
+		patches := map[string]*simPatch{}
+		getPatch := func(v string) *simPatch {
+			p := patches[v]
+			if p == nil {
+				p = &simPatch{}
+				patches[v] = p
+			}
+			return p
+		}
+		addedLists := make([][]SimilarValue, len(added))
+		parallelRange(len(added), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				addedLists[i] = s.computeSimilar(f, added[i])
+			}
+		})
+		for i, a := range added {
+			for _, sv := range addedLists[i] {
+				if sv.Value == a || addedSet[sv.Value] {
+					continue // fresh lists are already complete
+				}
+				getPatch(sv.Value).add = append(getPatch(sv.Value).add, SimilarValue{Value: a, Sim: sv.Sim})
+			}
+		}
+		// A removed value's list entries all shared a bigram with it, so a
+		// scan of the PREVIOUS bigram postings finds every list it may
+		// appear in.
+		for _, r := range removed {
+			cand := map[string]bool{}
+			for _, bg := range strsim.BigramSet(r) {
+				for _, v := range prevS.bigramPost[f][bg] {
+					cand[v] = true
+				}
+			}
+			for v := range cand {
+				if v == r || removedSet[v] || addedSet[v] {
+					continue
+				}
+				p := getPatch(v)
+				if p.rem == nil {
+					p.rem = map[string]bool{}
+				}
+				p.rem[r] = true
+			}
+		}
+
+		// Carry the previous generation's memo over: by reference when
+		// untouched, patched into a fresh copy when the diff reaches it.
+		// The previous index is still serving queries and memoising new
+		// probes, so its shards are read under their locks.
+		for i := range prevS.shards[f] {
+			psh := &prevS.shards[f][i]
+			nsh := &s.shards[f][i]
+			psh.mu.RLock()
+			for v, list := range psh.sims {
+				if removedSet[v] || addedSet[v] {
+					stats.DroppedSimLists++
+					continue
+				}
+				pch := patches[v]
+				if pch == nil {
+					// No edits found via the index-side scans — but a
+					// NON-indexed probe's list is invisible to them, so it
+					// is dropped (lazily recomputed) if its candidate set
+					// may have changed.
+					if len(k.postings[f][v]) == 0 && touchesChanged(v, changed) {
+						stats.DroppedSimLists++
+						continue
+					}
+					nsh.sims[v] = list
+					stats.ReusedSimLists++
+					continue
+				}
+				nsh.sims[v] = applyPatch(list, pch)
+				stats.PatchedSimLists++
+			}
+			psh.mu.RUnlock()
+		}
+		for i, a := range added {
+			s.shard(f, a).sims[a] = addedLists[i]
+		}
+	}
+
+	// Safety net preserving Build's precompute invariant for the name
+	// fields: any indexed value that somehow has no memoised list (e.g. it
+	// was never memoised in the previous generation) is computed now, off
+	// the query path.
+	precompute := obs.StartStage("index_update_sims")
+	for _, f := range []Field{FieldFirstName, FieldSurname} {
+		var need []string
+		for v := range k.postings[f] {
+			if _, ok := s.shard(f, v).sims[v]; !ok {
+				need = append(need, v)
+			}
+		}
+		sort.Strings(need)
+		outs := make([][]SimilarValue, len(need))
+		parallelRange(len(need), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				outs[i] = s.computeSimilar(f, need[i])
+			}
+		})
+		for i, v := range need {
+			s.shard(f, v).sims[v] = outs[i]
+		}
+	}
+	precompute.Stop()
+	return s
+}
+
+// valueDiff returns the values present only in cur (added) and only in
+// prev (removed), sorted.
+func valueDiff(cur, prev map[string][]pedigree.NodeID) (added, removed []string) {
+	for v := range cur {
+		if _, ok := prev[v]; !ok {
+			added = append(added, v)
+		}
+	}
+	for v := range prev {
+		if _, ok := cur[v]; !ok {
+			removed = append(removed, v)
+		}
+	}
+	sort.Strings(added)
+	sort.Strings(removed)
+	return added, removed
+}
+
+// touchesChanged reports whether any bigram of v is in the changed set,
+// i.e. whether v's similarity candidates may have changed.
+func touchesChanged(v string, changed map[string]bool) bool {
+	if len(changed) == 0 {
+		return false
+	}
+	for _, bg := range strsim.BigramSet(v) {
+		if changed[bg] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,259 @@
+package index
+
+import (
+	"sort"
+	"testing"
+
+	"github.com/snaps/snaps/internal/dataset"
+	"github.com/snaps/snaps/internal/depgraph"
+	"github.com/snaps/snaps/internal/er"
+	"github.com/snaps/snaps/internal/model"
+	"github.com/snaps/snaps/internal/pedigree"
+	"github.com/snaps/snaps/internal/store"
+	"github.com/snaps/snaps/internal/strsim"
+)
+
+// appendBirthCert appends a synthetic birth certificate to the data set the
+// way the ingest pipeline's Apply does: one record per role, names already
+// normalised, deterministic record ids.
+func appendBirthCert(d *model.Dataset, baby, father, mother [2]string, year int) {
+	certID := model.CertID(len(d.Certificates))
+	cert := model.Certificate{
+		ID: certID, Type: model.Birth, Year: year,
+		Roles: map[model.Role]model.RecordID{}, Age: -1,
+	}
+	add := func(role model.Role, name [2]string, g model.Gender) {
+		id := model.RecordID(len(d.Records))
+		d.Records = append(d.Records, model.Record{
+			ID: id, Cert: certID, Role: role, Gender: g,
+			FirstName: name[0], Surname: name[1],
+			Year: year, Truth: model.NoPerson,
+		})
+		cert.Roles[role] = id
+	}
+	add(model.Bb, baby, model.Male)
+	add(model.Bm, mother, model.Female)
+	add(model.Bf, father, model.Male)
+	d.Certificates = append(d.Certificates, cert)
+}
+
+// buildGenerations resolves a base data set into a served generation, then
+// produces the next generation the way an ingest flush does: clone, append
+// a small batch of certificates (some reusing existing names so clusters
+// change, some introducing values never indexed before), restore the
+// previous clustering, and er.Extend over the new records.
+func buildGenerations(tb testing.TB, scale float64) (prevG, newG *pedigree.Graph, prevK *Keyword, prevS *Similarity) {
+	tb.Helper()
+	p := dataset.Generate(dataset.IOS().Scaled(scale))
+	d := p.Dataset
+	pr := er.Run(d, depgraph.DefaultConfig(), er.DefaultConfig())
+	prevG = pedigree.Build(d, pr.Result.Store)
+	prevK, prevS = Build(prevG, 0.5)
+
+	newD := d.Clone()
+	firstNew := model.RecordID(len(newD.Records))
+	// Reuse names already in the data set so the new records merge into
+	// existing clusters (dirtying their nodes) ...
+	r0, r1 := &d.Records[0], &d.Records[len(d.Records)/2]
+	appendBirthCert(newD,
+		[2]string{r0.FirstName, r0.Surname},
+		[2]string{r1.FirstName, r1.Surname},
+		[2]string{r1.FirstName, r0.Surname}, 1890)
+	// ... and introduce names no generation has seen, so the similarity
+	// index has genuinely new values to fold in.
+	appendBirthCert(newD,
+		[2]string{"zebedee", "quixworth"},
+		[2]string{"barnabus", "quixworth"},
+		[2]string{"philomena", "quixworth"}, 1891)
+
+	snap := store.Snapshot{Dataset: newD, Clusters: pr.Result.Store.Clusters()}
+	newStore := snap.Restore()
+	er.Extend(newD, newStore, firstNew, depgraph.DefaultConfig(), er.DefaultConfig())
+	newG = pedigree.Build(newD, newStore)
+	return prevG, newG, prevK, prevS
+}
+
+func sameSimilar(a, b []SimilarValue) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestUpdateEquivalence is the structural golden guard for incremental
+// index maintenance: Update must answer every Lookup and Similar exactly
+// like a fresh Build over the new generation — same posting lists, same
+// similarity lists, for indexed values and query-time probes alike.
+func TestUpdateEquivalence(t *testing.T) {
+	prevG, newG, prevK, prevS := buildGenerations(t, 0.06)
+
+	// Warm the previous generation's memo with query-time probes, so the
+	// carry-over path handles lazily memoised lists, not just precomputed
+	// ones.
+	probes := []struct {
+		f Field
+		v string
+	}{
+		{FieldSurname, "quixwor"}, // near the new surname: must be invalidated
+		{FieldFirstName, "zzzz-not-a-name"},
+		{FieldLocation, "edinburgh"},
+	}
+	for _, p := range probes {
+		prevS.Similar(p.f, p.v)
+	}
+
+	fullK, fullS := Build(newG, 0.5)
+	updK, updS, st := Update(newG, prevG, prevK, prevS, 0.5)
+
+	if !st.Incremental {
+		t.Fatalf("update fell back to full rebuild: %s", st.Reason)
+	}
+	if st.DirtyNodes == 0 {
+		t.Fatal("no dirty nodes; the scenario did not change any cluster")
+	}
+	if st.AddedValues == 0 {
+		t.Fatal("no added values; the new surname was not detected")
+	}
+	if st.ReusedSimLists == 0 {
+		t.Fatal("no similarity lists reused; the incremental path did no sharing")
+	}
+
+	// Keyword index: identical value sets and posting lists per field.
+	for f := Field(0); f < NumFields; f++ {
+		if got, want := updK.Values(f), fullK.Values(f); got != want {
+			t.Fatalf("field %v: %d values, full rebuild has %d", f, got, want)
+		}
+		for v, want := range fullK.postings[f] {
+			got := updK.Lookup(f, v)
+			if len(got) != len(want) {
+				t.Fatalf("field %v value %q: postings %v, full rebuild %v", f, v, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("field %v value %q: postings %v, full rebuild %v", f, v, got, want)
+				}
+			}
+		}
+	}
+
+	// Similarity index: identical lists for every indexed value of the
+	// name fields (covers shared, recomputed, and added values) and for
+	// the warmed probes (covers dropped-and-lazily-recomputed lists).
+	for _, f := range []Field{FieldFirstName, FieldSurname} {
+		for v := range fullK.postings[f] {
+			if got, want := updS.Similar(f, v), fullS.Similar(f, v); !sameSimilar(got, want) {
+				t.Fatalf("field %v value %q: Similar = %v, full rebuild = %v", f, v, got, want)
+			}
+		}
+	}
+	for _, p := range probes {
+		if got, want := updS.Similar(p.f, p.v), fullS.Similar(p.f, p.v); !sameSimilar(got, want) {
+			t.Fatalf("probe %v %q: Similar = %v, full rebuild = %v", p.f, p.v, got, want)
+		}
+	}
+}
+
+// TestUpdateFallbacks locks the conditions under which Update refuses the
+// incremental path and runs a full Build instead.
+func TestUpdateFallbacks(t *testing.T) {
+	prevG, newG, prevK, prevS := buildGenerations(t, 0.04)
+
+	if _, _, st := Update(newG, nil, nil, nil, 0.5); st.Incremental {
+		t.Fatal("nil previous generation must force a full rebuild")
+	}
+	if _, _, st := Update(newG, prevG, prevK, prevS, 0.7); st.Incremental {
+		t.Fatal("threshold change must force a full rebuild")
+	}
+	// A full rebuild still produces working indexes.
+	k, s, st := Update(newG, nil, nil, nil, 0.5)
+	if st.Reason == "" || k == nil || s == nil {
+		t.Fatalf("fallback returned no reason or nil indexes: %+v", st)
+	}
+}
+
+// TestUpdateSimilarityRemovesValues exercises the removal path directly:
+// record sets are append-only in production so indexed values in practice
+// only appear, but Update must stay correct if a value vanishes (e.g. a
+// future compaction). A removed value must leave the bigram postings and
+// every similarity list that contained it.
+func TestUpdateSimilarityRemovesValues(t *testing.T) {
+	mk := func(vals ...string) *Keyword {
+		k := &Keyword{}
+		for f := Field(0); f < NumFields; f++ {
+			k.postings[f] = map[string][]pedigree.NodeID{}
+		}
+		for i, v := range vals {
+			k.postings[FieldSurname][v] = []pedigree.NodeID{pedigree.NodeID(i)}
+		}
+		return k
+	}
+	prevK := mk("anna", "annie", "bert")
+	prevS := &Similarity{threshold: 0.5}
+	for f := Field(0); f < NumFields; f++ {
+		for i := range prevS.shards[f] {
+			prevS.shards[f][i].sims = map[string][]SimilarValue{}
+			prevS.shards[f][i].inflight = map[string]*memoCall{}
+		}
+		prevS.bigramPost[f] = map[string][]string{}
+	}
+	for v := range prevK.postings[FieldSurname] {
+		for _, bg := range strsim.BigramSet(v) {
+			prevS.bigramPost[FieldSurname][bg] = append(prevS.bigramPost[FieldSurname][bg], v)
+		}
+	}
+	for bg := range prevS.bigramPost[FieldSurname] {
+		sort.Strings(prevS.bigramPost[FieldSurname][bg])
+	}
+	for v := range prevK.postings[FieldSurname] {
+		prevS.shard(FieldSurname, v).sims[v] = prevS.computeSimilar(FieldSurname, v)
+	}
+	if list := prevS.Similar(FieldSurname, "anna"); len(list) < 2 {
+		t.Fatalf("precondition: anna should be similar to annie, got %v", list)
+	}
+
+	newK := mk("anna", "bert") // "annie" removed
+	var st UpdateStats
+	s := updateSimilarity(newK, prevK, prevS, 0.5, &st)
+	if st.RemovedValues != 1 {
+		t.Fatalf("RemovedValues = %d, want 1", st.RemovedValues)
+	}
+	for bg, vals := range s.bigramPost[FieldSurname] {
+		for _, v := range vals {
+			if v == "annie" {
+				t.Fatalf("bigram %q still lists removed value annie", bg)
+			}
+		}
+	}
+	for _, v := range s.Similar(FieldSurname, "anna") {
+		if v.Value == "annie" {
+			t.Fatal("similarity list for anna still contains removed value annie")
+		}
+	}
+}
+
+// BenchmarkIndexUpdate compares one flush's index maintenance cost: a full
+// Build of the new generation vs the incremental Update from the previous
+// one. The gap is the low-latency-flush headline of BENCH_offline.json.
+func BenchmarkIndexUpdate(b *testing.B) {
+	prevG, newG, prevK, prevS := buildGenerations(b, 0.1)
+	b.Run("full_rebuild", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Build(newG, 0.5)
+		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, _, st := Update(newG, prevG, prevK, prevS, 0.5)
+			if !st.Incremental {
+				b.Fatalf("fell back to full rebuild: %s", st.Reason)
+			}
+		}
+	})
+}

@@ -1,0 +1,181 @@
+package ingest
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/snaps/snaps/internal/dataset"
+	"github.com/snaps/snaps/internal/depgraph"
+	"github.com/snaps/snaps/internal/er"
+	"github.com/snaps/snaps/internal/obs"
+	"github.com/snaps/snaps/internal/query"
+)
+
+// generatedPipeline builds a pipeline over a generated data set, large
+// enough that incremental index maintenance has real sharing to do.
+func generatedPipeline(t *testing.T, scale float64, cfg Config) *Pipeline {
+	t.Helper()
+	d := dataset.Generate(dataset.IOS().Scaled(scale)).Dataset
+	pr := er.Run(d, depgraph.DefaultConfig(), er.DefaultConfig())
+	p, err := NewPipeline(NewServing(d, pr.Result.Store, 0.5), nil, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// birthCert builds a submittable birth certificate for three names.
+func birthCert(baby, father, mother [2]string, year int) *Certificate {
+	return &Certificate{
+		Type: "birth", Year: year, Address: "7 test lane",
+		Roles: map[string]Person{
+			"Bb": {FirstName: baby[0], Surname: baby[1], Gender: "m"},
+			"Bf": {FirstName: father[0], Surname: father[1]},
+			"Bm": {FirstName: mother[0], Surname: mother[1]},
+		},
+	}
+}
+
+// sampleQueries picks (first name, surname) pairs spread across the served
+// graph, plus probes for never-indexed and newly indexed values.
+func sampleQueries(sv *Serving, extra ...[2]string) []query.Query {
+	var qs []query.Query
+	step := len(sv.Graph.Nodes)/24 + 1
+	for i := 0; i < len(sv.Graph.Nodes); i += step {
+		n := &sv.Graph.Nodes[i]
+		if len(n.FirstNames) == 0 || len(n.Surnames) == 0 {
+			continue
+		}
+		qs = append(qs, query.Query{FirstName: n.FirstNames[0], Surname: n.Surnames[0]})
+	}
+	for _, e := range extra {
+		qs = append(qs, query.Query{FirstName: e[0], Surname: e[1]})
+	}
+	return qs
+}
+
+// TestFlushIncrementalIndexGoldenEquivalence is the flush-level golden
+// guard: generations published through index.Update must rank queries
+// byte-identically to a from-scratch rebuild of the same generation, across
+// several chained incremental flushes.
+func TestFlushIncrementalIndexGoldenEquivalence(t *testing.T) {
+	p := generatedPipeline(t, 0.05, manualConfig())
+	defer p.Close()
+	incr := obs.Default.Counter("snaps_index_incremental_total", "")
+	before := incr.Value()
+
+	d := p.Serving().Dataset
+	r0, r1 := &d.Records[0], &d.Records[len(d.Records)/2]
+	rounds := [][]*Certificate{
+		{ // merges into existing clusters, plus a brand-new surname
+			birthCert([2]string{r0.FirstName, r0.Surname},
+				[2]string{r1.FirstName, r1.Surname},
+				[2]string{r1.FirstName, r0.Surname}, 1890),
+			birthCert([2]string{"zebedee", "quixworth"},
+				[2]string{"barnabus", "quixworth"},
+				[2]string{"philomena", "quixworth"}, 1891),
+		},
+		{ // second flush patches the first incremental generation
+			birthCert([2]string{"zebedee", "quixworth"},
+				[2]string{"barnabus", "quixworth"},
+				[2]string{r0.FirstName, r0.Surname}, 1893),
+		},
+	}
+	for round, batch := range rounds {
+		for _, c := range batch {
+			if err := p.Submit(c); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := p.Flush(); err != nil {
+			t.Fatal(err)
+		}
+
+		sv := p.Serving()
+		// A from-scratch rebuild over the same data set and clustering is
+		// the ground truth the incremental indexes must reproduce.
+		full := NewServing(sv.Dataset, sv.Store, p.cfg.SimThreshold)
+		qs := sampleQueries(sv,
+			[2]string{"zebedee", "quixworth"},
+			[2]string{"zebedee", "quixwor"}, // typo probe: lazy memo path
+			[2]string{"nosuchname", "nosuchsurname"})
+		for _, q := range qs {
+			got := sv.Engine.Search(q)
+			want := full.Engine.Search(q)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("round %d query %+v: incremental results %v, full rebuild %v",
+					round, q, got, want)
+			}
+		}
+	}
+	if gained := incr.Value() - before; gained < int64(len(rounds)) {
+		t.Fatalf("incremental index updates = %d, want >= %d (flushes fell back to full rebuilds)",
+			gained, len(rounds))
+	}
+}
+
+// TestConcurrentSearchesDuringIncrementalFlushes races query-time memo
+// writes on the still-serving generation against index.Update's carry-over
+// reads of the same shards (plus the usual serve-during-swap traffic),
+// under the race detector. Searchers deliberately probe unseen values so
+// the previous generation's similarity memo keeps growing while Update
+// copies it.
+func TestConcurrentSearchesDuringIncrementalFlushes(t *testing.T) {
+	p := generatedPipeline(t, 0.03, manualConfig())
+	defer p.Close()
+
+	sv0 := p.Serving()
+	probes := sampleQueries(sv0)
+	if len(probes) == 0 {
+		t.Fatal("no sample queries")
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := probes[(i+w)%len(probes)]
+				// Mutate the probe so misses keep extending the memo of
+				// whichever generation the searcher holds.
+				q.FirstName = fmt.Sprintf("%s%d", q.FirstName, i%7)
+				p.Serving().Engine.Search(q)
+				sv0.Engine.Search(q) // the generation Update reads from
+			}
+		}(w)
+	}
+
+	d := sv0.Dataset
+	for round := 0; round < 4; round++ {
+		r := &d.Records[(round*31)%len(d.Records)]
+		c := birthCert(
+			[2]string{r.FirstName, r.Surname},
+			[2]string{"fintan", fmt.Sprintf("newname%d", round)},
+			[2]string{"maeve", r.Surname}, 1880+round)
+		if err := p.Submit(c); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// The final generation still answers exactly like a fresh rebuild.
+	sv := p.Serving()
+	full := NewServing(sv.Dataset, sv.Store, p.cfg.SimThreshold)
+	for _, q := range sampleQueries(sv)[:5] {
+		if got, want := sv.Engine.Search(q), full.Engine.Search(q); !reflect.DeepEqual(got, want) {
+			t.Fatalf("query %+v: incremental results %v, full rebuild %v", q, got, want)
+		}
+	}
+}

@@ -49,6 +49,11 @@ type Serving struct {
 	Store   *er.EntityStore
 	Graph   *pedigree.Graph
 	Engine  *query.Engine
+	// Keyword and Similar are the engine's indexes, kept on the bundle so
+	// the next flush can patch them incrementally (index.Update) instead
+	// of rebuilding from scratch.
+	Keyword *index.Keyword
+	Similar *index.Similarity
 	// Generation counts published snapshots, starting at 0 for the
 	// initial bundle and incrementing on every flush. The query result
 	// cache keys on it, so rankings computed against a superseded
@@ -60,7 +65,8 @@ type Serving struct {
 func NewServing(d *model.Dataset, st *er.EntityStore, simThreshold float64) *Serving {
 	g := pedigree.Build(d, st)
 	k, sim := index.Build(g, simThreshold)
-	return &Serving{Dataset: d, Store: st, Graph: g, Engine: query.NewEngine(g, k, sim)}
+	return &Serving{Dataset: d, Store: st, Graph: g,
+		Keyword: k, Similar: sim, Engine: query.NewEngine(g, k, sim)}
 }
 
 // Config tunes the ingestion pipeline.
@@ -403,8 +409,23 @@ func (p *Pipeline) flushLocked() error {
 	esp.SetAttr("candidate_pairs", int64(epr.Candidates))
 	esp.End()
 
+	// Rebuild the pedigree graph, then maintain the indexes incrementally
+	// against the still-serving generation: untouched postings and
+	// similarity lists are shared by reference, only entities whose
+	// clusters changed are reindexed. index.Update falls back to a full
+	// build on structural changes (and says so in its stats).
 	_, isp := obs.StartSpan(ctx, "rebuild_indexes")
-	sv := NewServing(newD, newStore, p.cfg.SimThreshold)
+	prev := p.serving.Load()
+	newG := pedigree.Build(newD, newStore)
+	k, sim, ist := index.Update(newG, prev.Graph, prev.Keyword, prev.Similar, p.cfg.SimThreshold)
+	sv := &Serving{Dataset: newD, Store: newStore, Graph: newG,
+		Keyword: k, Similar: sim, Engine: query.NewEngine(newG, k, sim)}
+	isp.SetAttr("dirty_entities", int64(ist.DirtyNodes))
+	if ist.Incremental {
+		isp.SetAttr("incremental", 1)
+	} else {
+		isp.SetAttr("incremental", 0)
+	}
 	isp.End()
 
 	_, wsp := obs.StartSpan(ctx, "snapshot_swap")
@@ -447,6 +468,8 @@ func (p *Pipeline) flushLocked() error {
 		slog.Int("records", len(newD.Records)),
 		slog.Int("entities", len(sv.Graph.Nodes)),
 		slog.Int("candidate_pairs", epr.Candidates),
+		slog.Bool("incremental_index", ist.Incremental),
+		slog.Int("dirty_entities", ist.DirtyNodes),
 		slog.Duration("took", time.Since(start)),
 	)
 	return nil

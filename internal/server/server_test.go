@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strings"
 	"testing"
 
@@ -22,12 +23,14 @@ func testServer(t *testing.T) (*Server, *pedigree.Graph) {
 	return New(engine), g
 }
 
-// someName returns a first name and surname present in the graph.
+// someName returns a first name and surname present in the graph, query-
+// escaped: every caller splices the pair into a request URL, and multi-token
+// names would otherwise produce a malformed request line.
 func someName(g *pedigree.Graph) (string, string) {
 	for i := range g.Nodes {
 		n := &g.Nodes[i]
 		if len(n.FirstNames) > 0 && len(n.Surnames) > 0 {
-			return n.FirstNames[0], n.Surnames[0]
+			return url.QueryEscape(n.FirstNames[0]), url.QueryEscape(n.Surnames[0])
 		}
 	}
 	return "", ""

@@ -347,8 +347,37 @@ func MongeElkan(a, b string) float64 {
 // lower it. It handles transposed double forenames ("jane elizabeth" vs
 // "elizabeth jane") that character-level measures miss.
 func SymMongeElkan(a, b string) float64 {
-	ab := MongeElkan(a, b)
-	ba := MongeElkan(b, a)
+	return symMongeElkanTokens(fields(a), fields(b))
+}
+
+// symMongeElkanTokens computes both directed Monge-Elkan scores from one
+// pass over the token similarity matrix (Jaro-Winkler is symmetric, so
+// JW(x,y) serves both directions) and returns their minimum.
+func symMongeElkanTokens(ta, tb []string) float64 {
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	colBest := make([]float64, len(tb))
+	sumRow := 0.0
+	for _, x := range ta {
+		rowBest := 0.0
+		for j, y := range tb {
+			s := JaroWinkler(x, y)
+			if s > rowBest {
+				rowBest = s
+			}
+			if s > colBest[j] {
+				colBest[j] = s
+			}
+		}
+		sumRow += rowBest
+	}
+	sumCol := 0.0
+	for _, s := range colBest {
+		sumCol += s
+	}
+	ab := sumRow / float64(len(ta))
+	ba := sumCol / float64(len(tb))
 	if ba < ab {
 		return ba
 	}
@@ -360,6 +389,16 @@ func SymMongeElkan(a, b string) float64 {
 // name has multiple tokens (so re-ordered or partially recorded double
 // forenames still match).
 func NameSim(a, b string) float64 {
+	if a == b {
+		// Identical names score 1 under both Jaro-Winkler and symmetric
+		// Monge-Elkan (every token matches itself), so skip the token
+		// split entirely. Propagated entity values repeat the same
+		// strings constantly, making this the most common call shape.
+		if a == "" {
+			return 0
+		}
+		return 1
+	}
 	s := JaroWinkler(a, b)
 	if hasSpace(a) || hasSpace(b) {
 		if me := SymMongeElkan(a, b); me > s {

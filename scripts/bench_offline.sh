@@ -1,0 +1,68 @@
+#!/bin/sh
+# bench_offline.sh — run the offline-build and index-maintenance benchmarks
+# and emit BENCH_offline.json, the committed before/after record for the
+# parallel offline build and the incremental index update:
+#
+#   BenchmarkOfflineRunWorkers   full offline run (blocking + graph +
+#                                resolve), workers=1 vs workers=GOMAXPROCS
+#   BenchmarkEmitPairs           sharded LSH pair emission, same split
+#   BenchmarkIndexUpdate         one flush's index maintenance: full Build
+#                                vs incremental Update of the new generation
+#   BenchmarkExtend              incremental re-resolution (flush ER path)
+#
+# Usage:
+#   ./scripts/bench_offline.sh                 # default -benchtime 3x
+#   BENCHTIME=1x ./scripts/bench_offline.sh    # CI smoke: one iteration
+#   OUT=/tmp/b.json ./scripts/bench_offline.sh
+#
+# For statistically sound comparisons run each side >= 10 times and feed
+# the raw `go test -bench` output to benchstat (see README).
+set -e
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-3x}"
+OUT="${OUT:-BENCH_offline.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench 'BenchmarkOfflineRunWorkers|BenchmarkExtend$' \
+    -benchtime "$BENCHTIME" . | tee "$RAW"
+go test -run '^$' -bench 'BenchmarkEmitPairs' \
+    -benchtime "$BENCHTIME" ./internal/blocking | tee -a "$RAW"
+go test -run '^$' -bench 'BenchmarkIndexUpdate' \
+    -benchtime "$BENCHTIME" ./internal/index | tee -a "$RAW"
+
+# GOMAXPROCS defaults to the CPU count; record the effective value so a
+# reader knows how many cores the workers=gomaxprocs rows actually used.
+GOMAXPROCS_VAL="${GOMAXPROCS:-$(nproc)}"
+
+# Parse `BenchmarkName-N  iters  X ns/op  Y B/op  Z allocs/op` lines into
+# JSON. The baseline block records the pre-PR offline pipeline (serial
+# blocking/graph/resolve, every flush rebuilding both indexes from
+# scratch), measured at the merge base on the same benchmark bodies, for
+# ratio checks without digging through git history.
+{
+  printf '{\n  "gomaxprocs": %s,\n  "benchmarks": [\n' "$GOMAXPROCS_VAL"
+  awk '
+    /^Benchmark/ {
+      name = $1; sub(/-[0-9]+$/, "", name)
+      ns = "null"; bytes = "null"; allocs = "null"
+      for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i-1)
+        if ($i == "B/op")      bytes = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+      }
+      printf "%s    {\"name\":\"%s\",\"iters\":%s,\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}", sep, name, $2, ns, bytes, allocs
+      sep = ",\n"
+    }
+    END { printf "\n" }
+  ' "$RAW"
+  printf '  ],\n'
+  printf '  "baseline_pre_pr": [\n'
+  printf '    {"name":"BenchmarkFullRun","ns_per_op":554201356,"bytes_per_op":198934378,"allocs_per_op":4601905},\n'
+  printf '    {"name":"BenchmarkExtend","ns_per_op":30836144,"bytes_per_op":10438173,"allocs_per_op":27289},\n'
+  printf '    {"name":"BenchmarkIndexRebuild","ns_per_op":181623725,"bytes_per_op":33299909,"allocs_per_op":1620109}\n'
+  printf '  ]\n}\n'
+} > "$OUT"
+
+echo "wrote $OUT"
