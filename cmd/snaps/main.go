@@ -27,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/snaps/snaps/internal/admission"
 	"github.com/snaps/snaps/internal/anonymize"
 	"github.com/snaps/snaps/internal/dataset"
 	"github.com/snaps/snaps/internal/depgraph"
@@ -102,6 +103,14 @@ func main() {
 		ingestMaxAge  = flag.Duration("ingest-max-age", 2*time.Second, "flush a non-empty ingest batch after its oldest certificate waited this long")
 
 		queryCache = flag.Int("query-cache", 4096, "cache up to this many ranked result lists per serving generation (0 disables; invalidated on every ingest snapshot swap)")
+		queryStale = flag.Bool("query-stale", true, "serve the previous generation's cached ranking while a background refresh recomputes it after a snapshot swap (stale-while-revalidate)")
+
+		admitConcurrency    = flag.Int("admit-concurrency", 64, "weighted in-flight request budget: pedigree renders admit up to 50%% of it, ingest 75%%, searches 100%% — the load-shed ladder (0 disables admission control)")
+		admitSearchRate     = flag.Float64("admit-search-rate", 0, "token-bucket rate limit for search requests, requests/second (0 = unlimited)")
+		admitPedigreeRate   = flag.Float64("admit-pedigree-rate", 0, "token-bucket rate limit for pedigree renders, requests/second (0 = unlimited)")
+		admitIngestRate     = flag.Float64("admit-ingest-rate", 0, "token-bucket rate limit for ingest submissions, requests/second (0 = unlimited)")
+		admitBacklogRecords = flag.Int("admit-max-backlog-records", 4096, "shed ingest with 429 + Retry-After once this many certificates await a flush (0 = unbounded)")
+		admitBacklogBytes   = flag.Int64("admit-max-backlog-bytes", 8<<20, "shed ingest with 429 + Retry-After once the unflushed backlog reaches this many encoded bytes (0 = unbounded)")
 
 		pprofFlag = flag.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/ (metrics at /metrics are always on)")
 
@@ -274,6 +283,7 @@ func main() {
 		icfg.BatchSize = *ingestBatch
 		icfg.MaxAge = *ingestMaxAge
 		icfg.QueryCache = *queryCache
+		icfg.StaleServe = *queryStale
 		icfg.Tracer = srv.Tracer()
 		icfg.Graph = gcfg
 		icfg.Resolver = rcfg
@@ -285,8 +295,26 @@ func main() {
 		}
 		srv.EnableIngest(pipe)
 
+		// Admission control: weighted concurrency limits with the
+		// pedigree-before-search shed ladder, optional per-class rate
+		// limits, and ingest backpressure reading the pipeline's backlog.
+		if *admitConcurrency > 0 {
+			acfg := admission.DefaultConfig()
+			acfg.MaxConcurrency = *admitConcurrency
+			acfg.Limits[admission.Search].Rate = *admitSearchRate
+			acfg.Limits[admission.Pedigree].Rate = *admitPedigreeRate
+			acfg.Limits[admission.Ingest].Rate = *admitIngestRate
+			acfg.MaxBacklogRecords = *admitBacklogRecords
+			acfg.MaxBacklogBytes = *admitBacklogBytes
+			acfg.BacklogRetryAfter = icfg.MaxAge
+			acfg.Backlog = pipe.Backlog
+			srv.EnableAdmission(admission.New(acfg))
+		}
+		srv.EnableHealth(pipe)
+
 		slog.Info("serving", "addr", *serve, "ingest_batch", icfg.BatchSize,
 			"ingest_max_age", icfg.MaxAge, "query_cache", icfg.QueryCache,
+			"query_stale", *queryStale, "admit_concurrency", *admitConcurrency,
 			"slow_query", *slowQuery, "trace_debug", *traceDebug)
 		fatal(http.ListenAndServe(*serve, srv))
 	}

@@ -1,0 +1,327 @@
+// Package admission implements server-side load protection for the SNAPS
+// serving tier: per-class weighted concurrency limits, token-bucket rate
+// limiting, and ingest backpressure, combined into one admission decision
+// per request.
+//
+// Requests are grouped into classes (search, pedigree render, ingest;
+// /metrics and /healthz are exempt) and every class pays a weighted share
+// of one global in-flight budget. The degradation ladder falls out of the
+// per-class admission ceilings: pedigree renders may only use up to half
+// the budget, ingest three quarters, searches all of it — so under a
+// saturating burst pedigree requests are shed first, then ingest, then
+// searches, while /metrics and /healthz always answer. Every decision is
+// counted in the obs registry so the load harness (internal/load) can
+// verify the ladder it induces.
+//
+// Admission never queues: a request over its ceiling is rejected
+// immediately with a Retry-After hint rather than parked, because under
+// open-loop traffic (real users, the load harness) queued requests only
+// convert overload into latency collapse and memory growth.
+package admission
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/snaps/snaps/internal/obs"
+)
+
+// Class buckets routes by cost and priority. The zero value is Exempt:
+// never rate-limited, never counted against the in-flight budget.
+type Class uint8
+
+const (
+	// Exempt requests (metrics, health, status, debug) are always admitted.
+	Exempt Class = iota
+	// Search is the cheap hot path: keyword search and explain.
+	Search
+	// Ingest is certificate submission; it also answers for journal
+	// backlog backpressure.
+	Ingest
+	// Pedigree is the expensive graph-walk render path, first on the
+	// degradation ladder.
+	Pedigree
+
+	// NumClasses sizes per-class tables.
+	NumClasses
+)
+
+func (c Class) String() string {
+	switch c {
+	case Exempt:
+		return "exempt"
+	case Search:
+		return "search"
+	case Ingest:
+		return "ingest"
+	case Pedigree:
+		return "pedigree"
+	}
+	return "class?"
+}
+
+// ClassLimits tunes one class.
+type ClassLimits struct {
+	// Weight is the in-flight budget units one request of this class
+	// occupies while being served (pedigree renders cost more than
+	// searches).
+	Weight int
+	// Fraction is the class's admission ceiling as a fraction of the
+	// total budget: a request is admitted only while the weighted
+	// in-flight total (plus its own weight) stays at or under
+	// Fraction*MaxConcurrency. Lower fractions shed earlier — this
+	// ordering is the degradation ladder.
+	Fraction float64
+	// Rate is the token-bucket refill rate in requests/second; 0 means
+	// no rate limit for the class.
+	Rate float64
+	// Burst is the bucket depth; defaults to max(1, 2*Rate) when a rate
+	// is set.
+	Burst float64
+}
+
+// Config tunes the admission controller.
+type Config struct {
+	// MaxConcurrency is the global weighted in-flight budget. <= 0
+	// disables concurrency limiting (rate limits and backpressure still
+	// apply).
+	MaxConcurrency int
+	// Limits holds the per-class knobs, indexed by Class.
+	Limits [NumClasses]ClassLimits
+	// RetryAfter is the Retry-After hint for concurrency sheds.
+	RetryAfter time.Duration
+	// BacklogRetryAfter is the Retry-After hint for ingest backlog sheds;
+	// callers set it to the ingest flush horizon (Config.MaxAge) so the
+	// hint matches when capacity actually frees up.
+	BacklogRetryAfter time.Duration
+	// MaxBacklogRecords and MaxBacklogBytes bound the unflushed ingest
+	// backlog: once Backlog() reports either at or above its bound, new
+	// ingest requests are shed until a flush drains it. 0 disables the
+	// respective bound.
+	MaxBacklogRecords int
+	MaxBacklogBytes   int64
+	// Backlog reports the current unflushed ingest backlog (records,
+	// bytes); nil disables backpressure. Wired to
+	// ingest.Pipeline.Backlog.
+	Backlog func() (records int, bytes int64)
+}
+
+// DefaultConfig returns the production defaults: a 64-unit budget with the
+// pedigree-before-ingest-before-search degradation ladder, no per-class
+// rate limits, and a 4096-record / 8 MiB ingest backlog bound.
+func DefaultConfig() Config {
+	cfg := Config{
+		MaxConcurrency:    64,
+		RetryAfter:        time.Second,
+		BacklogRetryAfter: 2 * time.Second,
+		MaxBacklogRecords: 4096,
+		MaxBacklogBytes:   8 << 20,
+	}
+	cfg.Limits[Search] = ClassLimits{Weight: 1, Fraction: 1.0}
+	cfg.Limits[Ingest] = ClassLimits{Weight: 2, Fraction: 0.75}
+	cfg.Limits[Pedigree] = ClassLimits{Weight: 4, Fraction: 0.5}
+	return cfg
+}
+
+// Decision is the outcome of one admission check.
+type Decision struct {
+	Admitted bool
+	// Reason a request was shed: "concurrency", "rate", or "backlog".
+	Reason string
+	// RetryAfter is the suggested client back-off; the HTTP layer rounds
+	// it up to whole seconds for the Retry-After header.
+	RetryAfter time.Duration
+}
+
+// Controller makes admission decisions. One controller fronts one server;
+// all methods are safe for concurrent use.
+type Controller struct {
+	cfg      Config
+	ceil     [NumClasses]int64 // weighted ceiling per class; 0 = unlimited
+	buckets  [NumClasses]*bucket
+	inflight atomic.Int64 // weighted units currently being served
+
+	now func() time.Time // injectable for deterministic tests
+}
+
+// Admission metrics in the default registry, exposed at GET /metrics.
+var (
+	mInflight = obs.Default.Gauge("snaps_admission_inflight",
+		"Weighted in-flight units currently admitted across all classes.")
+)
+
+func admittedCounter(c Class) *obs.Counter {
+	return obs.Default.Counter(
+		"snaps_admission_admitted_total{"+obs.Label("class", c.String())+"}",
+		"Requests admitted, by class.")
+}
+
+func shedCounter(c Class, reason string) *obs.Counter {
+	return obs.Default.Counter(
+		"snaps_admission_shed_total{"+obs.Label("class", c.String())+","+obs.Label("reason", reason)+"}",
+		"Requests shed (429), by class and reason.")
+}
+
+// New returns a controller for the config.
+func New(cfg Config) *Controller {
+	c := &Controller{cfg: cfg, now: time.Now}
+	if c.cfg.RetryAfter <= 0 {
+		c.cfg.RetryAfter = time.Second
+	}
+	if c.cfg.BacklogRetryAfter <= 0 {
+		c.cfg.BacklogRetryAfter = 2 * time.Second
+	}
+	for cl := Class(0); cl < NumClasses; cl++ {
+		lim := cfg.Limits[cl]
+		if cfg.MaxConcurrency > 0 && lim.Weight > 0 && lim.Fraction > 0 {
+			ceil := int64(lim.Fraction * float64(cfg.MaxConcurrency))
+			if ceil < int64(lim.Weight) {
+				ceil = int64(lim.Weight) // never configure a class out entirely
+			}
+			c.ceil[cl] = ceil
+		}
+		if lim.Rate > 0 {
+			burst := lim.Burst
+			if burst <= 0 {
+				burst = 2 * lim.Rate
+			}
+			if burst < 1 {
+				burst = 1
+			}
+			c.buckets[cl] = &bucket{rate: lim.Rate, burst: burst}
+		}
+	}
+	return c
+}
+
+var noRelease = func() {}
+
+// Admit decides one request. The returned release function MUST be called
+// exactly once when the request finishes (it is a no-op for shed and
+// exempt requests, so callers can defer it unconditionally).
+//
+// Checks run cheapest-and-most-actionable first: ingest backlog (the
+// memory-protection signal, with a flush-horizon Retry-After), then the
+// class token bucket, then the weighted concurrency ceiling.
+func (c *Controller) Admit(cl Class) (release func(), d Decision) {
+	if cl == Exempt || cl >= NumClasses {
+		return noRelease, Decision{Admitted: true}
+	}
+	if cl == Ingest && c.cfg.Backlog != nil {
+		if over, _, _ := c.BacklogExceeded(); over {
+			shedCounter(cl, "backlog").Inc()
+			return noRelease, Decision{Reason: "backlog", RetryAfter: c.cfg.BacklogRetryAfter}
+		}
+	}
+	if b := c.buckets[cl]; b != nil {
+		if ok, wait := b.take(c.now()); !ok {
+			shedCounter(cl, "rate").Inc()
+			if wait < c.cfg.RetryAfter {
+				wait = c.cfg.RetryAfter
+			}
+			return noRelease, Decision{Reason: "rate", RetryAfter: wait}
+		}
+	}
+	w := int64(c.cfg.Limits[cl].Weight)
+	if ceil := c.ceil[cl]; ceil > 0 {
+		for {
+			cur := c.inflight.Load()
+			if cur+w > ceil {
+				shedCounter(cl, "concurrency").Inc()
+				return noRelease, Decision{Reason: "concurrency", RetryAfter: c.cfg.RetryAfter}
+			}
+			if c.inflight.CompareAndSwap(cur, cur+w) {
+				break
+			}
+		}
+		mInflight.Set(c.inflight.Load())
+		admittedCounter(cl).Inc()
+		var once sync.Once
+		return func() {
+			once.Do(func() {
+				mInflight.Set(c.inflight.Add(-w))
+			})
+		}, Decision{Admitted: true}
+	}
+	admittedCounter(cl).Inc()
+	return noRelease, Decision{Admitted: true}
+}
+
+// Inflight returns the weighted in-flight total.
+func (c *Controller) Inflight() int64 { return c.inflight.Load() }
+
+// Shedding reports whether a new request of the class would currently be
+// shed by the concurrency ceiling. Always false for Exempt and for
+// unlimited classes.
+func (c *Controller) Shedding(cl Class) bool {
+	if cl == Exempt || cl >= NumClasses {
+		return false
+	}
+	ceil := c.ceil[cl]
+	if ceil <= 0 {
+		return false
+	}
+	return c.inflight.Load()+int64(c.cfg.Limits[cl].Weight) > ceil
+}
+
+// BacklogExceeded reports whether the ingest backlog is over either bound,
+// along with the observed backlog.
+func (c *Controller) BacklogExceeded() (over bool, records int, bytes int64) {
+	if c.cfg.Backlog == nil {
+		return false, 0, 0
+	}
+	records, bytes = c.cfg.Backlog()
+	if c.cfg.MaxBacklogRecords > 0 && records >= c.cfg.MaxBacklogRecords {
+		over = true
+	}
+	if c.cfg.MaxBacklogBytes > 0 && bytes >= c.cfg.MaxBacklogBytes {
+		over = true
+	}
+	return over, records, bytes
+}
+
+// Overloaded reports whether the server is currently degrading: any class
+// is being shed by its concurrency ceiling, or the ingest backlog is over
+// a bound. GET /healthz returns 503 while this holds, so a fronting load
+// balancer (and the load harness) can detect overload and recovery.
+func (c *Controller) Overloaded() bool {
+	for cl := Search; cl < NumClasses; cl++ {
+		if c.Shedding(cl) {
+			return true
+		}
+	}
+	over, _, _ := c.BacklogExceeded()
+	return over
+}
+
+// bucket is a token bucket: refilled continuously at rate tokens/second up
+// to burst, one token per admitted request.
+type bucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// take consumes one token, reporting how long until one would be available
+// when it cannot.
+func (b *bucket) take(now time.Time) (ok bool, wait time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.last.IsZero() {
+		b.tokens = b.burst
+	} else if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+}

@@ -19,6 +19,10 @@ var (
 		"Certificates durably appended (written and fsynced) to the WAL.")
 	mJournalReplayed = obs.Default.Counter("snaps_ingest_journal_replayed_total",
 		"Certificates replayed from the WAL on startup.")
+	mJournalBytes = obs.Default.Gauge("snaps_ingest_journal_bytes",
+		"Durable size of the ingestion WAL in bytes (header plus acknowledged entries).")
+	mJournalEntries = obs.Default.Gauge("snaps_ingest_journal_entries",
+		"Certificates durably recorded in the ingestion WAL.")
 )
 
 // journalMagic is the header line of an ingestion journal, following the
@@ -65,6 +69,7 @@ func OpenJournal(path string) (*Journal, []Certificate, error) {
 			return nil, nil, err
 		}
 		j.size = int64(len(journalMagic) + 1)
+		j.publishGauges()
 		return j, nil, nil
 	}
 	replayed, err := j.replay()
@@ -122,7 +127,16 @@ func (j *Journal) replay() ([]Certificate, error) {
 	j.entries = len(out)
 	j.size = good
 	mJournalReplayed.Add(int64(len(out)))
+	j.publishGauges()
 	return out, nil
+}
+
+// publishGauges mirrors the journal's durable size into the obs gauges, so
+// admission thresholds, /metrics alerts, and the status JSON all read one
+// source of truth. Caller holds mu (or is the only reference).
+func (j *Journal) publishGauges() {
+	mJournalBytes.Set(j.size)
+	mJournalEntries.Set(int64(j.entries))
 }
 
 // Append journals one certificate durably: the entry is written and synced
@@ -144,6 +158,7 @@ func (j *Journal) Append(c *Certificate) error {
 	j.entries++
 	j.size += int64(len(buf))
 	mJournalAppends.Inc()
+	j.publishGauges()
 	return nil
 }
 

@@ -2,6 +2,7 @@ package ingest
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"log/slog"
 	"sync"
@@ -30,6 +31,8 @@ var (
 		"Serving-bundle pointer swaps publishing a new generation.")
 	mQueueDepth = obs.Default.Gauge("snaps_ingest_queue_depth",
 		"Accepted certificates waiting for the next batch flush.")
+	mBacklogBytes = obs.Default.Gauge("snaps_ingest_backlog_bytes",
+		"Encoded bytes of accepted certificates waiting for the next batch flush. Admission backpressure bounds this.")
 	mFlushSeconds = obs.Default.Histogram("snaps_ingest_flush_seconds",
 		"Wall-clock duration of one batch flush.", obs.DefBuckets)
 	mResolvedRecords = obs.Default.Counter("snaps_ingest_resolved_records_total",
@@ -83,6 +86,13 @@ type Config struct {
 	// QueryCache bounds the generation-keyed LRU of ranked search
 	// results shared across serving generations; 0 disables caching.
 	QueryCache int
+	// StaleServe enables stale-while-revalidate on the result cache:
+	// after a snapshot swap, entries of the immediately superseded
+	// generation keep answering (at most one flush old) while background
+	// singleflight refreshes recompute them under the new generation —
+	// instead of every hot query stampeding into a synchronous recompute
+	// the moment the generation bumps. No effect when QueryCache is 0.
+	StaleServe bool
 	// Graph and Resolver configure the incremental er.Extend pass.
 	Graph    depgraph.Config
 	Resolver er.Config
@@ -99,6 +109,7 @@ func DefaultConfig() Config {
 		BatchSize:    16,
 		MaxAge:       2 * time.Second,
 		SimThreshold: 0.5,
+		StaleServe:   true,
 		Graph:        depgraph.DefaultConfig(),
 		Resolver:     er.DefaultConfig(),
 	}
@@ -120,8 +131,11 @@ func (c Config) withDefaults() Config {
 
 // Status is the snapshot returned by GET /api/ingest/status.
 type Status struct {
-	// Pending is the number of accepted certificates not yet resolved.
-	Pending int `json:"pending"`
+	// Pending is the number of accepted certificates not yet resolved;
+	// PendingBytes is their encoded size — the unflushed backlog that
+	// admission backpressure bounds.
+	Pending      int   `json:"pending"`
+	PendingBytes int64 `json:"pending_bytes"`
 	// Accepted and Applied count certificates over the pipeline's lifetime.
 	Accepted int `json:"accepted"`
 	Applied  int `json:"applied"`
@@ -155,10 +169,11 @@ type Pipeline struct {
 
 	serving atomic.Pointer[Serving]
 
-	mu       sync.Mutex
-	pending  []Certificate
-	oldestAt time.Time
-	accepted int
+	mu           sync.Mutex
+	pending      []Certificate
+	pendingBytes int64 // encoded size of pending, the backpressure signal
+	oldestAt     time.Time
+	accepted     int
 	applied  int
 	flushes  int
 	lastDur  time.Duration
@@ -205,6 +220,10 @@ func NewPipeline(sv *Serving, jr *Journal, backlog []Certificate, cfg Config) (*
 	sv.Generation = 0
 	sv.Engine.Generation = 0
 	sv.Engine.Cache = p.cache
+	if p.cfg.StaleServe {
+		p.cache.EnableStaleServe()
+		sv.Engine.StaleServe = p.cache != nil
+	}
 	p.serving.Store(sv)
 	if len(backlog) > 0 {
 		p.mu.Lock()
@@ -246,6 +265,12 @@ func (p *Pipeline) SubmitContext(ctx context.Context, c *Certificate) error {
 	if err := c.Validate(); err != nil {
 		return err
 	}
+	// Size the certificate once for the backlog-bytes signal admission
+	// backpressure watches; the journal encodes identically.
+	enc, err := json.Marshal(c)
+	if err != nil {
+		return fmt.Errorf("ingest: encoding certificate: %w", err)
+	}
 	if p.journal != nil {
 		_, jsp := obs.StartSpan(ctx, "journal.append")
 		err := p.journal.Append(c)
@@ -259,10 +284,12 @@ func (p *Pipeline) SubmitContext(ctx context.Context, c *Certificate) error {
 		p.oldestAt = time.Now()
 	}
 	p.pending = append(p.pending, *c)
+	p.pendingBytes += int64(len(enc)) + 1 // +1 for the journal's newline
 	p.accepted++
 	full := len(p.pending) >= p.cfg.BatchSize
 	mAccepted.Inc()
 	mQueueDepth.Set(int64(len(p.pending)))
+	mBacklogBytes.Set(p.pendingBytes)
 	p.mu.Unlock()
 	if full {
 		select {
@@ -289,6 +316,17 @@ func (p *Pipeline) Pending() int {
 	return len(p.pending)
 }
 
+// Backlog reports the unflushed backlog: accepted certificates (and their
+// encoded bytes) waiting for the next batch flush. This is the one source
+// of truth admission backpressure, the obs gauges, and /healthz all read —
+// once it passes the configured bounds, new submissions are shed with 429
+// instead of growing the queue without limit.
+func (p *Pipeline) Backlog() (records int, bytes int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.pending), p.pendingBytes
+}
+
 // Status returns a snapshot of the pipeline's counters and the served
 // generation's size.
 func (p *Pipeline) Status() Status {
@@ -296,6 +334,7 @@ func (p *Pipeline) Status() Status {
 	p.mu.Lock()
 	st := Status{
 		Pending:         len(p.pending),
+		PendingBytes:    p.pendingBytes,
 		Accepted:        p.accepted,
 		Applied:         p.applied,
 		Flushes:         p.flushes,
@@ -370,7 +409,9 @@ func (p *Pipeline) flushLocked() error {
 	p.mu.Lock()
 	batch := p.pending
 	p.pending = nil
+	p.pendingBytes = 0
 	mQueueDepth.Set(0)
+	mBacklogBytes.Set(0)
 	p.mu.Unlock()
 	if len(batch) == 0 {
 		return nil
@@ -433,6 +474,7 @@ func (p *Pipeline) flushLocked() error {
 	sv.Generation = gen
 	sv.Engine.Generation = gen
 	sv.Engine.Cache = p.cache
+	sv.Engine.StaleServe = p.cfg.StaleServe && p.cache != nil
 	p.buildD, p.buildStore = newD, newStore
 	p.generation = gen
 	p.serving.Store(sv)

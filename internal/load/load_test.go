@@ -1,0 +1,248 @@
+package load
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/snaps/snaps/internal/dataset"
+	"github.com/snaps/snaps/internal/depgraph"
+	"github.com/snaps/snaps/internal/er"
+	"github.com/snaps/snaps/internal/pedigree"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 1..1000 ms uniformly: quantiles must land within the ~5% relative
+	// error the bucket growth factor guarantees.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != 1000*time.Millisecond {
+		t.Fatalf("max = %v, want exactly 1s (max is not bucketed)", h.Max())
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{{0.50, 500 * time.Millisecond}, {0.95, 950 * time.Millisecond}, {0.99, 990 * time.Millisecond}} {
+		got := h.Quantile(tc.q)
+		if rel := math.Abs(float64(got-tc.want)) / float64(tc.want); rel > 0.06 {
+			t.Errorf("q%.2f = %v, want %v ±6%%", tc.q, got, tc.want)
+		}
+	}
+	if m := h.Mean(); m < 495*time.Millisecond || m > 506*time.Millisecond {
+		t.Errorf("mean = %v, want ~500.5ms", m)
+	}
+}
+
+func TestHistogramEmptyAndExtremes(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.99) != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Observe(0)               // below the first bucket
+	h.Observe(5 * time.Minute) // beyond the last bucket
+	h.Observe(-time.Second)    // clamped to zero
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != 5*time.Minute {
+		t.Fatalf("max = %v", h.Max())
+	}
+	if h.Quantile(1.0) < 60*time.Second {
+		t.Fatalf("q100 = %v, want the overflow bucket (>= 60s)", h.Quantile(1.0))
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(g*1000+i) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+}
+
+func testGraph(t *testing.T) *pedigree.Graph {
+	t.Helper()
+	p := dataset.Generate(dataset.IOS().Scaled(0.03))
+	pr := er.Run(p.Dataset, depgraph.DefaultConfig(), er.DefaultConfig())
+	return pedigree.Build(p.Dataset, pr.Result.Store)
+}
+
+func TestWorkloadDeterministicAndMixed(t *testing.T) {
+	g := testGraph(t)
+	w, err := BuildWorkload(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Hot) == 0 || len(w.Cold) == 0 || w.Entities == 0 {
+		t.Fatalf("workload pools empty: hot=%d cold=%d entities=%d",
+			len(w.Hot), len(w.Cold), w.Entities)
+	}
+	// The hot pool is the head of the surname distribution, the cold pool
+	// its tail — they must not overlap.
+	hot := map[string]bool{}
+	for _, p := range w.Hot {
+		hot[p.Surname] = true
+	}
+	for _, p := range w.Cold {
+		if hot[p.Surname] {
+			t.Fatalf("surname %q in both hot and cold pools", p.Surname)
+		}
+	}
+
+	mix, _ := MixByName("mixed")
+	a := w.Ops(mix, 2000, 42)
+	b := w.Ops(mix, 2000, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different op sequences")
+	}
+	c := w.Ops(mix, 2000, 43)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical op sequences")
+	}
+
+	// Kind frequencies track the mix probabilities.
+	var counts [4]int
+	for _, op := range a {
+		counts[op.Kind]++
+	}
+	for kind, want := range map[OpKind]float64{
+		OpSearchHot: mix.SearchHot, OpSearchCold: mix.SearchCold,
+		OpPedigree: mix.Pedigree, OpIngest: mix.Ingest,
+	} {
+		got := float64(counts[kind]) / float64(len(a))
+		if math.Abs(got-want) > 0.05 {
+			t.Errorf("%s fraction = %.3f, want %.2f ±0.05", kind.Route(), got, want)
+		}
+	}
+	// Ingest bodies are unique (distinct child names) and valid targets.
+	for i, op := range a {
+		if op.Kind == OpIngest && len(op.Body) == 0 {
+			t.Fatalf("op %d: ingest without body", i)
+		}
+		if op.Kind == OpPedigree && (op.Entity < 0 || op.Entity >= w.Entities) {
+			t.Fatalf("op %d: entity %d out of range", i, op.Entity)
+		}
+	}
+}
+
+// stubTarget answers instantly with a canned status per kind, counting ops.
+type stubTarget struct {
+	mu     sync.Mutex
+	status map[OpKind]int
+	seen   map[OpKind]int
+}
+
+func (s *stubTarget) Do(op Op) (int, error) {
+	s.mu.Lock()
+	s.seen[op.Kind]++
+	st := s.status[op.Kind]
+	s.mu.Unlock()
+	if st == 0 {
+		st = http.StatusOK
+	}
+	return st, nil
+}
+
+func TestRunnerOpenLoopReport(t *testing.T) {
+	g := testGraph(t)
+	w, err := BuildWorkload(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pedigree shed, everything else fine — the report must separate the
+	// outcomes per route.
+	tgt := &stubTarget{
+		status: map[OpKind]int{OpPedigree: http.StatusTooManyRequests},
+		seen:   map[OpKind]int{},
+	}
+	mix, _ := MixByName("mixed")
+	rep, err := Run(tgt, w, mix, Config{Rate: 2000, Duration: 250 * time.Millisecond, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests < 400 {
+		t.Fatalf("requests = %d, want ~500 at 2000 rps for 250ms", rep.Requests)
+	}
+	ped, ok := rep.Routes["pedigree"]
+	if !ok {
+		t.Fatal("no pedigree route in report")
+	}
+	if ped.Shed != ped.Count || ped.OK != 0 {
+		t.Fatalf("pedigree: %d/%d shed, want all", ped.Shed, ped.Count)
+	}
+	for _, route := range []string{"search_hot", "search_cold", "ingest"} {
+		r, ok := rep.Routes[route]
+		if !ok {
+			t.Fatalf("no %s route in report", route)
+		}
+		if r.OK != r.Count || r.Shed != 0 || r.Errors != 0 {
+			t.Fatalf("%s: %+v, want all OK", route, r)
+		}
+		if r.P99Ms < r.P50Ms {
+			t.Fatalf("%s: p99 %.3fms < p50 %.3fms", route, r.P99Ms, r.P50Ms)
+		}
+	}
+	if rep.AchievedRate < 0.5*rep.OfferedRate {
+		t.Fatalf("achieved %.0f rps of %.0f offered against an instant stub",
+			rep.AchievedRate, rep.OfferedRate)
+	}
+}
+
+// blockedTarget never completes until released — drives the outstanding cap.
+type blockedTarget struct{ release chan struct{} }
+
+func (b *blockedTarget) Do(Op) (int, error) {
+	<-b.release
+	return http.StatusOK, nil
+}
+
+func TestRunnerBoundsOutstanding(t *testing.T) {
+	g := testGraph(t)
+	w, err := BuildWorkload(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := &blockedTarget{release: make(chan struct{})}
+	done := make(chan *MixReport, 1)
+	go func() {
+		rep, err := Run(tgt, w, Mixes()[0], Config{
+			Rate: 5000, Duration: 100 * time.Millisecond, MaxOutstanding: 16, Seed: 1,
+		})
+		if err != nil {
+			panic(fmt.Sprint("run: ", err))
+		}
+		done <- rep
+	}()
+	// Let the arrival schedule finish (stalled server), then release.
+	time.Sleep(300 * time.Millisecond)
+	close(tgt.release)
+	rep := <-done
+	if rep.Requests != 16 {
+		t.Fatalf("launched %d requests, want exactly the outstanding cap 16", rep.Requests)
+	}
+	if rep.Dropped == 0 {
+		t.Fatal("no arrivals dropped despite a fully stalled target")
+	}
+	if rep.Requests+rep.Dropped < 400 {
+		t.Fatalf("schedule generated %d arrivals, want ~500", rep.Requests+rep.Dropped)
+	}
+}

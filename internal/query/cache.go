@@ -19,6 +19,10 @@ var (
 		"Result-cache entries dropped (LRU pressure or superseded generation).")
 	mCacheEntries = obs.Default.Gauge("snaps_query_cache_entries",
 		"Result-cache entries currently resident.")
+	mCacheStaleServes = obs.Default.Counter("snaps_query_cache_stale_serves_total",
+		"Searches served from a previous generation's entry while a refresh ran.")
+	mCacheRefreshes = obs.Default.Counter("snaps_query_cache_refreshes_total",
+		"Background refreshes that replaced a stale-served entry with the current generation's ranking.")
 )
 
 // ResultCache is a size-bounded LRU of ranked result lists, keyed by
@@ -33,6 +37,17 @@ type ResultCache struct {
 	cap   int
 	ll    *list.List // front = most recently used
 	items map[resultKey]*list.Element
+
+	// staleWindow is how many generations behind the current one entries
+	// are retained for stale-while-revalidate serving: 0 (the default) is
+	// the strict mode — Invalidate drops everything below the new
+	// generation; 1 keeps the immediately superseded generation so a
+	// flush-driven generation bump never stampedes the engine.
+	staleWindow uint64
+	// refreshing singleflights background refreshes: at most one
+	// goroutine recomputes a given (generation, key) while stale serves
+	// continue.
+	refreshing map[resultKey]struct{}
 }
 
 type resultKey struct {
@@ -51,7 +66,60 @@ func NewResultCache(capacity int) *ResultCache {
 	if capacity <= 0 {
 		return nil
 	}
-	return &ResultCache{cap: capacity, ll: list.New(), items: map[resultKey]*list.Element{}}
+	return &ResultCache{cap: capacity, ll: list.New(), items: map[resultKey]*list.Element{},
+		refreshing: map[resultKey]struct{}{}}
+}
+
+// EnableStaleServe switches the cache into stale-while-revalidate mode:
+// Invalidate retains the immediately superseded generation's entries so
+// engines with StaleServe set can serve them while a background refresh
+// recomputes the ranking under the new generation. Nil-safe.
+func (c *ResultCache) EnableStaleServe() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.staleWindow = 1
+	c.mu.Unlock()
+}
+
+// GetStale returns the ranking cached for the query under the generation
+// immediately preceding gen, when the cache keeps one (EnableStaleServe).
+func (c *ResultCache) GetStale(gen uint64, key string) ([]Result, bool) {
+	if gen == 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.staleWindow == 0 {
+		return nil, false
+	}
+	el, ok := c.items[resultKey{gen - 1, key}]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).results, true
+}
+
+// beginRefresh claims the right to refresh (gen, key); the claimant must
+// call endRefresh when done. A second caller while a refresh is in flight
+// gets false and serves stale without spawning another recompute.
+func (c *ResultCache) beginRefresh(gen uint64, key string) bool {
+	k := resultKey{gen, key}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, inflight := c.refreshing[k]; inflight {
+		return false
+	}
+	c.refreshing[k] = struct{}{}
+	return true
+}
+
+func (c *ResultCache) endRefresh(gen uint64, key string) {
+	c.mu.Lock()
+	delete(c.refreshing, resultKey{gen, key})
+	c.mu.Unlock()
 }
 
 // Get returns the cached ranking for the query under the given generation.
@@ -89,15 +157,17 @@ func (c *ResultCache) Put(gen uint64, key string, results []Result) {
 	mCacheEntries.Set(int64(c.ll.Len()))
 }
 
-// Invalidate evicts every entry whose generation is below gen. The ingest
-// pipeline calls it after each snapshot swap so superseded rankings free
-// their memory immediately instead of aging out.
+// Invalidate evicts every entry too old to serve once gen is current: in
+// strict mode (the default) everything below gen, in stale-while-revalidate
+// mode everything older than the staleWindow generations kept for stale
+// serving. The ingest pipeline calls it after each snapshot swap so
+// superseded rankings free their memory promptly instead of aging out.
 func (c *ResultCache) Invalidate(gen uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for el := c.ll.Front(); el != nil; {
 		next := el.Next()
-		if e := el.Value.(*cacheEntry); e.key.gen < gen {
+		if e := el.Value.(*cacheEntry); e.key.gen+c.staleWindow < gen {
 			c.ll.Remove(el)
 			delete(c.items, e.key)
 			mCacheEvictions.Inc()

@@ -46,6 +46,11 @@ func TestCacheStressNoStaleGenerations(t *testing.T) {
 	cfg := ingest.DefaultConfig()
 	cfg.BatchSize = 1000 // flush only when the test says so
 	cfg.QueryCache = 256
+	// This test pins the strict invalidation mode: after a swap no request
+	// may see a superseded ranking, not even once. The production default
+	// (StaleServe) deliberately relaxes this by exactly one generation —
+	// TestStaleWhileRevalidate covers that contract.
+	cfg.StaleServe = false
 	pipe, err := ingest.NewPipeline(sv, nil, nil, cfg)
 	if err != nil {
 		t.Fatal(err)

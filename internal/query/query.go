@@ -99,6 +99,14 @@ type Engine struct {
 	Cache *ResultCache
 	// Generation identifies the serving snapshot this engine belongs to.
 	Generation uint64
+	// StaleServe enables stale-while-revalidate on the cache: a miss
+	// under the current generation that finds the same query cached under
+	// the previous one serves that entry immediately and refreshes the
+	// ranking in a background singleflight, so a flush-driven generation
+	// bump never stampedes hot queries into synchronous recomputes. The
+	// cache must have EnableStaleServe set (the ingest pipeline wires
+	// both together).
+	StaleServe bool
 
 	// pool recycles per-search accumulator state. Nil (engines built with
 	// a struct literal rather than NewEngine) falls back to allocating
@@ -209,8 +217,40 @@ func (e *Engine) SearchContext(ctx context.Context, q Query) []Result {
 			sp.End()
 			return res
 		}
+		// Stale-while-revalidate: a previous-generation entry answers the
+		// request immediately (the ranking is at most one flush old) and
+		// a single background goroutine recomputes it under the current
+		// generation. Without this, every snapshot swap turns the whole
+		// hot set into synchronous misses at once — a self-inflicted
+		// stampede exactly when the flush already loaded the machine.
+		if e.StaleServe {
+			if res, ok := e.Cache.GetStale(e.Generation, ckey); ok {
+				if e.Cache.beginRefresh(e.Generation, ckey) {
+					go func() {
+						defer e.Cache.endRefresh(e.Generation, ckey)
+						e.compute(context.Background(), q, ckey, time.Now(), nil)
+						mCacheRefreshes.Inc()
+					}()
+				}
+				mCacheStaleServes.Inc()
+				mSearches.Inc()
+				mSearchSeconds.ObserveDuration(time.Since(start))
+				sp.SetAttr("cache_stale", 1)
+				sp.SetAttr("results", int64(len(res)))
+				sp.End()
+				return res
+			}
+		}
 	}
 
+	return e.compute(ctx, q, ckey, start, sp)
+}
+
+// compute runs the four query stages without consulting the cache, records
+// the engine metrics, stores the ranking under ckey (when caching is on),
+// and finalises sp (nil for background refreshes, whose span methods
+// no-op).
+func (e *Engine) compute(ctx context.Context, q Query, ckey string, start time.Time, sp *obs.Span) []Result {
 	// Blocking-key lookup: both query names resolve to their similar
 	// indexed values through the similarity-aware index S.
 	_, bsp := obs.StartSpan(ctx, "blocking")
@@ -316,7 +356,7 @@ func (e *Engine) SearchContext(ctx context.Context, q Query) []Result {
 	sp.SetAttr("results", int64(len(results)))
 	sp.End()
 
-	if e.Cache != nil {
+	if e.Cache != nil && ckey != "" {
 		e.Cache.Put(e.Generation, ckey, results)
 	}
 	e.putState(st)

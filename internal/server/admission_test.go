@@ -1,0 +1,252 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/snaps/snaps/internal/admission"
+	"github.com/snaps/snaps/internal/ingest"
+	"github.com/snaps/snaps/internal/obs"
+)
+
+// do issues one request against the server and returns the recorder.
+func do(s *Server, method, target string) *httptest.ResponseRecorder {
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, httptest.NewRequest(method, target, nil))
+	return w
+}
+
+// wantRetryAfter asserts a 429 carries a Retry-After header that parses to
+// a sane whole number of seconds (at least 1 — a zero or fractional hint
+// would make clients hammer straight back).
+func wantRetryAfter(t *testing.T, w *httptest.ResponseRecorder) {
+	t.Helper()
+	ra := w.Header().Get("Retry-After")
+	if ra == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	secs, err := strconv.Atoi(ra)
+	if err != nil || secs < 1 {
+		t.Fatalf("Retry-After %q, want integer seconds >= 1", ra)
+	}
+}
+
+// TestShedOrderingUnderSaturation drives the degradation ladder through
+// real HTTP: with the weighted budget partially occupied, pedigree renders
+// (ceiling: half the budget) are rejected while searches (ceiling: full
+// budget) still answer; with the budget exhausted searches are rejected
+// too — and /metrics plus /healthz keep answering throughout. Occupancy is
+// created by holding admissions directly on the controller rather than by
+// timing a saturating burst, so the ordering assertions are deterministic.
+func TestShedOrderingUnderSaturation(t *testing.T) {
+	srv, g := testServer(t)
+	first, sur := someName(g)
+	searchURL := "/api/search?first_name=" + first + "&surname=" + sur
+
+	cfg := admission.DefaultConfig()
+	cfg.MaxConcurrency = 16 // ceilings: pedigree 8, ingest 12, search 16
+	ctrl := admission.New(cfg)
+	srv.EnableAdmission(ctrl)
+	srv.EnableHealth(nil)
+
+	pedShedBefore := obs.Default.Counter(
+		"snaps_admission_shed_total{"+obs.Label("class", "pedigree")+","+obs.Label("reason", "concurrency")+"}", "").Value()
+	searchShedBefore := obs.Default.Counter(
+		"snaps_admission_shed_total{"+obs.Label("class", "search")+","+obs.Label("reason", "concurrency")+"}", "").Value()
+
+	// Unloaded: everything answers.
+	if w := do(srv, "GET", searchURL); w.Code != http.StatusOK {
+		t.Fatalf("unloaded search: status %d", w.Code)
+	}
+	if w := do(srv, "GET", "/api/pedigree?id=0"); w.Code != http.StatusOK {
+		t.Fatalf("unloaded pedigree: status %d", w.Code)
+	}
+
+	// Hold 6 of 16 weighted units: over the pedigree admission ceiling
+	// (6+4 > 8), well under the search ceiling (6+1 <= 16).
+	var releases []func()
+	hold := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			rel, d := ctrl.Admit(admission.Search)
+			if !d.Admitted {
+				t.Fatalf("setup admission shed: %+v", d)
+			}
+			releases = append(releases, rel)
+		}
+	}
+	hold(6)
+
+	// The saturating burst: pedigree requests shed with 429 + Retry-After
+	// while search traffic keeps flowing.
+	for i := 0; i < 4; i++ {
+		w := do(srv, "GET", "/api/pedigree?id=0")
+		if w.Code != http.StatusTooManyRequests {
+			t.Fatalf("pedigree burst %d: status %d, want 429", i, w.Code)
+		}
+		wantRetryAfter(t, w)
+		if w := do(srv, "GET", searchURL); w.Code != http.StatusOK {
+			t.Fatalf("search during pedigree shed: status %d, want 200", w.Code)
+		}
+	}
+
+	// Exhaust the budget: now searches shed too, but the exempt routes
+	// (metrics, health) still answer — health flips to 503/overloaded.
+	hold(10)
+	w := do(srv, "GET", searchURL)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("search at full budget: status %d, want 429", w.Code)
+	}
+	wantRetryAfter(t, w)
+	if w := do(srv, "GET", "/metrics"); w.Code != http.StatusOK {
+		t.Fatalf("/metrics during saturation: status %d", w.Code)
+	}
+	if w := do(srv, "GET", "/healthz"); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz during saturation: status %d, want 503", w.Code)
+	}
+
+	// The shed counters prove the ordering: pedigree shed while search
+	// was not, then search shed as well.
+	samples := scrape(t, srv)
+	pedShed := samples["snaps_admission_shed_total{"+obs.Label("class", "pedigree")+","+obs.Label("reason", "concurrency")+"}"] - float64(pedShedBefore)
+	searchShed := samples["snaps_admission_shed_total{"+obs.Label("class", "search")+","+obs.Label("reason", "concurrency")+"}"] - float64(searchShedBefore)
+	if pedShed < 4 {
+		t.Fatalf("pedigree concurrency sheds = %v, want >= 4", pedShed)
+	}
+	if searchShed < 1 {
+		t.Fatalf("search concurrency sheds = %v, want >= 1", searchShed)
+	}
+	if pedShed <= searchShed {
+		t.Fatalf("shed ordering violated: pedigree %v sheds vs search %v — pedigree must shed first",
+			pedShed, searchShed)
+	}
+
+	// Recovery: releasing the held admissions restores service and health.
+	for _, rel := range releases {
+		rel()
+	}
+	if n := ctrl.Inflight(); n != 0 {
+		t.Fatalf("inflight after release = %d, want 0", n)
+	}
+	if w := do(srv, "GET", "/api/pedigree?id=0"); w.Code != http.StatusOK {
+		t.Fatalf("pedigree after recovery: status %d", w.Code)
+	}
+	if w := do(srv, "GET", "/healthz"); w.Code != http.StatusOK {
+		t.Fatalf("/healthz after recovery: status %d", w.Code)
+	}
+}
+
+// TestIngestBacklogBackpressureHTTP covers the memory-protection path: once
+// the unflushed ingest backlog crosses the configured record bound, POST
+// /api/ingest returns 429 with a Retry-After matching the flush horizon,
+// and a flush reopens admission.
+func TestIngestBacklogBackpressureHTTP(t *testing.T) {
+	icfg := ingest.DefaultConfig()
+	icfg.BatchSize = 1 << 20 // flush only when the test says so
+	srv, pipe := ingestFamily(t, icfg)
+
+	acfg := admission.DefaultConfig()
+	acfg.MaxBacklogRecords = 2
+	acfg.BacklogRetryAfter = 3 * time.Second
+	acfg.Backlog = pipe.Backlog
+	srv.EnableAdmission(admission.New(acfg))
+	srv.EnableHealth(pipe)
+
+	post := func() *httptest.ResponseRecorder {
+		w := httptest.NewRecorder()
+		req := httptest.NewRequest("POST", "/api/ingest",
+			strings.NewReader(torquilDeathJSON))
+		req.Header.Set("Content-Type", "application/json")
+		srv.ServeHTTP(w, req)
+		return w
+	}
+
+	// The first two submissions fill the backlog to the bound.
+	for i := 0; i < 2; i++ {
+		if w := post(); w.Code != http.StatusAccepted {
+			t.Fatalf("submit %d: status %d: %s", i, w.Code, w.Body.String())
+		}
+	}
+	if rec, _ := pipe.Backlog(); rec != 2 {
+		t.Fatalf("backlog records = %d, want 2", rec)
+	}
+
+	// At the bound: shed with the flush-horizon Retry-After, health 503.
+	w := post()
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("over backlog: status %d, want 429: %s", w.Code, w.Body.String())
+	}
+	if ra := w.Header().Get("Retry-After"); ra != "3" {
+		t.Fatalf("Retry-After %q, want %q (the flush horizon)", ra, "3")
+	}
+	if w := do(srv, "GET", "/healthz"); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz over backlog: status %d, want 503", w.Code)
+	}
+
+	// Search traffic is untouched by ingest backpressure.
+	if w := do(srv, "GET", "/api/search?first_name=torquil&surname=macsween"); w.Code != http.StatusOK {
+		t.Fatalf("search during ingest backpressure: status %d", w.Code)
+	}
+
+	// Draining the backlog reopens ingest admission.
+	if err := pipe.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w := post(); w.Code != http.StatusAccepted {
+		t.Fatalf("submit after flush: status %d: %s", w.Code, w.Body.String())
+	}
+}
+
+// TestHealthzReportsBacklog checks the readiness payload reflects the
+// pipeline: generation and unflushed backlog counts.
+func TestHealthzReportsBacklog(t *testing.T) {
+	icfg := ingest.DefaultConfig()
+	icfg.BatchSize = 1 << 20
+	srv, pipe := ingestFamily(t, icfg)
+	srv.EnableHealth(pipe)
+
+	w := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/api/ingest", strings.NewReader(torquilDeathJSON))
+	req.Header.Set("Content-Type", "application/json")
+	srv.ServeHTTP(w, req)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", w.Code, w.Body.String())
+	}
+
+	w = do(srv, "GET", "/healthz")
+	if w.Code != http.StatusOK {
+		t.Fatalf("/healthz: status %d", w.Code)
+	}
+	var resp HealthResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if resp.Status != "ok" {
+		t.Fatalf("status %q, want ok", resp.Status)
+	}
+	if resp.BacklogRecords != 1 || resp.BacklogBytes <= 0 {
+		t.Fatalf("backlog = %d records / %d bytes, want 1 record and positive bytes",
+			resp.BacklogRecords, resp.BacklogBytes)
+	}
+	if err := pipe.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	w = do(srv, "GET", "/healthz")
+	var after HealthResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &after); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if after.Generation != resp.Generation+1 {
+		t.Fatalf("generation %d -> %d, want +1 after flush", resp.Generation, after.Generation)
+	}
+	if after.BacklogRecords != 0 || after.BacklogBytes != 0 {
+		t.Fatalf("backlog after flush = %d records / %d bytes, want 0/0",
+			after.BacklogRecords, after.BacklogBytes)
+	}
+}

@@ -1,0 +1,66 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"github.com/snaps/snaps/internal/admission"
+	"github.com/snaps/snaps/internal/ingest"
+)
+
+// HealthResponse is the readiness snapshot of GET /healthz: the served
+// generation, the ingest backlog the admission thresholds watch, and the
+// current shed state. Status is "ok" with HTTP 200, or "overloaded" with
+// HTTP 503 while any class is being shed or the backlog is over a bound —
+// a fronting load balancer (or the load harness) polls it to detect
+// overload and recovery.
+type HealthResponse struct {
+	Status         string   `json:"status"`
+	Generation     uint64   `json:"generation"`
+	JournalBytes   int64    `json:"journal_bytes,omitempty"`
+	BacklogRecords int      `json:"backlog_records"`
+	BacklogBytes   int64    `json:"backlog_bytes"`
+	Inflight       int64    `json:"inflight_weighted"`
+	Shedding       []string `json:"shedding,omitempty"`
+}
+
+// EnableHealth mounts GET /healthz. Both arguments are optional: without a
+// pipeline the generation comes from the served engine and the backlog
+// reads zero; without admission the endpoint always reports "ok". The
+// route is admission-exempt — health must answer precisely when the server
+// is refusing work.
+func (s *Server) EnableHealth(pipe *ingest.Pipeline) {
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		resp := HealthResponse{Status: "ok"}
+		if pipe != nil {
+			st := pipe.Status()
+			resp.Generation = st.Generation
+			resp.JournalBytes = st.JournalBytes
+			resp.BacklogRecords, resp.BacklogBytes = pipe.Backlog()
+		} else {
+			resp.Generation = s.Engine().Generation
+		}
+		if c := s.admit; c != nil {
+			resp.Inflight = c.Inflight()
+			for cl := admission.Search; cl < admission.NumClasses; cl++ {
+				if c.Shedding(cl) {
+					resp.Shedding = append(resp.Shedding, cl.String())
+				}
+			}
+			if c.Overloaded() {
+				resp.Status = "overloaded"
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if resp.Status != "ok" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(resp)
+	})
+}

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/snaps/snaps/internal/admission"
 	"github.com/snaps/snaps/internal/gedcom"
 	"github.com/snaps/snaps/internal/index"
 	"github.com/snaps/snaps/internal/model"
@@ -33,6 +34,10 @@ type Server struct {
 	Generations int
 	mux         *http.ServeMux
 	tracer      *obs.Tracer
+	// admit, when set (EnableAdmission), decides every request before its
+	// handler runs: weighted concurrency limits, rate limits, and ingest
+	// backpressure, with the pedigree-before-search degradation ladder.
+	admit *admission.Controller
 }
 
 // New wires the handlers.
@@ -75,8 +80,25 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, span := s.tracer.StartRoot(r.Context(), r.Method+" "+spanName, r.Header.Get("X-Request-ID"))
 	w.Header().Set("X-Request-ID", obs.TraceIDFromContext(ctx))
-	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 	start := time.Now()
+
+	// Admission runs before the handler: a shed request never touches the
+	// engine or the pedigree graph, it only costs the decision itself.
+	if s.admit != nil {
+		release, dec := s.admit.Admit(classifyRoute(route))
+		if !dec.Admitted {
+			shed(w, dec)
+			span.SetAttr("shed", 1)
+			span.SetAttrStr("shed_reason", dec.Reason)
+			span.SetAttr("status", http.StatusTooManyRequests)
+			span.End()
+			observeRequest(route, http.StatusTooManyRequests, time.Since(start))
+			return
+		}
+		defer release()
+	}
+
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 	s.mux.ServeHTTP(sw, r.WithContext(ctx))
 	span.SetAttr("status", int64(sw.status))
 	span.End()

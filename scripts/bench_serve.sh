@@ -1,0 +1,32 @@
+#!/bin/sh
+# bench_serve.sh — run the open-loop load harness (cmd/snapsload) against
+# the full in-process serving stack and emit BENCH_serve.json: per-route
+# p50/p95/p99/max latency, throughput, and shed counts for the three
+# standard traffic mixes (read-heavy, mixed, ingest-burst).
+#
+# Usage:
+#   ./scripts/bench_serve.sh                      # 400 rps, 10s per mix
+#   DURATION=5s RATE=100 ./scripts/bench_serve.sh # CI smoke pass
+#   SCALE=0.1 RATE=800 ./scripts/bench_serve.sh   # heavier dataset + load
+#   OUT=/tmp/serve.json ./scripts/bench_serve.sh
+#
+# The arrival schedule is open-loop: the offered rate does not slow down
+# when the server does, so an overloaded run shows real queueing latency
+# and admission sheds rather than a self-throttled flattering number.
+set -e
+cd "$(dirname "$0")/.."
+
+DURATION="${DURATION:-10s}"
+RATE="${RATE:-400}"
+SCALE="${SCALE:-0.05}"
+SEED="${SEED:-1}"
+OUT="${OUT:-BENCH_serve.json}"
+MIXES="${MIXES:-read-heavy,mixed,ingest-burst}"
+
+go run ./cmd/snapsload \
+    -dataset ios -scale "$SCALE" \
+    -rate "$RATE" -duration "$DURATION" -seed "$SEED" \
+    -mixes "$MIXES" \
+    -out "$OUT"
+
+echo "wrote $OUT"
