@@ -43,6 +43,7 @@ import (
 	"github.com/snaps/snaps/internal/query"
 	"github.com/snaps/snaps/internal/report"
 	"github.com/snaps/snaps/internal/server"
+	"github.com/snaps/snaps/internal/shard"
 	"github.com/snaps/snaps/internal/store"
 	"github.com/snaps/snaps/internal/vitalio"
 )
@@ -104,6 +105,7 @@ func main() {
 
 		queryCache = flag.Int("query-cache", 4096, "cache up to this many ranked result lists per serving generation (0 disables; invalidated on every ingest snapshot swap)")
 		queryStale = flag.Bool("query-stale", true, "serve the previous generation's cached ranking while a background refresh recomputes it after a snapshot swap (stale-while-revalidate)")
+		shards     = flag.Int("shards", 1, "partition the serving tier into this many shards searched scatter-gather; an ingest flush re-indexes only touched shards (1 = single-shard legacy path; results are byte-identical for any value)")
 
 		admitConcurrency    = flag.Int("admit-concurrency", 64, "weighted in-flight request budget: pedigree renders admit up to 50%% of it, ingest 75%%, searches 100%% — the load-shed ladder (0 disables admission control)")
 		admitSearchRate     = flag.Float64("admit-search-rate", 0, "token-bucket rate limit for search requests, requests/second (0 = unlimited)")
@@ -233,18 +235,45 @@ func main() {
 	}
 
 	g := pedigree.Build(d, entStore)
-	// Build the indexes here rather than through server.BuildIndexes: the
-	// serving bundle keeps them so the first ingest flush can patch them
-	// incrementally instead of falling back to a full rebuild.
-	kidx, sidx := index.Build(g, 0.5)
-	engine := query.NewEngine(g, kidx, sidx)
 	slog.Info("built pedigree graph", "entities", len(g.Nodes))
+	// -shards>1 partitions the serving tier by entity owner and searches it
+	// scatter-gather; -shards=1 keeps the exact single-engine path. Either
+	// way the serving bundle keeps the indexes so the first ingest flush can
+	// patch them incrementally instead of falling back to a full rebuild.
+	var (
+		engine *query.Engine
+		kidx   *index.Keyword
+		sidx   *index.Similarity
+		coord  *shard.Coordinator
+	)
+	if *shards > 1 {
+		coord = shard.Partition(g, shard.Options{
+			Shards:       *shards,
+			SimThreshold: 0.5,
+			Workers:      *workers,
+			CacheEntries: *queryCache,
+			StaleServe:   *queryStale,
+		})
+		slog.Info("partitioned serving tier", "shards", coord.NumShards())
+	} else {
+		kidx, sidx = index.Build(g, 0.5)
+		engine = query.NewEngine(g, kidx, sidx)
+	}
 
 	if *queryNm != "" {
-		runQuery(engine, g, *queryNm)
+		if coord != nil {
+			runQuery(coord, g, *queryNm)
+		} else {
+			runQuery(engine, g, *queryNm)
+		}
 	}
 	if *serve != "" {
-		srv := server.New(engine)
+		var srv *server.Server
+		if coord != nil {
+			srv = server.NewSharded(coord)
+		} else {
+			srv = server.New(engine)
+		}
 		srv.EnableStats()
 		srv.EnableFeedback()
 		srv.EnableExplain()
@@ -288,7 +317,7 @@ func main() {
 		icfg.Graph = gcfg
 		icfg.Resolver = rcfg
 		sv := &ingest.Serving{Dataset: d, Store: entStore, Graph: g,
-			Keyword: kidx, Similar: sidx, Engine: engine}
+			Keyword: kidx, Similar: sidx, Engine: engine, Shards: coord}
 		pipe, err := ingest.NewPipeline(sv, journal, backlog, icfg)
 		if err != nil {
 			fatal(err)
@@ -308,12 +337,21 @@ func main() {
 			acfg.MaxBacklogBytes = *admitBacklogBytes
 			acfg.BacklogRetryAfter = icfg.MaxAge
 			acfg.Backlog = pipe.Backlog
+			if *shards > 1 {
+				// Per-shard bound: twice the fair share of the global bound,
+				// so routing skew has headroom but one hot shard still sheds
+				// long before the global backlog average would notice it.
+				acfg.ShardBacklog = pipe.HottestShardBacklog
+				acfg.MaxShardBacklogRecords = perShardBound(*admitBacklogRecords, *shards)
+				acfg.MaxShardBacklogBytes = perShardBound(*admitBacklogBytes, int64(*shards))
+			}
 			srv.EnableAdmission(admission.New(acfg))
 		}
 		srv.EnableHealth(pipe)
 
-		slog.Info("serving", "addr", *serve, "ingest_batch", icfg.BatchSize,
-			"ingest_max_age", icfg.MaxAge, "query_cache", icfg.QueryCache,
+		slog.Info("serving", "addr", *serve, "shards", *shards,
+			"ingest_batch", icfg.BatchSize,
+			"ingest_max_age", icfg.MaxAge, "query_cache", *queryCache,
 			"query_stale", *queryStale, "admit_concurrency", *admitConcurrency,
 			"slow_query", *slowQuery, "trace_debug", *traceDebug)
 		fatal(http.ListenAndServe(*serve, srv))
@@ -344,7 +382,30 @@ func datasetConfig(name string) (dataset.Config, error) {
 	return dataset.Config{}, fmt.Errorf("unknown dataset %q (want ios, kil, ds, or bhic)", name)
 }
 
-func runQuery(engine *query.Engine, g *pedigree.Graph, nameQuery string) {
+// perShardBound derives a single-shard admission bound from a global one:
+// twice the fair share (headroom for routing skew), capped at the global
+// bound, floored at 1 so a configured bound never degenerates to unbounded.
+func perShardBound[T int | int64](global, shards T) T {
+	if global <= 0 || shards <= 1 {
+		return global
+	}
+	b := 2 * global / shards
+	if b < 1 {
+		b = 1
+	}
+	if b > global {
+		b = global
+	}
+	return b
+}
+
+// searcher is the part of the serving tier a one-off -query needs; both
+// *query.Engine and *shard.Coordinator satisfy it.
+type searcher interface {
+	Search(query.Query) []query.Result
+}
+
+func runQuery(engine searcher, g *pedigree.Graph, nameQuery string) {
 	// "first / surname" splits explicitly (needed for multi-token surnames
 	// like "van den berg"); otherwise the last token is the surname.
 	var first, sur string

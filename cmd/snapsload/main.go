@@ -37,6 +37,7 @@ import (
 	"github.com/snaps/snaps/internal/pedigree"
 	"github.com/snaps/snaps/internal/query"
 	"github.com/snaps/snaps/internal/server"
+	"github.com/snaps/snaps/internal/shard"
 )
 
 // Report is the schema of BENCH_serve.json.
@@ -44,6 +45,7 @@ type Report struct {
 	Dataset      string            `json:"dataset"`
 	Scale        float64           `json:"scale"`
 	Entities     int               `json:"entities"`
+	Shards       int               `json:"shards"`
 	RateRPS      float64           `json:"rate_rps"`
 	Duration     string            `json:"duration"`
 	Seed         int64             `json:"seed"`
@@ -81,6 +83,7 @@ func main() {
 		admitBacklogRecords = flag.Int("admit-max-backlog-records", 4096, "in-process target: shed ingest once this many records are unflushed")
 		admitBacklogBytes   = flag.Int64("admit-max-backlog-bytes", 8<<20, "in-process target: shed ingest once this many bytes are unflushed")
 		ingestBatch         = flag.Int("ingest-batch", 256, "in-process target: ingest flush batch size")
+		shards              = flag.Int("shards", 1, "in-process target: partition the serving tier into this many scatter-gather shards (1 = single-shard path)")
 	)
 	flag.Parse()
 	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, nil)))
@@ -103,7 +106,7 @@ func main() {
 
 	rep := &Report{
 		Dataset: *dsName, Scale: *scale, RateRPS: *rate,
-		Duration: duration.String(), Seed: *seed,
+		Duration: duration.String(), Seed: *seed, Shards: *shards,
 	}
 
 	var (
@@ -122,7 +125,7 @@ func main() {
 	} else {
 		rep.Target = "in-process"
 		var srv *server.Server
-		srv, graph = buildServer(*dsName, *scale, *ingestBatch,
+		srv, graph = buildServer(*dsName, *scale, *ingestBatch, *shards,
 			*admitConcurrency, *admitBacklogRecords, *admitBacklogBytes)
 		if *admitConcurrency > 0 {
 			rep.Admission = &AdmissionConfig{
@@ -187,7 +190,7 @@ func buildGraph(name string, scale float64) *pedigree.Graph {
 // buildServer stands up the full in-process serving stack: indexes, live
 // ingestion (no journal — the harness measures serving, not fsync), and
 // admission control, mirroring cmd/snaps -serve.
-func buildServer(name string, scale float64, batch, concurrency, maxRecords int, maxBytes int64) (*server.Server, *pedigree.Graph) {
+func buildServer(name string, scale float64, batch, shards, concurrency, maxRecords int, maxBytes int64) (*server.Server, *pedigree.Graph) {
 	cfg, err := datasetConfig(name)
 	if err != nil {
 		fatal(err)
@@ -196,14 +199,26 @@ func buildServer(name string, scale float64, batch, concurrency, maxRecords int,
 	p := dataset.Generate(cfg.Scaled(scale))
 	pr := er.Run(p.Dataset, depgraph.DefaultConfig(), er.DefaultConfig())
 	g := pedigree.Build(p.Dataset, pr.Result.Store)
-	kidx, sidx := index.Build(g, 0.5)
-	engine := query.NewEngine(g, kidx, sidx)
-	srv := server.New(engine)
+
+	var (
+		srv *server.Server
+		sv  *ingest.Serving
+	)
+	if shards > 1 {
+		coord := shard.Partition(g, shard.Options{Shards: shards, SimThreshold: 0.5})
+		srv = server.NewSharded(coord)
+		sv = &ingest.Serving{Dataset: p.Dataset, Store: pr.Result.Store, Graph: g,
+			Shards: coord}
+	} else {
+		kidx, sidx := index.Build(g, 0.5)
+		engine := query.NewEngine(g, kidx, sidx)
+		srv = server.New(engine)
+		sv = &ingest.Serving{Dataset: p.Dataset, Store: pr.Result.Store, Graph: g,
+			Keyword: kidx, Similar: sidx, Engine: engine}
+	}
 
 	icfg := ingest.DefaultConfig()
 	icfg.BatchSize = batch
-	sv := &ingest.Serving{Dataset: p.Dataset, Store: pr.Result.Store, Graph: g,
-		Keyword: kidx, Similar: sidx, Engine: engine}
 	pipe, err := ingest.NewPipeline(sv, nil, nil, icfg)
 	if err != nil {
 		fatal(err)
@@ -217,11 +232,20 @@ func buildServer(name string, scale float64, batch, concurrency, maxRecords int,
 		acfg.MaxBacklogBytes = maxBytes
 		acfg.BacklogRetryAfter = icfg.MaxAge
 		acfg.Backlog = pipe.Backlog
+		if shards > 1 {
+			acfg.ShardBacklog = pipe.HottestShardBacklog
+			if maxRecords > 0 {
+				acfg.MaxShardBacklogRecords = max(1, 2*maxRecords/shards)
+			}
+			if maxBytes > 0 {
+				acfg.MaxShardBacklogBytes = max(int64(1), 2*maxBytes/int64(shards))
+			}
+		}
 		srv.EnableAdmission(admission.New(acfg))
 	}
 	srv.EnableHealth(pipe)
 	slog.Info("in-process server ready", "entities", len(g.Nodes),
-		"admit_concurrency", concurrency)
+		"shards", shards, "admit_concurrency", concurrency)
 	return srv, g
 }
 
@@ -231,7 +255,7 @@ func buildServer(name string, scale float64, batch, concurrency, maxRecords int,
 func shedCounters() map[string]int64 {
 	out := map[string]int64{}
 	for _, cl := range []admission.Class{admission.Search, admission.Ingest, admission.Pedigree} {
-		for _, reason := range []string{"concurrency", "rate", "backlog"} {
+		for _, reason := range []string{"concurrency", "rate", "backlog", "shard_backlog"} {
 			name := "snaps_admission_shed_total{" +
 				obs.Label("class", cl.String()) + "," + obs.Label("reason", reason) + "}"
 			if v := obs.Default.Counter(name, "").Value(); v > 0 {

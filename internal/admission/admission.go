@@ -105,6 +105,16 @@ type Config struct {
 	// bytes); nil disables backpressure. Wired to
 	// ingest.Pipeline.Backlog.
 	Backlog func() (records int, bytes int64)
+	// MaxShardBacklogRecords and MaxShardBacklogBytes bound the hottest
+	// single shard's unflushed backlog in a sharded serving tier, so one
+	// hot partition sheds ingest before it can hide behind the global
+	// average. 0 disables the respective bound.
+	MaxShardBacklogRecords int
+	MaxShardBacklogBytes   int64
+	// ShardBacklog reports the hottest shard's backlog; nil disables
+	// per-shard backpressure. Wired to
+	// ingest.Pipeline.HottestShardBacklog.
+	ShardBacklog func() (shard, records int, bytes int64)
 }
 
 // DefaultConfig returns the production defaults: a 64-unit budget with the
@@ -127,7 +137,8 @@ func DefaultConfig() Config {
 // Decision is the outcome of one admission check.
 type Decision struct {
 	Admitted bool
-	// Reason a request was shed: "concurrency", "rate", or "backlog".
+	// Reason a request was shed: "concurrency", "rate", "backlog", or
+	// "shard_backlog".
 	Reason string
 	// RetryAfter is the suggested client back-off; the HTTP layer rounds
 	// it up to whole seconds for the Retry-After header.
@@ -214,6 +225,12 @@ func (c *Controller) Admit(cl Class) (release func(), d Decision) {
 			return noRelease, Decision{Reason: "backlog", RetryAfter: c.cfg.BacklogRetryAfter}
 		}
 	}
+	if cl == Ingest && c.cfg.ShardBacklog != nil {
+		if over, _, _, _ := c.ShardBacklogExceeded(); over {
+			shedCounter(cl, "shard_backlog").Inc()
+			return noRelease, Decision{Reason: "shard_backlog", RetryAfter: c.cfg.BacklogRetryAfter}
+		}
+	}
 	if b := c.buckets[cl]; b != nil {
 		if ok, wait := b.take(c.now()); !ok {
 			shedCounter(cl, "rate").Inc()
@@ -281,17 +298,37 @@ func (c *Controller) BacklogExceeded() (over bool, records int, bytes int64) {
 	return over, records, bytes
 }
 
+// ShardBacklogExceeded reports whether the hottest shard's backlog is over
+// either per-shard bound, along with the shard and its observed backlog.
+func (c *Controller) ShardBacklogExceeded() (over bool, shard, records int, bytes int64) {
+	if c.cfg.ShardBacklog == nil {
+		return false, 0, 0, 0
+	}
+	shard, records, bytes = c.cfg.ShardBacklog()
+	if c.cfg.MaxShardBacklogRecords > 0 && records >= c.cfg.MaxShardBacklogRecords {
+		over = true
+	}
+	if c.cfg.MaxShardBacklogBytes > 0 && bytes >= c.cfg.MaxShardBacklogBytes {
+		over = true
+	}
+	return over, shard, records, bytes
+}
+
 // Overloaded reports whether the server is currently degrading: any class
-// is being shed by its concurrency ceiling, or the ingest backlog is over
-// a bound. GET /healthz returns 503 while this holds, so a fronting load
-// balancer (and the load harness) can detect overload and recovery.
+// is being shed by its concurrency ceiling, or the ingest backlog (global
+// or any single shard's) is over a bound. GET /healthz returns 503 while
+// this holds, so a fronting load balancer (and the load harness) can
+// detect overload and recovery.
 func (c *Controller) Overloaded() bool {
 	for cl := Search; cl < NumClasses; cl++ {
 		if c.Shedding(cl) {
 			return true
 		}
 	}
-	over, _, _ := c.BacklogExceeded()
+	if over, _, _ := c.BacklogExceeded(); over {
+		return true
+	}
+	over, _, _, _ := c.ShardBacklogExceeded()
 	return over
 }
 

@@ -228,3 +228,71 @@ func TestConcurrentAdmitRace(t *testing.T) {
 		t.Fatalf("inflight after drain = %d, want 0", got)
 	}
 }
+
+// TestShardBacklogBackpressure pins the per-shard ingest backpressure: one
+// hot shard over its bound sheds ingest with the dedicated reason even
+// while the global backlog average looks healthy, recovery follows the
+// hottest shard, and searches are never affected.
+func TestShardBacklogBackpressure(t *testing.T) {
+	var mu sync.Mutex
+	hotShard, hotRecords, hotBytes := 0, 0, int64(0)
+	cfg := DefaultConfig()
+	cfg.MaxBacklogRecords = 1000 // global bound far away: only the shard trips
+	cfg.MaxShardBacklogRecords = 10
+	cfg.MaxShardBacklogBytes = 1 << 10
+	cfg.BacklogRetryAfter = 2 * time.Second
+	cfg.Backlog = func() (int, int64) { return 12, 64 } // well under global bounds
+	cfg.ShardBacklog = func() (int, int, int64) {
+		mu.Lock()
+		defer mu.Unlock()
+		return hotShard, hotRecords, hotBytes
+	}
+	c := New(cfg)
+
+	rel, d := c.Admit(Ingest)
+	if !d.Admitted {
+		t.Fatalf("ingest shed with cold shards: %+v", d)
+	}
+	rel()
+
+	set := func(s, r int, b int64) {
+		mu.Lock()
+		hotShard, hotRecords, hotBytes = s, r, b
+		mu.Unlock()
+	}
+	// Record bound on one shard: the global backlog (12 records) is far from
+	// its own bound, so only the per-shard signal can shed here.
+	set(3, 10, 64)
+	if _, d := c.Admit(Ingest); d.Admitted {
+		t.Fatal("ingest admitted with a shard over its record bound")
+	} else if d.Reason != "shard_backlog" || d.RetryAfter != 2*time.Second {
+		t.Fatalf("shard backlog shed = %+v", d)
+	}
+	if !c.Overloaded() {
+		t.Fatal("controller not overloaded with a shard over bound")
+	}
+	if over, s, r, _ := c.ShardBacklogExceeded(); !over || s != 3 || r != 10 {
+		t.Fatalf("ShardBacklogExceeded = (%v, %d, %d, _)", over, s, r)
+	}
+	// Byte bound alone.
+	set(1, 2, 1<<10)
+	if _, d := c.Admit(Ingest); d.Admitted {
+		t.Fatal("ingest admitted with a shard over its byte bound")
+	}
+	// Searches are unaffected by ingest backpressure.
+	rel, d = c.Admit(Search)
+	if !d.Admitted {
+		t.Fatalf("search shed by shard backlog: %+v", d)
+	}
+	rel()
+	// Recovery once the hot shard drains.
+	set(3, 0, 0)
+	rel, d = c.Admit(Ingest)
+	if !d.Admitted {
+		t.Fatalf("ingest shed after hot shard drained: %+v", d)
+	}
+	rel()
+	if c.Overloaded() {
+		t.Fatal("controller still overloaded after the hot shard drained")
+	}
+}

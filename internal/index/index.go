@@ -139,6 +139,18 @@ func (s *Similarity) shard(f Field, value string) *memoShard {
 // mandatory query fields) and runs across GOMAXPROCS workers with
 // deterministic output; locations are extended lazily at query time.
 func Build(g *pedigree.Graph, simThreshold float64) (*Keyword, *Similarity) {
+	return BuildSubset(g, nil, simThreshold)
+}
+
+// BuildSubset constructs both indexes over the subset of g's nodes
+// accepted by keep (nil keeps every node, making it exactly Build). The
+// serving-tier shards (internal/shard) use it to give each shard an index
+// over only the entities it owns: per-value posting lists are the global
+// lists filtered to kept nodes, and every similarity list is computed over
+// the shard's own value universe, so a value's list on a shard is the
+// global list filtered to values the shard indexes — order preserved,
+// similarities identical.
+func BuildSubset(g *pedigree.Graph, keep func(pedigree.NodeID) bool, simThreshold float64) (*Keyword, *Similarity) {
 	defer obs.StartStage("index_build").Stop()
 	k := &Keyword{}
 	for f := Field(0); f < NumFields; f++ {
@@ -155,6 +167,9 @@ func Build(g *pedigree.Graph, simThreshold float64) (*Keyword, *Similarity) {
 
 	for i := range g.Nodes {
 		n := &g.Nodes[i]
+		if keep != nil && !keep(n.ID) {
+			continue
+		}
 		for _, v := range n.FirstNames {
 			k.add(FieldFirstName, v, n.ID)
 		}

@@ -1,0 +1,208 @@
+package index
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/snaps/snaps/internal/model"
+	"github.com/snaps/snaps/internal/pedigree"
+)
+
+// recordOwner partitions nodes the way the serving shards do: a pure
+// function of the node's record set (here: lowest record id mod n), so a
+// clean node keeps its owner across generations and every node that moves
+// between subsets is necessarily dirty.
+func recordOwner(g *pedigree.Graph, id pedigree.NodeID, n int) int {
+	recs := g.Node(id).Records
+	if len(recs) == 0 {
+		return 0
+	}
+	min := recs[0]
+	for _, r := range recs[1:] {
+		if r < min {
+			min = r
+		}
+	}
+	return int(min) % n
+}
+
+func keepFor(g *pedigree.Graph, shard, n int) func(pedigree.NodeID) bool {
+	return func(id pedigree.NodeID) bool { return recordOwner(g, id, n) == shard }
+}
+
+// TestBuildSubsetPartitionsGlobal: for several partition counts, each
+// subset's postings must be exactly the global postings filtered to kept
+// nodes, and the union across subsets must reproduce the global index —
+// no entity lost, duplicated, or misfiled.
+func TestBuildSubsetPartitionsGlobal(t *testing.T) {
+	g, k, _ := builtIndexes(t)
+	for _, n := range []int{2, 4, 7} {
+		union := map[Field]map[string][]pedigree.NodeID{}
+		for f := Field(0); f < NumFields; f++ {
+			union[f] = map[string][]pedigree.NodeID{}
+		}
+		for shard := 0; shard < n; shard++ {
+			keep := keepFor(g, shard, n)
+			sk, _ := BuildSubset(g, keep, 0.5)
+			for f := Field(0); f < NumFields; f++ {
+				for v, ids := range sk.postings[f] {
+					for _, id := range ids {
+						if !keep(id) {
+							t.Fatalf("n=%d shard %d field %v value %q: posting holds foreign node %d",
+								n, shard, f, v, id)
+						}
+					}
+					union[f][v] = append(union[f][v], ids...)
+				}
+			}
+		}
+		// Subset postings are sorted and the subsets are disjoint, so the
+		// concatenated union sorted once must equal the global postings.
+		for f := Field(0); f < NumFields; f++ {
+			if len(union[f]) != len(k.postings[f]) {
+				t.Fatalf("n=%d field %v: union has %d values, global %d",
+					n, f, len(union[f]), len(k.postings[f]))
+			}
+			for v, want := range k.postings[f] {
+				got := append([]pedigree.NodeID(nil), union[f][v]...)
+				sortNodeIDs(got)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("n=%d field %v value %q: union %v, global %v", n, f, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+func sortNodeIDs(ids []pedigree.NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// TestBuildSubsetSimilarityIsFilteredGlobal pins the float-determinism
+// contract the scatter-gather merge depends on: a shard's similarity list
+// for any value it indexes is the GLOBAL list filtered to values the shard
+// indexes — same order, bit-identical similarities — because both are
+// computed by the same pure function of the value pair.
+func TestBuildSubsetSimilarityIsFilteredGlobal(t *testing.T) {
+	g, _, s := builtIndexes(t)
+	const n = 4
+	for shard := 0; shard < n; shard++ {
+		sk, ss := BuildSubset(g, keepFor(g, shard, n), 0.5)
+		for _, f := range []Field{FieldFirstName, FieldSurname} {
+			checked := 0
+			for v := range sk.postings[f] {
+				got := ss.Similar(f, v)
+				var want []SimilarValue
+				for _, sv := range s.Similar(f, v) {
+					if len(sk.postings[f][sv.Value]) > 0 {
+						want = append(want, sv)
+					}
+				}
+				if !sameSimilar(got, want) {
+					t.Fatalf("shard %d field %v value %q:\nshard list  %v\nfiltered global %v",
+						shard, f, v, got, want)
+				}
+				checked++
+				if checked >= 50 {
+					break
+				}
+			}
+			if checked == 0 {
+				t.Fatalf("shard %d field %v: no values to check", shard, f)
+			}
+		}
+	}
+}
+
+// TestUpdateSubsetEquivalentToBuildSubset grows a generation the way an
+// ingest flush does and asserts, per partition, that patching the previous
+// subset indexes (UpdateSubset) answers Lookup and Similar identically to
+// a from-scratch BuildSubset of the new graph.
+func TestUpdateSubsetEquivalentToBuildSubset(t *testing.T) {
+	prevG, newG, _, _ := buildGenerations(t, 0.05)
+	const n = 4
+	incremental := 0
+	for shard := 0; shard < n; shard++ {
+		prevK, prevS := BuildSubset(prevG, keepFor(prevG, shard, n), 0.5)
+		gotK, gotS, st := UpdateSubset(newG, keepFor(newG, shard, n), prevG, prevK, prevS, 0.5)
+		wantK, wantS := BuildSubset(newG, keepFor(newG, shard, n), 0.5)
+		if st.Incremental {
+			incremental++
+		}
+
+		for f := Field(0); f < NumFields; f++ {
+			if len(gotK.postings[f]) != len(wantK.postings[f]) {
+				t.Fatalf("shard %d field %v: %d values incremental, %d fresh (stats %+v)",
+					shard, f, len(gotK.postings[f]), len(wantK.postings[f]), st)
+			}
+			for v, want := range wantK.postings[f] {
+				if got := gotK.Lookup(f, v); !reflect.DeepEqual(got, want) {
+					t.Fatalf("shard %d field %v value %q: incremental postings %v, fresh %v",
+						shard, f, v, got, want)
+				}
+			}
+		}
+		for _, f := range []Field{FieldFirstName, FieldSurname} {
+			for v := range wantK.postings[f] {
+				if got, want := gotS.Similar(f, v), wantS.Similar(f, v); !sameSimilar(got, want) {
+					t.Fatalf("shard %d field %v value %q: incremental similar %v, fresh %v",
+						shard, f, v, got, want)
+				}
+			}
+			// Probe values neither generation indexed: the lazy path must
+			// agree too.
+			for _, probe := range []string{"zqprobe", "quixwor"} {
+				if got, want := gotS.Similar(f, probe), wantS.Similar(f, probe); !sameSimilar(got, want) {
+					t.Fatalf("shard %d field %v probe %q: incremental similar %v, fresh %v",
+						shard, f, probe, got, want)
+				}
+			}
+		}
+	}
+	// The growth batch is small relative to the base data set, so at least
+	// one partition must have taken the incremental path (the equivalence
+	// above would be vacuous if every shard silently fell back to Build).
+	if incremental == 0 {
+		t.Fatal("no partition took the incremental path")
+	}
+}
+
+// TestClassifyMatchesSubsetClassification pins the exported Classify
+// against the keep-filtered classification the shards derive from it: a
+// node skipped by keep must never influence the kept nodes' dirty flags or
+// the old->new mapping of kept previous nodes.
+func TestClassifyMatchesSubsetClassification(t *testing.T) {
+	prevG, newG, _, _ := buildGenerations(t, 0.03)
+	oldToNew, isDirty, dirty := Classify(newG, prevG)
+	if dirty == 0 {
+		t.Fatal("growth produced no dirty nodes")
+	}
+	if len(oldToNew) != len(prevG.Nodes) || len(isDirty) != len(newG.Nodes) {
+		t.Fatalf("classification sized %d/%d, graphs %d/%d",
+			len(oldToNew), len(isDirty), len(prevG.Nodes), len(newG.Nodes))
+	}
+	prevRecs := model.RecordID(len(prevG.Dataset.Records))
+	for i := range newG.Nodes {
+		n := &newG.Nodes[i]
+		for _, r := range n.Records {
+			if r >= prevRecs && !isDirty[i] {
+				t.Fatalf("node %d carries new record %d but is not dirty", i, r)
+			}
+		}
+	}
+	for j, nid := range oldToNew {
+		if nid < 0 {
+			continue
+		}
+		if isDirty[nid] {
+			t.Fatalf("prev node %d maps to dirty node %d", j, nid)
+		}
+		if len(prevG.Nodes[j].Records) != len(newG.Node(nid).Records) {
+			t.Fatalf("prev node %d mapped to node %d with a different record set", j, nid)
+		}
+	}
+}

@@ -73,21 +73,34 @@ var simFields = []Field{FieldFirstName, FieldSurname, FieldLocation}
 // when there is no previous generation, the similarity threshold changed,
 // or too many nodes are dirty for patching to pay off.
 func Update(g, prevG *pedigree.Graph, prevK *Keyword, prevS *Similarity, simThreshold float64) (*Keyword, *Similarity, UpdateStats) {
+	return UpdateSubset(g, nil, prevG, prevK, prevS, simThreshold)
+}
+
+// UpdateSubset is Update restricted to the nodes of g accepted by keep
+// (nil keeps every node). prevK and prevS must be the previous
+// generation's indexes over the SAME subset — for the serving shards that
+// holds structurally: the owning shard of an entity is a pure function of
+// its record set, so a node whose record set is unchanged (clean) is owned
+// by the same shard in both generations, and every node that moved in or
+// out of the subset is dirty and gets reindexed (moved in) or dropped by
+// posting translation (moved out). The returned indexes answer Lookup and
+// Similar identically to a fresh BuildSubset(g, keep, simThreshold).
+func UpdateSubset(g *pedigree.Graph, keep func(pedigree.NodeID) bool, prevG *pedigree.Graph, prevK *Keyword, prevS *Similarity, simThreshold float64) (*Keyword, *Similarity, UpdateStats) {
 	if prevG == nil || prevK == nil || prevS == nil {
-		return fullRebuild(g, simThreshold, "no previous index")
+		return fullRebuild(g, keep, simThreshold, "no previous index")
 	}
 	if prevS.threshold != simThreshold {
-		return fullRebuild(g, simThreshold, "similarity threshold changed")
+		return fullRebuild(g, keep, simThreshold, "similarity threshold changed")
 	}
-	oldToNew, isDirty, dirtyCount := classifyNodes(g, prevG)
-	if len(g.Nodes) == 0 || float64(dirtyCount) > MaxDirtyFraction*float64(len(g.Nodes)) {
-		return fullRebuild(g, simThreshold, "dirty fraction above threshold")
+	oldToNew, isDirty, dirtyCount, total := classifyNodes(g, prevG, keep)
+	if total == 0 || float64(dirtyCount) > MaxDirtyFraction*float64(total) {
+		return fullRebuild(g, keep, simThreshold, "dirty fraction above threshold")
 	}
 	defer obs.StartStage("index.update").Stop()
 	mIncremental.Inc()
 	stats := UpdateStats{
 		Incremental: true,
-		TotalNodes:  len(g.Nodes),
+		TotalNodes:  total,
 		DirtyNodes:  dirtyCount,
 	}
 
@@ -96,10 +109,21 @@ func Update(g, prevG *pedigree.Graph, prevK *Keyword, prevS *Similarity, simThre
 	return k, s, stats
 }
 
-func fullRebuild(g *pedigree.Graph, simThreshold float64, reason string) (*Keyword, *Similarity, UpdateStats) {
+func fullRebuild(g *pedigree.Graph, keep func(pedigree.NodeID) bool, simThreshold float64, reason string) (*Keyword, *Similarity, UpdateStats) {
 	mFullRebuild.Inc()
-	k, s := Build(g, simThreshold)
+	k, s := BuildSubset(g, keep, simThreshold)
 	return k, s, UpdateStats{Reason: reason, TotalNodes: len(g.Nodes)}
+}
+
+// Classify exposes the clean/dirty classification of g's nodes against the
+// previous graph: oldToNew maps each previous node to its clean
+// counterpart in g (-1 when its cluster changed or it disappeared), and
+// isDirty marks the nodes of g that have no identical previous record set.
+// The shard coordinator uses it to decide which partitions a flush
+// actually touched.
+func Classify(g, prevG *pedigree.Graph) (oldToNew []pedigree.NodeID, isDirty []bool, dirtyCount int) {
+	oldToNew, isDirty, dirtyCount, _ = classifyNodes(g, prevG, nil)
+	return oldToNew, isDirty, dirtyCount
 }
 
 // classifyNodes matches each node of g against the previous graph. A node
@@ -108,7 +132,9 @@ func fullRebuild(g *pedigree.Graph, simThreshold float64, reason string) (*Keywo
 // append-only across generations), so a clean node carries byte-identical
 // indexed values and only its NodeID may have changed. oldToNew maps each
 // previous node to its clean counterpart (-1 when its cluster changed).
-func classifyNodes(g, prevG *pedigree.Graph) (oldToNew []pedigree.NodeID, isDirty []bool, dirtyCount int) {
+// Nodes rejected by keep (nil keeps all) are skipped entirely: not
+// classified, not counted in total, and never mapped into oldToNew.
+func classifyNodes(g, prevG *pedigree.Graph, keep func(pedigree.NodeID) bool) (oldToNew []pedigree.NodeID, isDirty []bool, dirtyCount, total int) {
 	oldToNew = make([]pedigree.NodeID, len(prevG.Nodes))
 	for i := range oldToNew {
 		oldToNew[i] = -1
@@ -117,6 +143,10 @@ func classifyNodes(g, prevG *pedigree.Graph) (oldToNew []pedigree.NodeID, isDirt
 	prevRecs := model.RecordID(len(prevG.Dataset.Records))
 	for i := range g.Nodes {
 		n := &g.Nodes[i]
+		if keep != nil && !keep(n.ID) {
+			continue
+		}
+		total++
 		old := pedigree.NodeID(-1)
 		clean := len(n.Records) > 0
 		for j, r := range n.Records {
@@ -148,7 +178,7 @@ func classifyNodes(g, prevG *pedigree.Graph) (oldToNew []pedigree.NodeID, isDirt
 			dirtyCount++
 		}
 	}
-	return oldToNew, isDirty, dirtyCount
+	return oldToNew, isDirty, dirtyCount, total
 }
 
 // fieldValue keys a posting list across the per-field maps.

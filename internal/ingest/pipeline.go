@@ -16,6 +16,7 @@ import (
 	"github.com/snaps/snaps/internal/obs"
 	"github.com/snaps/snaps/internal/pedigree"
 	"github.com/snaps/snaps/internal/query"
+	"github.com/snaps/snaps/internal/shard"
 	"github.com/snaps/snaps/internal/store"
 )
 
@@ -57,6 +58,13 @@ type Serving struct {
 	// of rebuilding from scratch.
 	Keyword *index.Keyword
 	Similar *index.Similarity
+	// Shards, when non-nil, replaces the single Engine/Keyword/Similar
+	// serving path with a sharded one: the coordinator owns N per-shard
+	// index/engine/cache bundles over the (still global) graph and answers
+	// searches by scatter-gather. Engine, Keyword, and Similar are nil in
+	// sharded bundles; flushes advance the coordinator per-partition
+	// instead of patching one global index.
+	Shards *shard.Coordinator
 	// Generation counts published snapshots, starting at 0 for the
 	// initial bundle and incrementing on every flush. The query result
 	// cache keys on it, so rankings computed against a superseded
@@ -70,6 +78,17 @@ func NewServing(d *model.Dataset, st *er.EntityStore, simThreshold float64) *Ser
 	k, sim := index.Build(g, simThreshold)
 	return &Serving{Dataset: d, Store: st, Graph: g,
 		Keyword: k, Similar: sim, Engine: query.NewEngine(g, k, sim)}
+}
+
+// NewShardedServing builds the initial serving bundle partitioned into
+// opts.Shards serving shards. The graph and entity resolution stay global;
+// only the serving-tier indexes, engines, and caches are per-shard. The
+// per-shard result caches are created here from opts (Config.QueryCache
+// and Config.StaleServe are ignored by the pipeline for sharded bundles).
+func NewShardedServing(d *model.Dataset, st *er.EntityStore, opts shard.Options) *Serving {
+	g := pedigree.Build(d, st)
+	return &Serving{Dataset: d, Store: st, Graph: g,
+		Shards: shard.Partition(g, opts)}
 }
 
 // Config tunes the ingestion pipeline.
@@ -156,8 +175,22 @@ type Status struct {
 	JournalPath    string `json:"journal_path,omitempty"`
 	JournalEntries int    `json:"journal_entries,omitempty"`
 	JournalBytes   int64  `json:"journal_bytes,omitempty"`
+	// Shards and ShardBacklog describe the sharded serving tier: the
+	// partition count and the per-shard unflushed backlog (absent for
+	// single-shard pipelines). The per-shard breakdown is what keeps one
+	// hot shard from hiding behind the global average.
+	Shards       int            `json:"shards,omitempty"`
+	ShardBacklog []ShardBacklog `json:"shard_backlog,omitempty"`
 	// LastError reports the most recent rebuild failure, if any.
 	LastError string `json:"last_error,omitempty"`
+}
+
+// ShardBacklog is one shard's share of the unflushed ingest backlog.
+type ShardBacklog struct {
+	Shard        int    `json:"shard"`
+	Pending      int    `json:"pending"`
+	PendingBytes int64  `json:"pending_bytes"`
+	Generation   uint64 `json:"generation"`
 }
 
 // Pipeline accepts certificates, journals them, and folds them into the
@@ -172,6 +205,10 @@ type Pipeline struct {
 	mu           sync.Mutex
 	pending      []Certificate
 	pendingBytes int64 // encoded size of pending, the backpressure signal
+	// shardPending splits the backlog by destination shard (len = shard
+	// count; nil for single-shard pipelines). Routed at Submit via
+	// RouteCert, zeroed when a flush drains the batch.
+	shardPending []shardPending
 	oldestAt     time.Time
 	accepted     int
 	applied  int
@@ -192,10 +229,66 @@ type Pipeline struct {
 	generation uint64
 	cache      *query.ResultCache
 
+	// nshards is the serving partition count (1 for single-shard
+	// bundles); shardGauges are the pre-created per-shard backlog series.
+	nshards     int
+	shardGauges []shardBacklogGauges
+
 	kick     chan struct{}
 	stop     chan struct{}
 	done     chan struct{}
 	stopOnce sync.Once
+}
+
+// shardPending is one shard's unflushed backlog share, guarded by p.mu.
+type shardPending struct {
+	records int
+	bytes   int64
+}
+
+// shardBacklogGauges are one shard's backlog metric series.
+type shardBacklogGauges struct {
+	records *obs.Gauge
+	bytes   *obs.Gauge
+}
+
+func backlogGaugesFor(s int) shardBacklogGauges {
+	l := obs.Label("shard", fmt.Sprintf("%d", s))
+	return shardBacklogGauges{
+		records: obs.Default.Gauge("snaps_shard_backlog_records{"+l+"}",
+			"Accepted certificates routed to the shard, waiting for the next flush."),
+		bytes: obs.Default.Gauge("snaps_shard_backlog_bytes{"+l+"}",
+			"Encoded bytes of the shard's unflushed backlog."),
+	}
+}
+
+// RouteCert returns the shard an accepted certificate's backlog is
+// accounted to: the route of its principal person's normalised name key
+// (the baby, the deceased, the groom — the first principal role present in
+// model.Role order). The normalisation matches Apply, so the certificate's
+// principal record lands on a node this key routes to unless resolution
+// merges it into an entity anchored elsewhere — good enough for backlog
+// accounting, which only needs a stable, deterministic assignment.
+func RouteCert(c *Certificate, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	if t, err := c.certType(); err == nil {
+		principals, _ := principalsFor(t)
+		for _, r := range principals {
+			if p, ok := rolePerson(c.Roles, r); ok {
+				return shard.Route(norm(p.FirstName), norm(p.Surname), shards)
+			}
+		}
+	}
+	// Unvalidated or principal-less certificate: fall back to the first
+	// role present in the fixed model.Role order.
+	for role := model.Role(0); role < model.NumRoles; role++ {
+		if p, ok := rolePerson(c.Roles, role); ok {
+			return shard.Route(norm(p.FirstName), norm(p.Surname), shards)
+		}
+	}
+	return 0
 }
 
 // NewPipeline starts a pipeline over an initial serving bundle. The
@@ -210,25 +303,42 @@ func NewPipeline(sv *Serving, jr *Journal, backlog []Certificate, cfg Config) (*
 		journal:    jr,
 		buildD:     sv.Dataset,
 		buildStore: sv.Store,
-		cache:      query.NewResultCache(cfg.QueryCache),
+		nshards:    1,
 		kick:       make(chan struct{}, 1),
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
 	}
 	// The pipeline owns the bundle: stamp it as generation 0 and attach
-	// the shared result cache so the initial engine caches too.
+	// the result caches so the initial engines cache too.
 	sv.Generation = 0
-	sv.Engine.Generation = 0
-	sv.Engine.Cache = p.cache
-	if p.cfg.StaleServe {
-		p.cache.EnableStaleServe()
-		sv.Engine.StaleServe = p.cache != nil
+	if sv.Shards != nil {
+		// Sharded bundle: the coordinator already wired per-shard caches
+		// and generations (shard.Partition); the pipeline only tracks the
+		// per-shard backlog split. Config.QueryCache/StaleServe are the
+		// coordinator's concern (shard.Options), not ours.
+		p.nshards = sv.Shards.NumShards()
+		p.shardPending = make([]shardPending, p.nshards)
+		p.shardGauges = make([]shardBacklogGauges, p.nshards)
+		for s := 0; s < p.nshards; s++ {
+			p.shardGauges[s] = backlogGaugesFor(s)
+		}
+	} else {
+		p.cache = query.NewResultCache(cfg.QueryCache)
+		sv.Engine.Generation = 0
+		sv.Engine.Cache = p.cache
+		if p.cfg.StaleServe {
+			p.cache.EnableStaleServe()
+			sv.Engine.StaleServe = p.cache != nil
+		}
 	}
 	p.serving.Store(sv)
 	if len(backlog) > 0 {
 		p.mu.Lock()
 		p.pending = append(p.pending, backlog...)
 		p.accepted += len(backlog)
+		for i := range backlog {
+			p.accountShardLocked(&backlog[i], 0)
+		}
 		p.mu.Unlock()
 		if err := p.Flush(); err != nil {
 			return nil, fmt.Errorf("ingest: replaying journal: %w", err)
@@ -236,6 +346,29 @@ func NewPipeline(sv *Serving, jr *Journal, backlog []Certificate, cfg Config) (*
 	}
 	go p.run()
 	return p, nil
+}
+
+// accountShardLocked adds one accepted certificate to its shard's backlog
+// share. Caller holds p.mu. No-op for single-shard pipelines.
+func (p *Pipeline) accountShardLocked(c *Certificate, bytes int64) {
+	if p.nshards <= 1 {
+		return
+	}
+	s := RouteCert(c, p.nshards)
+	p.shardPending[s].records++
+	p.shardPending[s].bytes += bytes
+	p.shardGauges[s].records.Set(int64(p.shardPending[s].records))
+	p.shardGauges[s].bytes.Set(p.shardPending[s].bytes)
+}
+
+// clearShardPendingLocked zeroes the per-shard backlog split after a flush
+// drains the batch. Caller holds p.mu.
+func (p *Pipeline) clearShardPendingLocked() {
+	for s := range p.shardPending {
+		p.shardPending[s] = shardPending{}
+		p.shardGauges[s].records.Set(0)
+		p.shardGauges[s].bytes.Set(0)
+	}
 }
 
 // Serving returns the current immutable serving bundle.
@@ -285,6 +418,7 @@ func (p *Pipeline) SubmitContext(ctx context.Context, c *Certificate) error {
 	}
 	p.pending = append(p.pending, *c)
 	p.pendingBytes += int64(len(enc)) + 1 // +1 for the journal's newline
+	p.accountShardLocked(c, int64(len(enc))+1)
 	p.accepted++
 	full := len(p.pending) >= p.cfg.BatchSize
 	mAccepted.Inc()
@@ -327,6 +461,49 @@ func (p *Pipeline) Backlog() (records int, bytes int64) {
 	return len(p.pending), p.pendingBytes
 }
 
+// ShardBacklog reports the unflushed backlog split by destination shard
+// (nil for single-shard pipelines). Shard generations are stamped from the
+// currently served coordinator.
+func (p *Pipeline) ShardBacklog() []ShardBacklog {
+	if p.nshards <= 1 {
+		return nil
+	}
+	sv := p.Serving()
+	p.mu.Lock()
+	out := make([]ShardBacklog, p.nshards)
+	for s := range out {
+		out[s] = ShardBacklog{Shard: s,
+			Pending: p.shardPending[s].records, PendingBytes: p.shardPending[s].bytes}
+	}
+	p.mu.Unlock()
+	if sv.Shards != nil {
+		for _, sh := range sv.Shards.Shards() {
+			out[sh.ID].Generation = sh.Generation
+		}
+	}
+	return out
+}
+
+// HottestShardBacklog reports the shard with the largest unflushed record
+// backlog (ties to the lowest shard id) — the signal per-shard admission
+// backpressure watches, so one hot shard cannot hide behind the global
+// average. Single-shard pipelines report shard 0 with the global backlog.
+func (p *Pipeline) HottestShardBacklog() (shardID, records int, bytes int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.nshards <= 1 {
+		return 0, len(p.pending), p.pendingBytes
+	}
+	records, bytes = p.shardPending[0].records, p.shardPending[0].bytes
+	for s := 1; s < p.nshards; s++ {
+		if p.shardPending[s].records > records ||
+			(p.shardPending[s].records == records && p.shardPending[s].bytes > bytes) {
+			shardID, records, bytes = s, p.shardPending[s].records, p.shardPending[s].bytes
+		}
+	}
+	return shardID, records, bytes
+}
+
 // Status returns a snapshot of the pipeline's counters and the served
 // generation's size.
 func (p *Pipeline) Status() Status {
@@ -346,6 +523,10 @@ func (p *Pipeline) Status() Status {
 	st.Records = len(sv.Dataset.Records)
 	st.Entities = len(sv.Graph.Nodes)
 	st.Generation = sv.Generation
+	if p.nshards > 1 {
+		st.Shards = p.nshards
+		st.ShardBacklog = p.ShardBacklog()
+	}
 	if p.journal != nil {
 		st.JournalPath = p.journal.Path()
 		st.JournalEntries = p.journal.Len()
@@ -410,6 +591,7 @@ func (p *Pipeline) flushLocked() error {
 	batch := p.pending
 	p.pending = nil
 	p.pendingBytes = 0
+	p.clearShardPendingLocked()
 	mQueueDepth.Set(0)
 	mBacklogBytes.Set(0)
 	p.mu.Unlock()
@@ -451,35 +633,56 @@ func (p *Pipeline) flushLocked() error {
 	esp.End()
 
 	// Rebuild the pedigree graph, then maintain the indexes incrementally
-	// against the still-serving generation: untouched postings and
-	// similarity lists are shared by reference, only entities whose
-	// clusters changed are reindexed. index.Update falls back to a full
-	// build on structural changes (and says so in its stats).
+	// against the still-serving generation. Single-shard bundles patch the
+	// one global index pair (index.Update); sharded bundles advance the
+	// coordinator, which classifies the new graph once, rebuilds only the
+	// partitions the batch touched (index.UpdateSubset per shard), and
+	// reuses every untouched shard — indexes, engine, cache, and
+	// shard-local generation — by reference.
 	_, isp := obs.StartSpan(ctx, "rebuild_indexes")
 	prev := p.serving.Load()
 	newG := pedigree.Build(newD, newStore)
-	k, sim, ist := index.Update(newG, prev.Graph, prev.Keyword, prev.Similar, p.cfg.SimThreshold)
-	sv := &Serving{Dataset: newD, Store: newStore, Graph: newG,
-		Keyword: k, Similar: sim, Engine: query.NewEngine(newG, k, sim)}
-	isp.SetAttr("dirty_entities", int64(ist.DirtyNodes))
-	if ist.Incremental {
-		isp.SetAttr("incremental", 1)
+	gen := p.generation + 1
+	var sv *Serving
+	incremental := false
+	dirty := 0
+	if prev.Shards != nil {
+		coord, ast := prev.Shards.Advance(newG, gen)
+		sv = &Serving{Dataset: newD, Store: newStore, Graph: newG, Shards: coord}
+		incremental = ast.Reused > 0
+		dirty = ast.DirtyNodes
+		isp.SetAttr("dirty_entities", int64(ast.DirtyNodes))
+		isp.SetAttr("shards_touched", int64(ast.Touched))
+		isp.SetAttr("shards_reused", int64(ast.Reused))
 	} else {
-		isp.SetAttr("incremental", 0)
+		k, sim, ist := index.Update(newG, prev.Graph, prev.Keyword, prev.Similar, p.cfg.SimThreshold)
+		sv = &Serving{Dataset: newD, Store: newStore, Graph: newG,
+			Keyword: k, Similar: sim, Engine: query.NewEngine(newG, k, sim)}
+		incremental = ist.Incremental
+		dirty = ist.DirtyNodes
+		isp.SetAttr("dirty_entities", int64(ist.DirtyNodes))
+		if ist.Incremental {
+			isp.SetAttr("incremental", 1)
+		} else {
+			isp.SetAttr("incremental", 0)
+		}
 	}
 	isp.End()
 
 	_, wsp := obs.StartSpan(ctx, "snapshot_swap")
-	gen := p.generation + 1
 	sv.Generation = gen
-	sv.Engine.Generation = gen
-	sv.Engine.Cache = p.cache
-	sv.Engine.StaleServe = p.cfg.StaleServe && p.cache != nil
+	if sv.Engine != nil {
+		sv.Engine.Generation = gen
+		sv.Engine.Cache = p.cache
+		sv.Engine.StaleServe = p.cfg.StaleServe && p.cache != nil
+	}
 	p.buildD, p.buildStore = newD, newStore
 	p.generation = gen
 	p.serving.Store(sv)
 	// Rankings cached against older generations can no longer be served
-	// (the cache keys on the generation); free them eagerly.
+	// (the cache keys on the generation); free them eagerly. Sharded
+	// bundles invalidate per shard inside Advance, keyed by shard-local
+	// generations, so untouched shards keep their warm caches.
 	if p.cache != nil {
 		p.cache.Invalidate(gen)
 	}
@@ -510,8 +713,8 @@ func (p *Pipeline) flushLocked() error {
 		slog.Int("records", len(newD.Records)),
 		slog.Int("entities", len(sv.Graph.Nodes)),
 		slog.Int("candidate_pairs", epr.Candidates),
-		slog.Bool("incremental_index", ist.Incremental),
-		slog.Int("dirty_entities", ist.DirtyNodes),
+		slog.Bool("incremental_index", incremental),
+		slog.Int("dirty_entities", dirty),
 		slog.Duration("took", time.Since(start)),
 	)
 	return nil

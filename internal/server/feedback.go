@@ -58,7 +58,7 @@ func (h *FeedbackHandler) handle(w http.ResponseWriter, r *http.Request) {
 	case http.MethodPost:
 		a, err1 := strconv.Atoi(r.FormValue("a"))
 		b, err2 := strconv.Atoi(r.FormValue("b"))
-		n := len(h.srv.Engine().Graph.Dataset.Records)
+		n := len(h.srv.Graph().Dataset.Records)
 		if err1 != nil || err2 != nil || a < 0 || b < 0 || a >= n || b >= n || a == b {
 			http.Error(w, "invalid record ids", http.StatusBadRequest)
 			return
@@ -97,7 +97,7 @@ type StatsResponse struct {
 // EnableStats mounts GET /api/stats.
 func (s *Server) EnableStats() {
 	s.mux.HandleFunc("/api/stats", func(w http.ResponseWriter, r *http.Request) {
-		g := s.Engine().Graph
+		g := s.Graph()
 		d := g.Dataset
 		resp := StatsResponse{
 			Dataset:      d.Name,

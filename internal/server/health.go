@@ -15,13 +15,17 @@ import (
 // a fronting load balancer (or the load harness) polls it to detect
 // overload and recovery.
 type HealthResponse struct {
-	Status         string   `json:"status"`
-	Generation     uint64   `json:"generation"`
-	JournalBytes   int64    `json:"journal_bytes,omitempty"`
-	BacklogRecords int      `json:"backlog_records"`
-	BacklogBytes   int64    `json:"backlog_bytes"`
-	Inflight       int64    `json:"inflight_weighted"`
-	Shedding       []string `json:"shedding,omitempty"`
+	Status         string `json:"status"`
+	Generation     uint64 `json:"generation"`
+	JournalBytes   int64  `json:"journal_bytes,omitempty"`
+	BacklogRecords int    `json:"backlog_records"`
+	BacklogBytes   int64  `json:"backlog_bytes"`
+	// Shards reports the per-shard backlog split of a sharded serving
+	// tier (absent otherwise), so a load balancer sees the hot shard, not
+	// just the global average it can hide behind.
+	Shards   []ingest.ShardBacklog `json:"shards,omitempty"`
+	Inflight int64                 `json:"inflight_weighted"`
+	Shedding []string              `json:"shedding,omitempty"`
 }
 
 // EnableHealth mounts GET /healthz. Both arguments are optional: without a
@@ -41,8 +45,9 @@ func (s *Server) EnableHealth(pipe *ingest.Pipeline) {
 			resp.Generation = st.Generation
 			resp.JournalBytes = st.JournalBytes
 			resp.BacklogRecords, resp.BacklogBytes = pipe.Backlog()
+			resp.Shards = pipe.ShardBacklog()
 		} else {
-			resp.Generation = s.Engine().Generation
+			resp.Generation = s.view().generation()
 		}
 		if c := s.admit; c != nil {
 			resp.Inflight = c.Inflight()

@@ -15,14 +15,21 @@ import (
 //	                          generation.
 //	GET  /api/ingest/status — pipeline counters and served generation size.
 //
-// The server's engine pointer is retargeted on every snapshot swap, so
-// queries pick up ingested certificates within one batch flush without any
-// restart or request blocking.
+// The server's serving view (engine or shard coordinator) is retargeted on
+// every snapshot swap, so queries pick up ingested certificates within one
+// batch flush without any restart or request blocking.
 func (s *Server) EnableIngest(p *ingest.Pipeline) {
-	p.OnSwap(func(sv *ingest.Serving) { s.SetEngine(sv.Engine) })
+	retarget := func(sv *ingest.Serving) {
+		if sv.Shards != nil {
+			s.SetCoordinator(sv.Shards)
+		} else {
+			s.SetEngine(sv.Engine)
+		}
+	}
+	p.OnSwap(retarget)
 	// Converge on the pipeline's current generation in case it replayed a
 	// journal backlog before the callback was registered.
-	s.SetEngine(p.Serving().Engine)
+	retarget(p.Serving())
 
 	s.mux.HandleFunc("/api/ingest", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {

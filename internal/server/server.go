@@ -5,6 +5,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"html/template"
@@ -21,15 +22,54 @@ import (
 	"github.com/snaps/snaps/internal/obs"
 	"github.com/snaps/snaps/internal/pedigree"
 	"github.com/snaps/snaps/internal/query"
+	"github.com/snaps/snaps/internal/shard"
 )
 
-// Server serves the SNAPS web interface for one built data set. The engine
-// is held behind an atomic pointer so the live ingestion subsystem can
-// hot-swap a freshly rebuilt generation (engine + graph + indexes) without
-// blocking request handlers: each request loads the pointer once and works
-// on that consistent snapshot for its whole lifetime.
+// servingView is the server's immutable view of one serving generation:
+// either a single query engine or a shard coordinator. Exactly one of the
+// two is set; every handler loads the view once and works on that
+// consistent snapshot for its whole lifetime.
+type servingView struct {
+	eng   *query.Engine
+	coord *shard.Coordinator
+}
+
+func (v *servingView) graph() *pedigree.Graph {
+	if v.coord != nil {
+		return v.coord.Graph()
+	}
+	return v.eng.Graph
+}
+
+func (v *servingView) generation() uint64 {
+	if v.coord != nil {
+		return v.coord.Generation()
+	}
+	return v.eng.Generation
+}
+
+func (v *servingView) search(ctx context.Context, q query.Query) []query.Result {
+	if v.coord != nil {
+		return v.coord.SearchContext(ctx, q)
+	}
+	return v.eng.SearchContext(ctx, q)
+}
+
+func (v *servingView) explain(q query.Query, id pedigree.NodeID) query.Explanation {
+	if v.coord != nil {
+		return v.coord.Explain(q, id)
+	}
+	return v.eng.Explain(q, id)
+}
+
+// Server serves the SNAPS web interface for one built data set. The
+// serving view (engine or shard coordinator) is held behind an atomic
+// pointer so the live ingestion subsystem can hot-swap a freshly rebuilt
+// generation (engines + graph + indexes) without blocking request
+// handlers: each request loads the pointer once and works on that
+// consistent snapshot for its whole lifetime.
 type Server struct {
-	engine atomic.Pointer[query.Engine]
+	serving atomic.Pointer[servingView]
 	// Generations is the pedigree extraction depth g (paper: 2).
 	Generations int
 	mux         *http.ServeMux
@@ -40,10 +80,21 @@ type Server struct {
 	admit *admission.Controller
 }
 
-// New wires the handlers.
+// New wires the handlers around a single-shard query engine.
 func New(engine *query.Engine) *Server {
+	return newServer(&servingView{eng: engine})
+}
+
+// NewSharded wires the handlers around a shard coordinator: searches
+// scatter-gather across its shards and explanations route to the owning
+// shard, with byte-identical responses to the single-engine server.
+func NewSharded(coord *shard.Coordinator) *Server {
+	return newServer(&servingView{coord: coord})
+}
+
+func newServer(v *servingView) *Server {
 	s := &Server{Generations: 2, mux: http.NewServeMux(), tracer: obs.NewTracer(256)}
-	s.engine.Store(engine)
+	s.serving.Store(v)
 	s.mux.HandleFunc("/", s.handleHome)
 	s.mux.HandleFunc("/api/search", s.handleSearch)
 	s.mux.HandleFunc("/api/pedigree", s.handlePedigree)
@@ -54,13 +105,29 @@ func New(engine *query.Engine) *Server {
 	return s
 }
 
-// Engine returns the currently served query engine (and, through it, the
-// pedigree graph and data set of the same generation).
-func (s *Server) Engine() *query.Engine { return s.engine.Load() }
+// view returns the current serving view.
+func (s *Server) view() *servingView { return s.serving.Load() }
+
+// Engine returns the currently served query engine, or nil when the
+// server fronts a shard coordinator (use Graph and the handlers instead).
+func (s *Server) Engine() *query.Engine { return s.view().eng }
+
+// Coordinator returns the currently served shard coordinator, or nil for
+// single-engine servers.
+func (s *Server) Coordinator() *shard.Coordinator { return s.view().coord }
+
+// Graph returns the currently served pedigree graph regardless of serving
+// mode.
+func (s *Server) Graph() *pedigree.Graph { return s.view().graph() }
 
 // SetEngine atomically swaps the served engine. In-flight requests keep
 // the generation they loaded; new requests see the new one.
-func (s *Server) SetEngine(e *query.Engine) { s.engine.Store(e) }
+func (s *Server) SetEngine(e *query.Engine) { s.serving.Store(&servingView{eng: e}) }
+
+// SetCoordinator atomically swaps the served shard coordinator.
+func (s *Server) SetCoordinator(c *shard.Coordinator) {
+	s.serving.Store(&servingView{coord: c})
+}
 
 // Tracer returns the server's span tracer, for configuring slow-query
 // logging and for sharing with the ingest pipeline so flush traces land in
@@ -175,11 +242,12 @@ func (s *Server) search(r *http.Request) ([]SearchResult, uint64, error) {
 	if q.FirstName == "" || q.Surname == "" {
 		return nil, 0, fmt.Errorf("first_name and surname are required")
 	}
-	engine := s.Engine()
-	results := engine.SearchContext(r.Context(), q)
+	v := s.view()
+	results := v.search(r.Context(), q)
+	g := v.graph()
 	out := make([]SearchResult, 0, len(results))
 	for _, res := range results {
-		n := engine.Graph.Node(res.Entity)
+		n := g.Node(res.Entity)
 		sr := SearchResult{
 			Entity: int32(res.Entity),
 			Name:   n.DisplayName(),
@@ -200,16 +268,22 @@ func (s *Server) search(r *http.Request) ([]SearchResult, uint64, error) {
 		} else {
 			sr.Year = n.MinYear
 		}
-		for f, exact := range res.Matched {
-			if exact {
+		// Canonical field order: Matched is a map, and ranging it would
+		// shuffle exact_fields/approx_fields between otherwise
+		// byte-identical responses.
+		for f := index.Field(0); f < index.NumFields; f++ {
+			exact, ok := res.Matched[f]
+			switch {
+			case !ok:
+			case exact:
 				sr.Exact = append(sr.Exact, f.String())
-			} else {
+			default:
 				sr.Approx = append(sr.Approx, f.String())
 			}
 		}
 		out = append(out, sr)
 	}
-	return out, engine.Generation, nil
+	return out, v.generation(), nil
 }
 
 // SearchResponse is the JSON envelope of GET /api/search: the ranked rows
@@ -234,7 +308,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) extractPedigree(r *http.Request) (*PedigreeResponse, error) {
-	g := s.Engine().Graph
+	g := s.Graph()
 	id, err := strconv.Atoi(r.FormValue("id"))
 	if err != nil || id < 0 || id >= len(g.Nodes) {
 		return nil, fmt.Errorf("invalid entity id")
@@ -286,7 +360,7 @@ func (s *Server) handlePedigree(w http.ResponseWriter, r *http.Request) {
 // handlePedigreeDot serves the Graphviz rendering of a pedigree, suitable
 // for piping into dot(1) to obtain the tree images of Figs. 7-8.
 func (s *Server) handlePedigreeDot(w http.ResponseWriter, r *http.Request) {
-	g := s.Engine().Graph
+	g := s.Graph()
 	id, err := strconv.Atoi(r.FormValue("id"))
 	if err != nil || id < 0 || id >= len(g.Nodes) {
 		http.Error(w, "invalid entity id", http.StatusBadRequest)
@@ -300,7 +374,7 @@ func (s *Server) handlePedigreeDot(w http.ResponseWriter, r *http.Request) {
 // handlePedigreeGedcom serves one pedigree as a GEDCOM 5.5.1 document for
 // import into mainstream family-tree software.
 func (s *Server) handlePedigreeGedcom(w http.ResponseWriter, r *http.Request) {
-	g := s.Engine().Graph
+	g := s.Graph()
 	id, err := strconv.Atoi(r.FormValue("id"))
 	if err != nil || id < 0 || id >= len(g.Nodes) {
 		http.Error(w, "invalid entity id", http.StatusBadRequest)
@@ -420,9 +494,9 @@ func BuildIndexes(g *pedigree.Graph, simThreshold float64) *query.Engine {
 // the data behind the result list's exact/approximate colour coding.
 func (s *Server) EnableExplain() {
 	s.mux.HandleFunc("/api/explain", func(w http.ResponseWriter, r *http.Request) {
-		engine := s.Engine()
+		v := s.view()
 		id, err := strconv.Atoi(r.FormValue("id"))
-		if err != nil || id < 0 || id >= len(engine.Graph.Nodes) {
+		if err != nil || id < 0 || id >= len(v.graph().Nodes) {
 			http.Error(w, "invalid entity id", http.StatusBadRequest)
 			return
 		}
@@ -431,7 +505,7 @@ func (s *Server) EnableExplain() {
 			http.Error(w, "first_name and surname are required", http.StatusBadRequest)
 			return
 		}
-		ex := engine.Explain(q, pedigree.NodeID(id))
+		ex := v.explain(q, pedigree.NodeID(id))
 		type fieldJSON struct {
 			Field        string  `json:"field"`
 			QueryValue   string  `json:"query_value,omitempty"`

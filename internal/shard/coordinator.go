@@ -1,0 +1,432 @@
+package shard
+
+import (
+	"context"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/snaps/snaps/internal/index"
+	"github.com/snaps/snaps/internal/obs"
+	"github.com/snaps/snaps/internal/pedigree"
+	"github.com/snaps/snaps/internal/query"
+)
+
+// Coordinator-level metrics in the default registry, exposed at /metrics.
+var (
+	mShardCount = obs.Default.Gauge("snaps_shard_count",
+		"Number of serving shards in the current coordinator.")
+	mScatterSeconds = obs.Default.Histogram("snaps_shard_scatter_seconds",
+		"Wall-clock duration of one scatter-gather search across all shards.", obs.DefBuckets)
+	mFlushTouched = obs.Default.Counter("snaps_shard_flush_touched_total",
+		"Shards rebuilt (incrementally or fully) by ingest flushes.")
+	mFlushReused = obs.Default.Counter("snaps_shard_flush_reused_total",
+		"Shards carried over untouched by ingest flushes.")
+)
+
+// shardMetrics are the per-shard series, pre-created at shard construction
+// so the serving hot path never takes the registry lock.
+type shardMetrics struct {
+	searches *obs.Counter
+	rebuilds *obs.Counter
+	nodes    *obs.Gauge
+	gen      *obs.Gauge
+}
+
+func metricsFor(id int) *shardMetrics {
+	l := obs.Label("shard", strconv.Itoa(id))
+	return &shardMetrics{
+		searches: obs.Default.Counter("snaps_shard_searches_total{"+l+"}",
+			"Searches served by the shard under the scatter-gather coordinator."),
+		rebuilds: obs.Default.Counter("snaps_shard_rebuilds_total{"+l+"}",
+			"Times an ingest flush rebuilt the shard's indexes."),
+		nodes: obs.Default.Gauge("snaps_shard_nodes{"+l+"}",
+			"Pedigree entities owned by the shard."),
+		gen: obs.Default.Gauge("snaps_shard_generation{"+l+"}",
+			"Shard-local generation: advances only when a flush touches the shard."),
+	}
+}
+
+// Shard is one self-contained serving partition: the subset-filtered
+// keyword and similarity indexes over its owned entities, a query engine
+// bound to them, and a shard-local result cache keyed by a shard-local
+// generation. A Shard is immutable once published; flushes that touch it
+// produce a replacement, flushes that don't reuse it by reference (its
+// engine keeps serving against the graph it was built from, which is
+// provably identical on every owned entity).
+type Shard struct {
+	ID     int
+	Engine *query.Engine
+	// Keyword and Similar are the engine's indexes, kept on the shard so
+	// the next flush can patch them per-partition via index.UpdateSubset.
+	Keyword *index.Keyword
+	Similar *index.Similarity
+	// Generation is the shard-local rebuild counter: it advances only when
+	// a flush touches this shard's partition, so the shard's result cache
+	// (and its stale-while-revalidate window) invalidate only when the
+	// shard's contents actually changed.
+	Generation uint64
+	// NodeCount is the number of owned pedigree entities.
+	NodeCount int
+
+	cache *query.ResultCache
+	met   *shardMetrics
+}
+
+// Options tunes Partition.
+type Options struct {
+	// Shards is the partition count; values below 1 mean 1.
+	Shards int
+	// SimThreshold is the similarity-index threshold s_t (paper: 0.5).
+	SimThreshold float64
+	// Workers bounds the scatter fan-out per search; 0 means
+	// min(GOMAXPROCS, shards).
+	Workers int
+	// CacheEntries is the TOTAL result-cache budget, split evenly across
+	// the shards (with a small per-shard floor); 0 disables caching.
+	CacheEntries int
+	// StaleServe enables stale-while-revalidate on the per-shard caches.
+	StaleServe bool
+}
+
+// Coordinator fronts the shards: it fans a search out across them on a
+// bounded worker pool and merges the per-shard top-m rankings. Like the
+// Serving bundle that carries it, a Coordinator is immutable once
+// published — Advance produces a fresh one — so a reader that loaded it
+// sees one consistent generation of every shard, never a torn mix.
+type Coordinator struct {
+	graph  *pedigree.Graph
+	shards []*Shard
+	// owners maps every NodeID of graph to its owning shard; counts is the
+	// per-shard node tally.
+	owners []int32
+	counts []int
+	// generation is the global serving generation the coordinator was
+	// published under (the pipeline's snapshot counter).
+	generation   uint64
+	workers      int
+	simThreshold float64
+	staleServe   bool
+}
+
+// Partition builds a coordinator over the graph from scratch: every
+// shard's indexes are a fresh subset build. With Shards <= 1 the single
+// shard's indexes are exactly index.Build's output.
+func Partition(g *pedigree.Graph, o Options) *Coordinator {
+	defer obs.StartStage("shard_partition").Stop()
+	n := o.Shards
+	if n < 1 {
+		n = 1
+	}
+	c := &Coordinator{
+		graph:        g,
+		workers:      o.Workers,
+		simThreshold: o.SimThreshold,
+		staleServe:   o.StaleServe,
+	}
+	c.owners, c.counts = computeOwners(g, n)
+	perCache := perShardCache(o.CacheEntries, n)
+	c.shards = make([]*Shard, n)
+	for s := 0; s < n; s++ {
+		cache := query.NewResultCache(perCache)
+		if c.staleServe {
+			cache.EnableStaleServe()
+		}
+		c.shards[s] = c.buildShard(s, cache, metricsFor(s))
+	}
+	mShardCount.Set(int64(n))
+	return c
+}
+
+// perShardCache splits a total cache budget across n shards, rounding up
+// with a floor so small budgets still cache something per shard.
+func perShardCache(total, n int) int {
+	if total <= 0 {
+		return 0
+	}
+	per := (total + n - 1) / n
+	if per < 64 {
+		per = 64
+	}
+	return per
+}
+
+// buildShard constructs shard s's indexes and engine from scratch over the
+// coordinator's graph at shard generation 0.
+func (c *Coordinator) buildShard(s int, cache *query.ResultCache, met *shardMetrics) *Shard {
+	var keep func(pedigree.NodeID) bool
+	if len(c.counts) > 1 {
+		sid := int32(s)
+		keep = func(id pedigree.NodeID) bool { return c.owners[id] == sid }
+	}
+	k, sim := index.BuildSubset(c.graph, keep, c.simThreshold)
+	sh := &Shard{
+		ID: s, Keyword: k, Similar: sim,
+		Engine:    query.NewEngine(c.graph, k, sim),
+		NodeCount: c.counts[s],
+		cache:     cache, met: met,
+	}
+	c.wireEngine(sh)
+	met.nodes.Set(int64(sh.NodeCount))
+	met.gen.Set(int64(sh.Generation))
+	return sh
+}
+
+// wireEngine attaches the shard's cache and generation to its engine.
+func (c *Coordinator) wireEngine(sh *Shard) {
+	if sh.cache == nil {
+		return
+	}
+	sh.Engine.Cache = sh.cache
+	sh.Engine.Generation = sh.Generation
+	sh.Engine.StaleServe = c.staleServe
+}
+
+// AdvanceStats reports how a flush was absorbed by the partitions.
+type AdvanceStats struct {
+	// Touched and Reused count shards rebuilt vs carried over by
+	// reference.
+	Touched, Reused int
+	// DirtyNodes is the global count of entities whose record set changed.
+	DirtyNodes int
+}
+
+// Advance publishes a flush: it classifies the new graph against the
+// served one, rebuilds ONLY the shards whose partitions the flush touched
+// (via index.UpdateSubset, so even a touched shard patches rather than
+// rebuilds when it can), and reuses every untouched shard by reference.
+//
+// Reuse is sound because ownership is a pure function of a node's record
+// set (Owner): a shard is untouched exactly when every entity it owned is
+// clean with an unchanged NodeID and no entity moved in — so its indexes,
+// its engine, and even the old graph its engine reads are byte-identical
+// on every owned entity, and its shard-local generation (hence its result
+// cache) legitimately survives the global swap. generation is the global
+// snapshot counter of the bundle the new coordinator will be published in.
+func (c *Coordinator) Advance(newG *pedigree.Graph, generation uint64) (*Coordinator, AdvanceStats) {
+	defer obs.StartStage("shard_advance").Stop()
+	n := len(c.shards)
+	nc := &Coordinator{
+		graph:        newG,
+		generation:   generation,
+		workers:      c.workers,
+		simThreshold: c.simThreshold,
+		staleServe:   c.staleServe,
+	}
+	nc.owners, nc.counts = computeOwners(newG, n)
+
+	oldToNew, isDirty, dirty := index.Classify(newG, c.graph)
+	touched := make([]bool, n)
+	for i := range newG.Nodes {
+		if isDirty[i] {
+			touched[nc.owners[i]] = true
+		}
+	}
+	// A previous node whose clean counterpart has a different NodeID — or
+	// none at all — invalidates the posting lists of the shard that owned
+	// it (its clean counterpart, if any, is owned by the same shard, since
+	// clean means an identical record set).
+	for j := range oldToNew {
+		if oldToNew[j] != pedigree.NodeID(j) {
+			touched[c.owners[j]] = true
+		}
+	}
+
+	st := AdvanceStats{DirtyNodes: dirty}
+	nc.shards = make([]*Shard, n)
+	for s := 0; s < n; s++ {
+		prev := c.shards[s]
+		if !touched[s] {
+			nc.shards[s] = prev
+			st.Reused++
+			mFlushReused.Inc()
+			continue
+		}
+		nc.shards[s] = nc.advanceShard(s, prev, c.graph)
+		st.Touched++
+		mFlushTouched.Inc()
+	}
+	mShardCount.Set(int64(n))
+	return nc, st
+}
+
+// advanceShard rebuilds one touched shard against the new graph, patching
+// the previous generation's subset indexes where possible. The shard-local
+// generation advances by one and the carried-over cache invalidates
+// against it.
+func (nc *Coordinator) advanceShard(s int, prev *Shard, prevG *pedigree.Graph) *Shard {
+	sid := int32(s)
+	keep := func(id pedigree.NodeID) bool { return nc.owners[id] == sid }
+	k, sim, _ := index.UpdateSubset(nc.graph, keep, prevG, prev.Keyword, prev.Similar, nc.simThreshold)
+	eng := query.NewEngine(nc.graph, k, sim)
+	eng.Weights = prev.Engine.Weights
+	eng.TopM = prev.Engine.TopM
+	sh := &Shard{
+		ID: s, Keyword: k, Similar: sim, Engine: eng,
+		Generation: prev.Generation + 1,
+		NodeCount:  nc.counts[s],
+		cache:      prev.cache, met: prev.met,
+	}
+	nc.wireEngine(sh)
+	if sh.cache != nil {
+		sh.cache.Invalidate(sh.Generation)
+	}
+	sh.met.rebuilds.Inc()
+	sh.met.nodes.Set(int64(sh.NodeCount))
+	sh.met.gen.Set(int64(sh.Generation))
+	return sh
+}
+
+// NumShards returns the partition count.
+func (c *Coordinator) NumShards() int { return len(c.shards) }
+
+// Shards returns the shard slice; callers must treat it as read-only.
+func (c *Coordinator) Shards() []*Shard { return c.shards }
+
+// Graph returns the global pedigree graph the coordinator serves.
+func (c *Coordinator) Graph() *pedigree.Graph { return c.graph }
+
+// Generation returns the global serving generation the coordinator was
+// published under.
+func (c *Coordinator) Generation() uint64 { return c.generation }
+
+// TopM returns the bounded-ranking depth shared by every shard engine.
+func (c *Coordinator) TopM() int { return c.shards[0].Engine.TopM }
+
+// SetTopM sets the bounded-ranking depth on every shard engine. It is not
+// safe to call once the coordinator is serving; tests and start-up
+// configuration only.
+func (c *Coordinator) SetTopM(m int) {
+	for _, sh := range c.shards {
+		sh.Engine.TopM = m
+	}
+}
+
+// OwnerOf returns the shard owning a node of the coordinator's graph.
+func (c *Coordinator) OwnerOf(id pedigree.NodeID) int { return int(c.owners[id]) }
+
+// Search fans the query out and merges, without a caller trace.
+func (c *Coordinator) Search(q query.Query) []query.Result {
+	return c.SearchContext(context.Background(), q)
+}
+
+// SearchContext fans the query out across the shards on a bounded worker
+// pool, then merges the per-shard rankings into the global top-m. Every
+// entity's score is computed entirely within its owning shard with the
+// same floating-point operations as the single-shard engine (the shard's
+// similarity lists are order-preserving subsets of the global ones), the
+// shards' node sets are disjoint, and any entity in the global top-m is
+// necessarily within its own shard's top-m — so the merged ranking is
+// byte-identical to the single-shard engine's.
+func (c *Coordinator) SearchContext(ctx context.Context, q query.Query) []query.Result {
+	if len(c.shards) == 1 {
+		sh := c.shards[0]
+		sh.met.searches.Inc()
+		return sh.Engine.SearchContext(ctx, q)
+	}
+	start := time.Now()
+	ctx, sp := obs.StartSpan(ctx, "scatter")
+	parts := make([][]query.Result, len(c.shards))
+	workers := c.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(c.shards) {
+		workers = len(c.shards)
+	}
+	if workers <= 1 {
+		for i, sh := range c.shards {
+			parts[i] = c.searchShard(ctx, sh, q)
+		}
+	} else {
+		var next atomic.Int32
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(c.shards) {
+						return
+					}
+					parts[i] = c.searchShard(ctx, c.shards[i], q)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	out := mergeRanked(parts, c.TopM())
+	sp.SetAttr("shards", int64(len(c.shards)))
+	sp.SetAttr("results", int64(len(out)))
+	sp.End()
+	mScatterSeconds.ObserveDuration(time.Since(start))
+	return out
+}
+
+// searchShard runs the query on one shard under its own child span.
+func (c *Coordinator) searchShard(ctx context.Context, sh *Shard, q query.Query) []query.Result {
+	ctx, sp := obs.StartSpan(ctx, "shard_search")
+	sp.SetAttr("shard", int64(sh.ID))
+	sp.SetAttr("shard_generation", int64(sh.Generation))
+	res := sh.Engine.SearchContext(ctx, q)
+	sh.met.searches.Inc()
+	sp.End()
+	return res
+}
+
+// resultBefore is the global ranking order: score descending, NodeID
+// ascending — exactly the query engine's tie-break comparator.
+func resultBefore(a, b query.Result) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.Entity < b.Entity
+}
+
+// mergeRanked k-way merges the per-shard rankings (each already sorted by
+// resultBefore) into the global top-m; m <= 0 merges everything. The input
+// slices may be shared with per-shard caches and are never mutated.
+func mergeRanked(parts [][]query.Result, m int) []query.Result {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total == 0 {
+		return nil
+	}
+	n := total
+	if m > 0 && m < n {
+		n = m
+	}
+	out := make([]query.Result, 0, n)
+	idx := make([]int, len(parts))
+	for len(out) < n {
+		best := -1
+		for pi, p := range parts {
+			if idx[pi] >= len(p) {
+				continue
+			}
+			if best < 0 || resultBefore(p[idx[pi]], parts[best][idx[best]]) {
+				best = pi
+			}
+		}
+		if best < 0 {
+			break
+		}
+		out = append(out, parts[best][idx[best]])
+		idx[best]++
+	}
+	return out
+}
+
+// Explain routes the explanation to the entity's owning shard; the shard's
+// similarity lists are order-preserving subsets of the global ones
+// restricted to values the shard indexes — which includes every value the
+// entity itself carries — so the explanation is byte-identical to the
+// single-shard engine's.
+func (c *Coordinator) Explain(q query.Query, id pedigree.NodeID) query.Explanation {
+	return c.shards[c.owners[id]].Engine.Explain(q, id)
+}

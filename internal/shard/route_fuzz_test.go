@@ -1,0 +1,61 @@
+package shard
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzShardRoute fuzzes the routing function on an arbitrary name key and
+// shard count: the route must be stable across calls, in range for any
+// count, and re-partitioning a key set 1 -> N -> 1 must lose no records —
+// every key lands in exactly one shard and the union of the shards is the
+// original set (count and identity preserved).
+func FuzzShardRoute(f *testing.F) {
+	f.Add("mary", "macdonald", uint8(4), "john|smith\nanne|smith")
+	f.Add("", "", uint8(0), "")
+	f.Add("seán", "ó dómhnaill", uint8(7), "a|b\na|b\nc|")
+	f.Fuzz(func(t *testing.T, first, surname string, nRaw uint8, keyBlob string) {
+		n := int(nRaw)%16 + 1
+
+		// Stability and range for the fuzzed key.
+		a := Route(first, surname, n)
+		if a != Route(first, surname, n) {
+			t.Fatalf("Route(%q, %q, %d) unstable", first, surname, n)
+		}
+		if a < 0 || a >= n {
+			t.Fatalf("Route(%q, %q, %d) = %d out of [0,%d)", first, surname, n, a, n)
+		}
+		if Route(first, surname, 1) != 0 {
+			t.Fatalf("Route(%q, %q, 1) != 0", first, surname)
+		}
+
+		// Re-partition a whole key set 1 -> n -> 1. Keys are identified by
+		// their line index: the same record must land in exactly one shard,
+		// and merging the shards back must reproduce the full set.
+		lines := strings.Split(keyBlob, "\n")
+		shards := make([][]int, n)
+		for id, line := range lines {
+			fn, sn, _ := strings.Cut(line, "|")
+			s := Route(fn, sn, n)
+			if s < 0 || s >= n {
+				t.Fatalf("record %d routed out of range: %d", id, s)
+			}
+			shards[s] = append(shards[s], id)
+		}
+		seen := make(map[int]bool, len(lines))
+		total := 0
+		for _, ids := range shards {
+			total += len(ids)
+			for _, id := range ids {
+				if seen[id] {
+					t.Fatalf("record %d assigned to more than one shard", id)
+				}
+				seen[id] = true
+			}
+		}
+		if total != len(lines) || len(seen) != len(lines) {
+			t.Fatalf("re-partition lost records: %d in shards, %d distinct, %d submitted",
+				total, len(seen), len(lines))
+		}
+	})
+}

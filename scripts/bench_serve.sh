@@ -8,6 +8,7 @@
 #   ./scripts/bench_serve.sh                      # 400 rps, 10s per mix
 #   DURATION=5s RATE=100 ./scripts/bench_serve.sh # CI smoke pass
 #   SCALE=0.1 RATE=800 ./scripts/bench_serve.sh   # heavier dataset + load
+#   SHARDS=4 ./scripts/bench_serve.sh             # sharded scatter-gather tier
 #   OUT=/tmp/serve.json ./scripts/bench_serve.sh
 #
 # The arrival schedule is open-loop: the offered rate does not slow down
@@ -22,11 +23,12 @@ SCALE="${SCALE:-0.05}"
 SEED="${SEED:-1}"
 OUT="${OUT:-BENCH_serve.json}"
 MIXES="${MIXES:-read-heavy,mixed,ingest-burst}"
+SHARDS="${SHARDS:-1}"
 
 go run ./cmd/snapsload \
     -dataset ios -scale "$SCALE" \
     -rate "$RATE" -duration "$DURATION" -seed "$SEED" \
-    -mixes "$MIXES" \
+    -mixes "$MIXES" -shards "$SHARDS" \
     -out "$OUT"
 
 echo "wrote $OUT"
