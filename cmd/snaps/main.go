@@ -116,6 +116,14 @@ func main() {
 
 		pprofFlag = flag.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/ (metrics at /metrics are always on)")
 
+		flightRecord   = flag.String("flight-record", "", "record sampled requests to this flight-recorder query log (replay with snapsload -replay)")
+		flightSample   = flag.Int("flight-sample", 1, "record 1 in N requests into the flight log (1 = every request)")
+		flightMaxBytes = flag.Int64("flight-max-bytes", 64<<20, "flight log size cap in bytes; further records are dropped and counted (0 = unbounded)")
+
+		sloLatency       = flag.Duration("slo-latency", 250*time.Millisecond, "latency SLO: a success slower than this burns latency budget on /healthz")
+		sloErrorBudget   = flag.Float64("slo-error-budget", 0.01, "tolerated 5xx fraction for /healthz burn rates")
+		sloLatencyBudget = flag.Float64("slo-latency-budget", 0.05, "tolerated slow-success fraction for /healthz burn rates")
+
 		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, or error")
 		logFormat  = flag.String("log-format", "text", "log output format: text or json")
 		slowQuery  = flag.Duration("slow-query", -1, "log any search at or above this duration with its full span tree (0 logs every search; negative disables)")
@@ -291,6 +299,21 @@ func main() {
 			srv.EnableTraceDebug()
 			slog.Info("trace debug enabled", "path", "/api/debug/traces")
 		}
+
+		// Flight recorder: a sampled, bounded on-disk query log replayable
+		// with snapsload -replay. SLO tracker: /healthz reports 1m/5m
+		// latency- and error-budget burn rates over every response.
+		if *flightRecord != "" {
+			fr, err := obs.NewFlightRecorder(*flightRecord, *flightSample, *flightMaxBytes)
+			if err != nil {
+				fatal(err)
+			}
+			defer fr.Close()
+			srv.EnableFlightRecorder(fr)
+			slog.Info("flight recorder armed", "path", *flightRecord,
+				"sample", *flightSample, "max_bytes", *flightMaxBytes)
+		}
+		srv.EnableSLO(obs.NewSLOTracker(*sloLatency, *sloErrorBudget, *sloLatencyBudget))
 
 		// Live ingestion: new certificates POSTed to /api/ingest are
 		// journalled, batch-resolved with er.Extend, and hot-swapped into

@@ -174,6 +174,20 @@ func shedCounter(c Class, reason string) *obs.Counter {
 		"Requests shed (429), by class and reason.")
 }
 
+// mShedRetryAfter records the Retry-After hints attached to shed decisions,
+// so a replayed log can be checked against the back-off the live run
+// actually advertised.
+var mShedRetryAfter = obs.Default.HistogramVec("snaps_admission_retry_after_seconds",
+	"Retry-After hints attached to shed (429) decisions, by class.",
+	obs.LatencyBuckets, "class")
+
+// shed counts one rejection and returns its Decision.
+func shedDecision(cl Class, reason string, retryAfter time.Duration) Decision {
+	shedCounter(cl, reason).Inc()
+	mShedRetryAfter.With(cl.String()).Observe(retryAfter.Seconds())
+	return Decision{Reason: reason, RetryAfter: retryAfter}
+}
+
 // New returns a controller for the config.
 func New(cfg Config) *Controller {
 	c := &Controller{cfg: cfg, now: time.Now}
@@ -221,23 +235,20 @@ func (c *Controller) Admit(cl Class) (release func(), d Decision) {
 	}
 	if cl == Ingest && c.cfg.Backlog != nil {
 		if over, _, _ := c.BacklogExceeded(); over {
-			shedCounter(cl, "backlog").Inc()
-			return noRelease, Decision{Reason: "backlog", RetryAfter: c.cfg.BacklogRetryAfter}
+			return noRelease, shedDecision(cl, "backlog", c.cfg.BacklogRetryAfter)
 		}
 	}
 	if cl == Ingest && c.cfg.ShardBacklog != nil {
 		if over, _, _, _ := c.ShardBacklogExceeded(); over {
-			shedCounter(cl, "shard_backlog").Inc()
-			return noRelease, Decision{Reason: "shard_backlog", RetryAfter: c.cfg.BacklogRetryAfter}
+			return noRelease, shedDecision(cl, "shard_backlog", c.cfg.BacklogRetryAfter)
 		}
 	}
 	if b := c.buckets[cl]; b != nil {
 		if ok, wait := b.take(c.now()); !ok {
-			shedCounter(cl, "rate").Inc()
 			if wait < c.cfg.RetryAfter {
 				wait = c.cfg.RetryAfter
 			}
-			return noRelease, Decision{Reason: "rate", RetryAfter: wait}
+			return noRelease, shedDecision(cl, "rate", wait)
 		}
 	}
 	w := int64(c.cfg.Limits[cl].Weight)
@@ -245,8 +256,7 @@ func (c *Controller) Admit(cl Class) (release func(), d Decision) {
 		for {
 			cur := c.inflight.Load()
 			if cur+w > ceil {
-				shedCounter(cl, "concurrency").Inc()
-				return noRelease, Decision{Reason: "concurrency", RetryAfter: c.cfg.RetryAfter}
+				return noRelease, shedDecision(cl, "concurrency", c.cfg.RetryAfter)
 			}
 			if c.inflight.CompareAndSwap(cur, cur+w) {
 				break

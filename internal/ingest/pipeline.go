@@ -36,6 +36,9 @@ var (
 		"Encoded bytes of accepted certificates waiting for the next batch flush. Admission backpressure bounds this.")
 	mFlushSeconds = obs.Default.Histogram("snaps_ingest_flush_seconds",
 		"Wall-clock duration of one batch flush.", obs.DefBuckets)
+	mFlushStageSeconds = obs.Default.HistogramVec("snaps_ingest_flush_stage_seconds",
+		"Duration of one flush pipeline stage (apply_batch, restore_clusters, er_extend, rebuild_indexes, snapshot_swap).",
+		obs.LatencyBuckets, "stage")
 	mResolvedRecords = obs.Default.Counter("snaps_ingest_resolved_records_total",
 		"Records re-resolved incrementally by er.Extend during flushes.")
 	mCandidatePairs = obs.Default.Counter("snaps_ingest_candidate_pairs_total",
@@ -211,12 +214,12 @@ type Pipeline struct {
 	shardPending []shardPending
 	oldestAt     time.Time
 	accepted     int
-	applied  int
-	flushes  int
-	lastDur  time.Duration
-	lastAt   time.Time
-	lastErr  string
-	swapFns  []func(*Serving)
+	applied      int
+	flushes      int
+	lastDur      time.Duration
+	lastAt       time.Time
+	lastErr      string
+	swapFns      []func(*Serving)
 
 	// build state, owned by the worker goroutine (and by flushLocked
 	// callers holding buildMu): the data set and store the next generation
@@ -602,6 +605,13 @@ func (p *Pipeline) flushLocked() error {
 	ctx, root := p.cfg.Tracer.StartRoot(context.Background(), "ingest.flush", "")
 	root.SetAttr("batch", int64(len(batch)))
 
+	stageT := time.Now()
+	stageDone := func(stage string) {
+		now := time.Now()
+		mFlushStageSeconds.With(stage).ObserveDuration(now.Sub(stageT))
+		stageT = now
+	}
+
 	_, asp := obs.StartSpan(ctx, "apply_batch")
 	newD := p.buildD.Clone()
 	firstNew := model.RecordID(len(newD.Records))
@@ -618,6 +628,7 @@ func (p *Pipeline) flushLocked() error {
 		}
 	}
 	asp.End()
+	stageDone("apply_batch")
 
 	// Restore the previous clustering over the cloned data set as cliques
 	// (the persistence semantics of internal/store), then fold the new
@@ -626,11 +637,13 @@ func (p *Pipeline) flushLocked() error {
 	snap := store.Snapshot{Dataset: newD, Clusters: p.buildStore.Clusters()}
 	newStore := snap.Restore()
 	csp.End()
+	stageDone("restore_clusters")
 
 	ectx, esp := obs.StartSpan(ctx, "er.extend")
 	epr := er.ExtendContext(ectx, newD, newStore, firstNew, p.cfg.Graph, p.cfg.Resolver)
 	esp.SetAttr("candidate_pairs", int64(epr.Candidates))
 	esp.End()
+	stageDone("er_extend")
 
 	// Rebuild the pedigree graph, then maintain the indexes incrementally
 	// against the still-serving generation. Single-shard bundles patch the
@@ -668,6 +681,7 @@ func (p *Pipeline) flushLocked() error {
 		}
 	}
 	isp.End()
+	stageDone("rebuild_indexes")
 
 	_, wsp := obs.StartSpan(ctx, "snapshot_swap")
 	sv.Generation = gen
@@ -706,6 +720,7 @@ func (p *Pipeline) flushLocked() error {
 		fn(sv)
 	}
 	wsp.End()
+	stageDone("snapshot_swap")
 	root.End()
 
 	slog.LogAttrs(ctx, slog.LevelDebug, "ingest flush published",

@@ -115,6 +115,35 @@ type RouteStats struct {
 	Hist   Histogram
 }
 
+// record classifies one completed request into the stats. Safe for
+// concurrent use (counters are atomic, the histogram is lock-free).
+func (st *RouteStats) record(status int, err error, lat time.Duration) {
+	st.Hist.Observe(lat)
+	atomicAdd(&st.Count)
+	switch {
+	case err != nil:
+		atomicAdd(&st.Errors)
+	case status == http.StatusTooManyRequests:
+		atomicAdd(&st.Shed)
+	case status >= 200 && status < 300:
+		atomicAdd(&st.OK)
+	default:
+		atomicAdd(&st.Errors)
+	}
+}
+
+// report summarises the stats into the JSON-ready shape.
+func (st *RouteStats) report() RouteReport {
+	return RouteReport{
+		Count: st.Count, OK: st.OK, Shed: st.Shed, Errors: st.Errors,
+		P50Ms:  ms(st.Hist.Quantile(0.50)),
+		P95Ms:  ms(st.Hist.Quantile(0.95)),
+		P99Ms:  ms(st.Hist.Quantile(0.99)),
+		MaxMs:  ms(st.Hist.Max()),
+		MeanMs: ms(st.Hist.Mean()),
+	}
+}
+
 // RouteReport is the JSON-ready summary of one route in one mix.
 type RouteReport struct {
 	Count  int64   `json:"count"`
@@ -192,19 +221,7 @@ func Run(target Target, w *Workload, m Mix, cfg Config) (*MixReport, error) {
 			st := stats[op.Kind.Route()]
 			t0 := time.Now()
 			status, err := target.Do(op)
-			lat := time.Since(t0)
-			st.Hist.Observe(lat)
-			atomicAdd(&st.Count)
-			switch {
-			case err != nil:
-				atomicAdd(&st.Errors)
-			case status == http.StatusTooManyRequests:
-				atomicAdd(&st.Shed)
-			case status >= 200 && status < 300:
-				atomicAdd(&st.OK)
-			default:
-				atomicAdd(&st.Errors)
-			}
+			st.record(status, err, time.Since(t0))
 		}(op)
 	}
 	wg.Wait()
@@ -222,14 +239,7 @@ func Run(target Target, w *Workload, m Mix, cfg Config) (*MixReport, error) {
 			continue
 		}
 		rep.Requests += st.Count
-		rep.Routes[route] = RouteReport{
-			Count: st.Count, OK: st.OK, Shed: st.Shed, Errors: st.Errors,
-			P50Ms:  ms(st.Hist.Quantile(0.50)),
-			P95Ms:  ms(st.Hist.Quantile(0.95)),
-			P99Ms:  ms(st.Hist.Quantile(0.99)),
-			MaxMs:  ms(st.Hist.Max()),
-			MeanMs: ms(st.Hist.Mean()),
-		}
+		rep.Routes[route] = st.report()
 	}
 	if elapsed > 0 {
 		rep.AchievedRate = float64(rep.Requests) / elapsed.Seconds()

@@ -1,0 +1,219 @@
+package load
+
+import (
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/snaps/snaps/internal/obs"
+)
+
+// countingHandler serves the three replayable routes and counts what it
+// saw, including query parameters and bodies, so a replay round-trip can
+// assert the recorded traffic was reproduced faithfully.
+type countingHandler struct {
+	mu       sync.Mutex
+	routes   map[string]int
+	searches []string // "first/surname" per search
+	bodies   []string // ingest bodies
+}
+
+func newCountingHandler() *countingHandler {
+	return &countingHandler{routes: map[string]int{}}
+}
+
+func (h *countingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	switch {
+	case strings.HasPrefix(r.URL.Path, "/api/search"):
+		h.routes["/api/search"]++
+		h.searches = append(h.searches,
+			r.URL.Query().Get("first_name")+"/"+r.URL.Query().Get("surname"))
+	case strings.HasPrefix(r.URL.Path, "/api/pedigree"):
+		h.routes["/api/pedigree"]++
+	case strings.HasPrefix(r.URL.Path, "/api/ingest"):
+		h.routes["/api/ingest"]++
+		b, _ := io.ReadAll(r.Body)
+		h.bodies = append(h.bodies, string(b))
+		w.WriteHeader(http.StatusAccepted)
+		return
+	default:
+		http.NotFound(w, r)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// writeTestLog records a small mixed log and returns its records.
+func writeTestLog(t *testing.T) []obs.FlightRecord {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "flight.log")
+	fr, err := obs.NewFlightRecorder(path, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []obs.FlightRecord{
+		{Route: "/api/search", First: "maria", Surname: "silva", Status: 200, LatencyUs: 100},
+		{Route: "/api/search", First: "joao", Surname: "santos", Status: 200, LatencyUs: 150},
+		{Route: "/api/pedigree", Entity: "7", Status: 200, LatencyUs: 800},
+		{Route: "/api/ingest", Body: `{"records":[]}`, Status: 202, LatencyUs: 60},
+		{Route: "/api/explain", First: "x", Surname: "y", Status: 200, LatencyUs: 40}, // not replayable
+		{Route: "/api/search", First: "ana", Surname: "costa", Status: 200, LatencyUs: 90},
+	}
+	for i, r := range recs {
+		fr.Sampled()
+		fr.Record(r, int64(1e9)+int64(i)*2000) // 2ms apart
+	}
+	fr.Close()
+	got, err := obs.ReadFlightLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestOpsFromFlightLog(t *testing.T) {
+	recs := writeTestLog(t)
+	ops, skipped := OpsFromFlightLog(recs)
+	if skipped != 1 {
+		t.Fatalf("skipped = %d, want 1 (/api/explain)", skipped)
+	}
+	if len(ops) != 5 {
+		t.Fatalf("ops = %d, want 5", len(ops))
+	}
+	if ops[0].First != "maria" || ops[0].Surname != "silva" || ops[0].Route != "/api/search" {
+		t.Errorf("search op = %+v", ops[0])
+	}
+	if ops[2].Entity != 7 {
+		t.Errorf("pedigree entity = %d, want 7", ops[2].Entity)
+	}
+	if string(ops[3].Body) != `{"records":[]}` {
+		t.Errorf("ingest body = %q", ops[3].Body)
+	}
+	// Arrival offsets are preserved and monotone.
+	for i := 1; i < len(ops); i++ {
+		if ops[i].DueUs <= ops[i-1].DueUs {
+			t.Errorf("DueUs not monotone at %d: %d then %d", i, ops[i-1].DueUs, ops[i].DueUs)
+		}
+	}
+}
+
+// TestReplayRoundTrip is the acceptance path: record a log, replay it
+// closed-loop, and require the per-route op counts to match the log.
+func TestReplayRoundTrip(t *testing.T) {
+	recs := writeTestLog(t)
+	ops, _ := OpsFromFlightLog(recs)
+	h := newCountingHandler()
+
+	rep, err := Replay(&HandlerTarget{Handler: h}, ops, ReplayConfig{ClosedLoop: true, Concurrency: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Replayed != int64(len(ops)) {
+		t.Fatalf("replayed %d, want %d", rep.Replayed, len(ops))
+	}
+
+	// Per-route counts in the report match both the log and what the
+	// handler actually served.
+	wantRoutes := map[string]int64{"/api/search": 3, "/api/pedigree": 1, "/api/ingest": 1}
+	for route, want := range wantRoutes {
+		rr, ok := rep.Routes[route]
+		if !ok || rr.Count != want {
+			t.Errorf("report route %s count = %+v, want %d", route, rr, want)
+		}
+		if got := int64(h.routes[route]); got != want {
+			t.Errorf("handler served %s %d times, want %d", route, got, want)
+		}
+	}
+	if rep.Routes["/api/search"].OK != 3 || rep.Routes["/api/ingest"].OK != 1 {
+		t.Errorf("OK counts wrong: %+v", rep.Routes)
+	}
+
+	// The replay carried the recorded parameters, not synthetic ones.
+	got := map[string]bool{}
+	for _, s := range h.searches {
+		got[s] = true
+	}
+	for _, want := range []string{"maria/silva", "joao/santos", "ana/costa"} {
+		if !got[want] {
+			t.Errorf("search %s not replayed (saw %v)", want, h.searches)
+		}
+	}
+	if len(h.bodies) != 1 || h.bodies[0] != `{"records":[]}` {
+		t.Errorf("ingest bodies = %v", h.bodies)
+	}
+}
+
+func TestReplayPaced(t *testing.T) {
+	recs := writeTestLog(t)
+	ops, _ := OpsFromFlightLog(recs)
+	h := newCountingHandler()
+
+	start := time.Now()
+	rep, err := Replay(&HandlerTarget{Handler: h}, ops, ReplayConfig{Speed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ClosedLoop {
+		t.Fatal("paced replay reported closed-loop")
+	}
+	if rep.Replayed != int64(len(ops)) || rep.Dropped != 0 {
+		t.Fatalf("replayed %d dropped %d, want %d/0", rep.Replayed, rep.Dropped, len(ops))
+	}
+	// Recorded span is 10ms (5 replayable ops, first at 0, last at 10ms);
+	// at speed 2 the replay should take at least half that.
+	if el := time.Since(start); el < 4*time.Millisecond {
+		t.Errorf("paced replay finished in %v — pacing not applied", el)
+	}
+}
+
+func TestCompareToLog(t *testing.T) {
+	recs := writeTestLog(t)
+	ops, skipped := OpsFromFlightLog(recs)
+	h := newCountingHandler()
+	rep, err := Replay(&HandlerTarget{Handler: h}, ops, ReplayConfig{ClosedLoop: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Skipped = skipped
+
+	cmp := CompareToLog(recs, rep)
+	if cmp.Records != len(recs) || cmp.Skipped != 1 {
+		t.Fatalf("comparison header = %+v", cmp)
+	}
+	sc, ok := cmp.Routes["/api/search"]
+	if !ok {
+		t.Fatal("no /api/search comparison")
+	}
+	if sc.Recorded.Count != 3 || sc.Replayed.Count != 3 {
+		t.Errorf("search comparison counts = %d/%d, want 3/3", sc.Recorded.Count, sc.Replayed.Count)
+	}
+	// Recorded latencies come from the log (100/150/90 µs): the p50 must
+	// land near 100µs = 0.1ms.
+	if sc.Recorded.P50Ms <= 0 || sc.Recorded.P50Ms > 1 {
+		t.Errorf("recorded p50 = %vms, want ~0.1ms", sc.Recorded.P50Ms)
+	}
+	// The non-replayable route still shows its recorded side.
+	ec, ok := cmp.Routes["/api/explain"]
+	if !ok || ec.Recorded.Count != 1 || ec.Replayed.Count != 0 {
+		t.Errorf("explain comparison = %+v", ec)
+	}
+	// Stable route ordering for printing.
+	names := cmp.RouteNames()
+	for i := 1; i < len(names); i++ {
+		if names[i] <= names[i-1] {
+			t.Fatalf("RouteNames not sorted: %v", names)
+		}
+	}
+}
+
+func TestReplayEmpty(t *testing.T) {
+	if _, err := Replay(&HandlerTarget{Handler: newCountingHandler()}, nil, ReplayConfig{}); err == nil {
+		t.Fatal("empty replay accepted")
+	}
+}

@@ -68,6 +68,22 @@ type Op struct {
 	Surname string
 	Entity  int
 	Body    []byte
+	// Route, when non-empty, overrides Kind.Route() as the reporting label.
+	// Replayed flight-log ops keep their recorded mux pattern here so a
+	// replay report's per-route counts line up with the recorded log.
+	Route string
+	// DueUs is the op's recorded arrival offset in µs since the first
+	// record; Replay's paced mode reproduces it. Synthetic ops leave it 0
+	// and take their schedule from the configured rate.
+	DueUs int64
+}
+
+// routeLabel is the label the op's outcomes are reported under.
+func (op *Op) routeLabel() string {
+	if op.Route != "" {
+		return op.Route
+	}
+	return op.Kind.Route()
 }
 
 // BuildWorkload mines the graph for the hot and cold name pools.

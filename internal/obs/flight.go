@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"strings"
+	"sync"
+)
+
+// Flight-recorder metrics in the default registry.
+var (
+	mFlightRecords = Default.Counter("snaps_flight_records_total",
+		"Requests written to the flight recorder.")
+	mFlightSampledOut = Default.Counter("snaps_flight_sampled_out_total",
+		"Requests skipped by the flight recorder's sampling ratio.")
+	mFlightDroppedBytes = Default.Counter("snaps_flight_dropped_bytes_total",
+		"Requests dropped because the flight log reached its size cap.")
+	mFlightErrors = Default.Counter("snaps_flight_errors_total",
+		"Requests dropped because a flight-log write failed.")
+	mFlightBytes = Default.Gauge("snaps_flight_bytes",
+		"Current size of the flight log in bytes (header plus records).")
+)
+
+// flightMagic is the header line of a flight log, following the same
+// versioned-magic-header discipline as the ingestion WAL (SNAPSWALv01):
+// unknown versions are rejected instead of misinterpreted.
+const flightMagic = "SNAPSFLTv01"
+
+// FlightRecord is one recorded request: everything replay needs to re-issue
+// it (route, query parameters, body) plus the outcome telemetry a
+// comparison wants (status, latency, generation, cache and shed outcomes).
+// Offsets are relative to the first record so a replay can reproduce the
+// recorded pacing without keeping absolute wall-clock times on disk.
+type FlightRecord struct {
+	OffsetUs int64  `json:"t_us"`          // µs since the first record
+	Route    string `json:"route"`         // mux pattern, e.g. /api/search
+	Key      string `json:"key,omitempty"` // FNV-64a of the query identity, for grouping
+
+	// Replayable request payload. The corpus the queries address is already
+	// pseudonymized upstream, so the parameters themselves are the
+	// anonymized form; Key adds a stable grouping handle.
+	First   string `json:"first,omitempty"`
+	Surname string `json:"surname,omitempty"`
+	Entity  string `json:"entity,omitempty"`
+	Body    string `json:"body,omitempty"` // ingest request body, capped by the middleware
+
+	Status     int    `json:"status"`
+	Generation uint64 `json:"gen,omitempty"`
+	LatencyUs  int64  `json:"lat_us"`
+	Cache      string `json:"cache,omitempty"` // hit | stale | miss ("" when not a cached route)
+	TraceID    string `json:"trace,omitempty"`
+
+	// Admission outcome, present when the request was shed (status 429/503).
+	Shed       string  `json:"shed,omitempty"`       // shed reason
+	ShedClass  string  `json:"shed_class,omitempty"` // admission class
+	RetryAfter float64 `json:"retry_after,omitempty"`
+}
+
+// QueryKey returns the FNV-64a hex digest of a query identity — a stable,
+// non-reversible grouping handle for flight records.
+func QueryKey(parts ...string) string {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// FlightRecorder is a sampled, size-bounded on-disk request log: one JSON
+// record per line after the magic header, same framing and torn-tail
+// discipline as the ingestion WAL. Writes are best-effort — a full or
+// failing log drops records and counts them, never the request — and cheap
+// enough to sit in server middleware (no fsync; this is telemetry, not
+// durability).
+type FlightRecorder struct {
+	mu       sync.Mutex
+	f        *os.File
+	path     string
+	sample   int   // record 1 in sample requests (1 = all)
+	maxBytes int64 // size cap; 0 = unbounded
+	size     int64
+	seq      uint64 // admitted-request counter driving the sampling cadence
+	baseUs   int64  // absolute µs timestamp of the first record
+}
+
+// NewFlightRecorder creates (truncating) a flight log at path. sample
+// records 1 in n requests (values < 1 mean every request); maxBytes caps
+// the log size (0 = unbounded), past which records are dropped and counted.
+func NewFlightRecorder(path string, sample int, maxBytes int64) (*FlightRecorder, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.WriteString(flightMagic + "\n"); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if sample < 1 {
+		sample = 1
+	}
+	r := &FlightRecorder{f: f, path: path, sample: sample, maxBytes: maxBytes,
+		size: int64(len(flightMagic) + 1)}
+	mFlightBytes.Set(r.size)
+	return r, nil
+}
+
+// Sampled reports whether the next request should be recorded, advancing
+// the sampling cadence. Callers ask before assembling a record so skipped
+// requests pay nothing (and so exemplar capture can share the decision).
+func (r *FlightRecorder) Sampled() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	if r.seq%uint64(r.sample) != 1 && r.sample > 1 {
+		mFlightSampledOut.Inc()
+		return false
+	}
+	return true
+}
+
+// Record appends one record. nowUs is the absolute time of the request in
+// µs; the recorder rebases it onto the first record's timestamp.
+func (r *FlightRecorder) Record(rec FlightRecord, nowUs int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.f == nil {
+		return
+	}
+	if r.baseUs == 0 {
+		r.baseUs = nowUs
+	}
+	rec.OffsetUs = nowUs - r.baseUs
+	buf, err := json.Marshal(rec)
+	if err != nil {
+		mFlightErrors.Inc()
+		return
+	}
+	buf = append(buf, '\n')
+	if r.maxBytes > 0 && r.size+int64(len(buf)) > r.maxBytes {
+		mFlightDroppedBytes.Inc()
+		return
+	}
+	if _, err := r.f.Write(buf); err != nil {
+		mFlightErrors.Inc()
+		return
+	}
+	r.size += int64(len(buf))
+	mFlightRecords.Inc()
+	mFlightBytes.Set(r.size)
+}
+
+// Path returns the flight log's file path.
+func (r *FlightRecorder) Path() string { return r.path }
+
+// Close closes the underlying file; later Records are silently dropped.
+func (r *FlightRecorder) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.f == nil {
+		return nil
+	}
+	err := r.f.Close()
+	r.f = nil
+	return err
+}
+
+// ReadFlightLog decodes a flight log. A torn final line — the signature of
+// a crash mid-append — is dropped silently, mirroring the WAL reader;
+// corruption anywhere else is an error.
+func ReadFlightLog(path string) ([]FlightRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	header, err := r.ReadString('\n')
+	if err != nil || header != flightMagic+"\n" {
+		return nil, fmt.Errorf("obs: %s: bad flight-log header %q (want %q)",
+			path, strings.TrimSuffix(header, "\n"), flightMagic)
+	}
+	var out []FlightRecord
+	for {
+		line, err := r.ReadBytes('\n')
+		if err == io.EOF && len(line) == 0 {
+			break
+		}
+		torn := err == io.EOF
+		if err != nil && err != io.EOF {
+			return nil, fmt.Errorf("obs: %s: reading flight log: %w", path, err)
+		}
+		var rec FlightRecord
+		if decErr := json.Unmarshal(bytes.TrimSuffix(line, []byte("\n")), &rec); decErr != nil {
+			if torn {
+				break
+			}
+			return nil, fmt.Errorf("obs: %s: corrupt flight record %d", path, len(out)+1)
+		}
+		if torn {
+			break
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}

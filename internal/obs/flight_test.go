@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFlightRecorderRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flight.log")
+	fr, err := NewFlightRecorder(path, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []FlightRecord{
+		{Route: "/api/search", First: "maria", Surname: "silva",
+			Key:    QueryKey("/api/search", "maria", "silva"),
+			Status: 200, Generation: 4, LatencyUs: 120, Cache: "hit", TraceID: "abc123"},
+		{Route: "/api/pedigree", Entity: "42", Status: 200, LatencyUs: 900},
+		{Route: "/api/ingest", Body: `{"records":[]}`, Status: 202, LatencyUs: 50},
+		{Route: "/api/search", Status: 429, Shed: "rate", ShedClass: "search", RetryAfter: 0.5},
+	}
+	base := int64(1_000_000_000)
+	for i, r := range recs {
+		if !fr.Sampled() {
+			t.Fatalf("record %d sampled out at sample=1", i)
+		}
+		fr.Record(r, base+int64(i)*1000)
+	}
+	if err := fr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := ReadFlightLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(got), len(recs))
+	}
+	// Offsets are rebased onto the first record.
+	for i, r := range got {
+		if want := int64(i) * 1000; r.OffsetUs != want {
+			t.Errorf("record %d offset %d, want %d", i, r.OffsetUs, want)
+		}
+	}
+	if got[0].First != "maria" || got[0].Cache != "hit" || got[0].Generation != 4 || got[0].TraceID != "abc123" {
+		t.Errorf("search record did not round-trip: %+v", got[0])
+	}
+	if got[2].Body != `{"records":[]}` {
+		t.Errorf("ingest body did not round-trip: %q", got[2].Body)
+	}
+	if got[3].Shed != "rate" || got[3].ShedClass != "search" || got[3].RetryAfter != 0.5 {
+		t.Errorf("shed record did not round-trip: %+v", got[3])
+	}
+}
+
+func TestFlightRecorderSampling(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flight.log")
+	fr, err := NewFlightRecorder(path, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recorded := 0
+	for i := 0; i < 9; i++ {
+		if fr.Sampled() {
+			recorded++
+			fr.Record(FlightRecord{Route: "/api/search", Status: 200}, int64(i+1)*1e6)
+		}
+	}
+	fr.Close()
+	if recorded != 3 {
+		t.Fatalf("sample=3 recorded %d of 9, want 3", recorded)
+	}
+	got, err := ReadFlightLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("log holds %d records, want 3", len(got))
+	}
+}
+
+func TestFlightRecorderSizeCap(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flight.log")
+	// Room for the header plus roughly one small record.
+	fr, err := NewFlightRecorder(path, 1, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := mFlightDroppedBytes.Value()
+	for i := 0; i < 5; i++ {
+		fr.Sampled()
+		fr.Record(FlightRecord{Route: "/api/search", Status: 200}, int64(i+1)*1e6)
+	}
+	fr.Close()
+	dropped := mFlightDroppedBytes.Value() - before
+	got, err := ReadFlightLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got)+int(dropped) != 5 {
+		t.Fatalf("records %d + dropped %d != 5", len(got), dropped)
+	}
+	if dropped == 0 {
+		t.Fatal("size cap never dropped a record")
+	}
+	if len(got) == 0 {
+		t.Fatal("size cap dropped everything — cap too tight for even one record")
+	}
+}
+
+func TestReadFlightLogTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flight.log")
+	fr, err := NewFlightRecorder(path, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr.Sampled()
+	fr.Record(FlightRecord{Route: "/api/search", Status: 200}, 1e6)
+	fr.Close()
+
+	// Simulate a crash mid-append: a partial JSON line with no newline.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"t_us":12,"route":"/api/sea`)
+	f.Close()
+
+	got, err := ReadFlightLog(path)
+	if err != nil {
+		t.Fatalf("torn tail must be tolerated, got error %v", err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("read %d records, want 1 (torn tail dropped)", len(got))
+	}
+}
+
+func TestReadFlightLogBadHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flight.log")
+	if err := os.WriteFile(path, []byte("NOTAFLIGHTLOG\n{}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFlightLog(path); err == nil {
+		t.Fatal("bad magic header accepted")
+	}
+}
+
+func TestReadFlightLogMidFileCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flight.log")
+	content := flightMagic + "\n" +
+		`{"t_us":0,"route":"/api/search","status":200,"lat_us":10}` + "\n" +
+		`not json at all` + "\n" +
+		`{"t_us":5,"route":"/api/search","status":200,"lat_us":10}` + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFlightLog(path); err == nil {
+		t.Fatal("mid-file corruption accepted")
+	}
+}
+
+func TestQueryKeyStability(t *testing.T) {
+	a := QueryKey("/api/search", "maria", "silva")
+	if b := QueryKey("/api/search", "maria", "silva"); b != a {
+		t.Fatal("QueryKey not deterministic")
+	}
+	if QueryKey("/api/search", "marias", "ilva") == a {
+		t.Fatal("QueryKey ignores part boundaries")
+	}
+	if len(a) != 16 {
+		t.Fatalf("QueryKey length %d, want 16 hex chars", len(a))
+	}
+}

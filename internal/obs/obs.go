@@ -75,26 +75,87 @@ var DefBuckets = []float64{
 	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
 }
 
+// LogBuckets returns n log-spaced upper bounds min, min*growth,
+// min*growth^2, ... — the exposition-friendly cousin of internal/load's
+// HDR histogram: relative error is bounded by the growth factor at every
+// magnitude, instead of the lowest linear bucket swallowing the whole
+// sub-millisecond range.
+func LogBuckets(min, growth float64, n int) []float64 {
+	if min <= 0 || growth <= 1 || n < 1 {
+		panic("obs: LogBuckets wants min > 0, growth > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	b := min
+	for i := range out {
+		out[i] = b
+		b *= growth
+	}
+	return out
+}
+
+// LatencyBuckets are the serving-tier latency buckets: log-spaced by
+// factor 2 from 1µs to ~67s, so the 11µs hot-path search and a 2s
+// overloaded scatter resolve with the same ~41% worst-case relative error
+// instead of both collapsing into coarse linear edges. Histograms built
+// over them interpolate quantiles geometrically (see Quantile).
+var LatencyBuckets = LogBuckets(1e-6, 2, 27)
+
 // CountBuckets are buckets for size-like observations (candidate counts,
 // batch sizes) rather than durations.
 var CountBuckets = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 5000}
 
 // Histogram is a fixed-bucket histogram with atomic per-bucket counts. The
 // bounds are inclusive upper bounds in ascending order; observations above
-// the last bound land in an implicit +Inf bucket.
+// the last bound land in an implicit +Inf bucket. Each bucket additionally
+// keeps one optional exemplar — the trace ID and exact value of the latest
+// sampled observation that landed in it — so a tail-bucket count on
+// /metrics links directly to a span tree in /api/debug/traces.
 type Histogram struct {
 	bounds  []float64
 	buckets []atomic.Int64 // len(bounds)+1; last is +Inf
 	count   atomic.Int64
 	sumBits atomic.Uint64 // float64 bits of the running sum
+	// growth is the constant ratio between consecutive bounds when the
+	// layout is log-spaced (LogBuckets), 0 for linear layouts; Quantile
+	// interpolates geometrically when it is set.
+	growth    float64
+	exemplars []atomic.Pointer[Exemplar] // aligned with buckets
+}
+
+// Exemplar is one sampled observation attached to a histogram bucket, in
+// the OpenMetrics sense: the exact value, the trace it belongs to, and
+// when it was recorded.
+type Exemplar struct {
+	Value   float64
+	TraceID string
+	Time    time.Time
 }
 
 // newHistogram copies and sorts the bounds so callers can share bucket
-// slices safely.
+// slices safely, and detects a log-spaced layout (constant bound ratio) so
+// quantile interpolation can match it.
 func newHistogram(bounds []float64) *Histogram {
 	bs := append([]float64(nil), bounds...)
 	sort.Float64s(bs)
-	return &Histogram{bounds: bs, buckets: make([]atomic.Int64, len(bs)+1)}
+	h := &Histogram{
+		bounds:    bs,
+		buckets:   make([]atomic.Int64, len(bs)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bs)+1),
+	}
+	if len(bs) >= 3 && bs[0] > 0 {
+		g := bs[1] / bs[0]
+		logSpaced := true
+		for i := 2; i < len(bs); i++ {
+			if r := bs[i] / bs[i-1]; math.Abs(r-g) > 1e-9*g {
+				logSpaced = false
+				break
+			}
+		}
+		if logSpaced {
+			h.growth = g
+		}
+	}
+	return h
 }
 
 // Observe records one value.
@@ -111,8 +172,37 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// ObserveExemplar records one value and, when traceID is non-empty (the
+// request was sampled into a trace), attaches it as the bucket's exemplar.
+// Latest-wins per bucket: a p99 spike keeps overwriting the tail bucket's
+// exemplar with fresher slow traces while fast traffic stays in the low
+// buckets, so the exemplar a scrape sees for the tail IS a slow trace.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.exemplars[i].Store(&Exemplar{Value: v, TraceID: traceID, Time: time.Now()})
+}
+
+// BucketExemplar returns bucket i's exemplar (i == len(bounds) is +Inf),
+// nil when none was recorded.
+func (h *Histogram) BucketExemplar(i int) *Exemplar {
+	if i < 0 || i >= len(h.exemplars) {
+		return nil
+	}
+	return h.exemplars[i].Load()
+}
+
 // ObserveDuration records a duration in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// ObserveDurationExemplar records a duration in seconds with a trace-ID
+// exemplar (no-op exemplar when traceID is empty).
+func (h *Histogram) ObserveDurationExemplar(d time.Duration, traceID string) {
+	h.ObserveExemplar(d.Seconds(), traceID)
+}
 
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
@@ -120,11 +210,15 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
-// Quantile estimates the q-quantile (0 < q <= 1) by linear interpolation
-// within the bucket containing the target rank, the same estimate
-// Prometheus's histogram_quantile produces. Observations in the +Inf
-// bucket clamp to the largest finite bound. Returns 0 with no
-// observations.
+// Quantile estimates the q-quantile (0 < q <= 1) by interpolation within
+// the bucket containing the target rank. Linear layouts (DefBuckets)
+// interpolate linearly — the same estimate Prometheus's
+// histogram_quantile produces. Log-spaced layouts (LogBuckets,
+// LatencyBuckets) interpolate geometrically, lo*(hi/lo)^frac, the estimate
+// with bounded relative error under logarithmic bucketing — consistent
+// with internal/load's HDR histogram, whose geometric bucket midpoint is
+// exactly the frac=0.5 case. Observations in the +Inf bucket clamp to the
+// largest finite bound. Returns 0 with no observations.
 func (h *Histogram) Quantile(q float64) float64 {
 	total := h.count.Load()
 	if total == 0 || len(h.bounds) == 0 {
@@ -148,15 +242,25 @@ func (h *Histogram) Quantile(q float64) float64 {
 			if i == len(h.bounds) {
 				return h.bounds[len(h.bounds)-1]
 			}
-			lo := 0.0
-			if i > 0 {
-				lo = h.bounds[i-1]
-			}
 			frac := (rank - float64(cum)) / float64(n)
 			if frac < 0 {
 				frac = 0
 			}
-			return lo + (h.bounds[i]-lo)*frac
+			hi := h.bounds[i]
+			if h.growth > 0 {
+				// Log layout: bucket 0 spans (bounds[0]/growth, bounds[0]]
+				// just as every later bucket spans one growth factor.
+				lo := hi / h.growth
+				if i > 0 {
+					lo = h.bounds[i-1]
+				}
+				return lo * math.Pow(hi/lo, frac)
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			return lo + (hi-lo)*frac
 		}
 		cum += n
 	}

@@ -149,8 +149,32 @@ func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
 
 // WriteText renders every registered series in the Prometheus text
 // exposition format (version 0.0.4), sorted by family then label set, with
-// one HELP/TYPE header per family.
+// one HELP/TYPE header per family. Exemplars are omitted — they are not
+// part of the 0.0.4 grammar; scrape with WriteOpenMetrics to see them.
 func (r *Registry) WriteText(w io.Writer) error {
+	return r.writeExposition(w, false)
+}
+
+// WriteOpenMetrics renders the registry in the OpenMetrics 1.0 text
+// format: counter families drop their `_total` suffix in HELP/TYPE (the
+// samples keep it), histogram buckets carry their trace-ID exemplars
+// (`# {trace_id="..."} value timestamp`), and the output ends with the
+// mandatory `# EOF` terminator. Serve it under content type
+// `application/openmetrics-text; version=1.0.0`.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	return r.writeExposition(w, true)
+}
+
+// openMetricsFamily is the metric-family name OpenMetrics wants in
+// HELP/TYPE lines: counters are named without the `_total` sample suffix.
+func openMetricsFamily(e *entry) string {
+	if e.kind == counterKind {
+		return strings.TrimSuffix(e.family, "_total")
+	}
+	return e.family
+}
+
+func (r *Registry) writeExposition(w io.Writer, openMetrics bool) error {
 	r.mu.RLock()
 	entries := make([]*entry, 0, len(r.entries))
 	for _, e := range r.entries {
@@ -168,10 +192,14 @@ func (r *Registry) WriteText(w io.Writer) error {
 	prevFamily := ""
 	for _, e := range entries {
 		if e.family != prevFamily {
-			if e.help != "" {
-				fmt.Fprintf(bw, "# HELP %s %s\n", e.family, e.help)
+			fam := e.family
+			if openMetrics {
+				fam = openMetricsFamily(e)
 			}
-			fmt.Fprintf(bw, "# TYPE %s %s\n", e.family, e.kind)
+			if e.help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", fam, e.help)
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", fam, e.kind)
 			prevFamily = e.family
 		}
 		switch e.kind {
@@ -186,14 +214,37 @@ func (r *Registry) WriteText(w io.Writer) error {
 			cum, total := h.snapshot()
 			for i, bound := range h.bounds {
 				le := Label("le", formatFloat(bound))
-				fmt.Fprintf(bw, "%s %d\n", series(e.family+"_bucket", join(e.labels, le)), cum[i])
+				fmt.Fprintf(bw, "%s %d", series(e.family+"_bucket", join(e.labels, le)), cum[i])
+				if openMetrics {
+					writeExemplar(bw, h.BucketExemplar(i))
+				}
+				bw.WriteByte('\n')
 			}
-			fmt.Fprintf(bw, "%s %d\n", series(e.family+"_bucket", join(e.labels, `le="+Inf"`)), total)
+			fmt.Fprintf(bw, "%s %d", series(e.family+"_bucket", join(e.labels, `le="+Inf"`)), total)
+			if openMetrics {
+				writeExemplar(bw, h.BucketExemplar(len(h.bounds)))
+			}
+			bw.WriteByte('\n')
 			fmt.Fprintf(bw, "%s %s\n", series(e.family+"_sum", e.labels), formatFloat(h.Sum()))
 			fmt.Fprintf(bw, "%s %d\n", series(e.family+"_count", e.labels), total)
 		}
 	}
+	if openMetrics {
+		fmt.Fprint(bw, "# EOF\n")
+	}
 	return bw.Flush()
+}
+
+// writeExemplar appends one OpenMetrics exemplar clause to the current
+// bucket line: ` # {trace_id="..."} value timestamp`. No-op for nil.
+func writeExemplar(bw *bufio.Writer, ex *Exemplar) {
+	if ex == nil {
+		return
+	}
+	fmt.Fprintf(bw, " # {%s} %s %s",
+		Label("trace_id", ex.TraceID),
+		formatFloat(ex.Value),
+		strconv.FormatFloat(float64(ex.Time.UnixNano())/1e9, 'f', 3, 64))
 }
 
 func series(family, labels string) string {

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SLOTracker tracks request outcomes against a latency/error SLO in a
+// per-second ring buffer and reports multi-window burn rates, the
+// Google-SRE-workbook alerting shape: burn = (bad fraction over window) /
+// (budget fraction). Burn 1.0 spends the budget exactly at the sustainable
+// rate; 14.4 over both a short and a long window is the classic page-now
+// threshold. Two windows (1m/5m) keep the signal both fast (short window
+// sees a spike immediately) and de-flapped (long window must agree).
+type SLOTracker struct {
+	latencySLO    time.Duration // a 2xx slower than this is "slow"
+	errorBudget   float64       // tolerated 5xx fraction, e.g. 0.01
+	latencyBudget float64       // tolerated slow-2xx fraction, e.g. 0.05
+	now           func() time.Time
+
+	mu    sync.Mutex
+	slots [sloSlots]sloSlot
+}
+
+// sloSlots covers the longest window (5m) with headroom.
+const sloSlots = 512
+
+type sloSlot struct {
+	sec    int64 // unix second this slot currently holds, 0 = empty
+	total  int64
+	errors int64 // 5xx responses
+	slow   int64 // non-5xx responses over the latency SLO
+}
+
+// NewSLOTracker builds a tracker. Non-positive arguments fall back to the
+// defaults: 250ms latency SLO, 1% error budget, 5% latency budget.
+func NewSLOTracker(latencySLO time.Duration, errorBudget, latencyBudget float64) *SLOTracker {
+	if latencySLO <= 0 {
+		latencySLO = 250 * time.Millisecond
+	}
+	if errorBudget <= 0 {
+		errorBudget = 0.01
+	}
+	if latencyBudget <= 0 {
+		latencyBudget = 0.05
+	}
+	return &SLOTracker{
+		latencySLO:    latencySLO,
+		errorBudget:   errorBudget,
+		latencyBudget: latencyBudget,
+		now:           time.Now,
+	}
+}
+
+// LatencySLO returns the latency threshold the tracker judges against.
+func (t *SLOTracker) LatencySLO() time.Duration { return t.latencySLO }
+
+// Observe records one finished request.
+func (t *SLOTracker) Observe(status int, d time.Duration) {
+	sec := t.now().Unix()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := &t.slots[sec%sloSlots]
+	if s.sec != sec {
+		*s = sloSlot{sec: sec}
+	}
+	s.total++
+	if status >= 500 {
+		s.errors++
+	} else if d > t.latencySLO {
+		s.slow++
+	}
+}
+
+// Burn is one window's budget-burn snapshot.
+type Burn struct {
+	Window      string  `json:"window"`
+	Total       int64   `json:"total"`
+	Errors      int64   `json:"errors"`
+	Slow        int64   `json:"slow"`
+	ErrorBurn   float64 `json:"error_burn"`   // error fraction / error budget
+	LatencyBurn float64 `json:"latency_burn"` // slow fraction / latency budget
+}
+
+// Windows returns the burn snapshots for the 1m and 5m windows ending now.
+// With no traffic in a window both burns are 0 — silence does not spend
+// budget.
+func (t *SLOTracker) Windows() []Burn {
+	sec := t.now().Unix()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return []Burn{t.burnLocked("1m", sec, 60), t.burnLocked("5m", sec, 300)}
+}
+
+func (t *SLOTracker) burnLocked(name string, nowSec int64, span int64) Burn {
+	b := Burn{Window: name}
+	// The current second is still filling; read the span ending at the
+	// previous full second plus whatever the live second holds so far.
+	for sec := nowSec - span + 1; sec <= nowSec; sec++ {
+		s := &t.slots[sec%sloSlots]
+		if s.sec != sec {
+			continue
+		}
+		b.Total += s.total
+		b.Errors += s.errors
+		b.Slow += s.slow
+	}
+	if b.Total > 0 {
+		b.ErrorBurn = float64(b.Errors) / float64(b.Total) / t.errorBudget
+		b.LatencyBurn = float64(b.Slow) / float64(b.Total) / t.latencyBudget
+	}
+	return b
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives an SLOTracker deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestTracker() (*SLOTracker, *fakeClock) {
+	tr := NewSLOTracker(250*time.Millisecond, 0.01, 0.05)
+	clk := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	tr.now = clk.now
+	return tr, clk
+}
+
+func TestSLOTrackerDefaults(t *testing.T) {
+	tr := NewSLOTracker(0, 0, 0)
+	if tr.LatencySLO() != 250*time.Millisecond {
+		t.Errorf("default latency SLO = %v", tr.LatencySLO())
+	}
+	if tr.errorBudget != 0.01 || tr.latencyBudget != 0.05 {
+		t.Errorf("default budgets = %v/%v", tr.errorBudget, tr.latencyBudget)
+	}
+}
+
+func TestSLOTrackerBurnMath(t *testing.T) {
+	tr, _ := newTestTracker()
+
+	// 100 requests in the current second: 2 errors, 10 slow, 88 good.
+	for i := 0; i < 88; i++ {
+		tr.Observe(200, 10*time.Millisecond)
+	}
+	for i := 0; i < 2; i++ {
+		tr.Observe(500, 10*time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		tr.Observe(200, 400*time.Millisecond)
+	}
+
+	ws := tr.Windows()
+	if len(ws) != 2 || ws[0].Window != "1m" || ws[1].Window != "5m" {
+		t.Fatalf("windows = %+v", ws)
+	}
+	for _, w := range ws {
+		if w.Total != 100 || w.Errors != 2 || w.Slow != 10 {
+			t.Errorf("%s counts = %+v", w.Window, w)
+		}
+		// 2% errors over a 1% budget → burn 2; 10% slow over 5% → burn 2.
+		if !closeTo(w.ErrorBurn, 2) || !closeTo(w.LatencyBurn, 2) {
+			t.Errorf("%s burns = %v/%v, want 2/2", w.Window, w.ErrorBurn, w.LatencyBurn)
+		}
+	}
+
+	// A shed 429 is not an error and, being non-5xx, is judged on latency.
+	tr.Observe(429, time.Millisecond)
+	ws = tr.Windows()
+	if ws[0].Errors != 2 || ws[0].Total != 101 {
+		t.Errorf("429 miscounted: %+v", ws[0])
+	}
+}
+
+func TestSLOTrackerWindowExpiry(t *testing.T) {
+	tr, clk := newTestTracker()
+	for i := 0; i < 60; i++ {
+		tr.Observe(500, time.Millisecond)
+	}
+
+	// 90 seconds later the spike is out of the 1m window but inside 5m.
+	clk.advance(90 * time.Second)
+	ws := tr.Windows()
+	if ws[0].Total != 0 || ws[0].ErrorBurn != 0 {
+		t.Errorf("1m window still sees the spike: %+v", ws[0])
+	}
+	if ws[1].Total != 60 || ws[1].Errors != 60 {
+		t.Errorf("5m window lost the spike: %+v", ws[1])
+	}
+
+	// Past 5 minutes everything ages out; no traffic means zero burn.
+	clk.advance(5 * time.Minute)
+	for _, w := range tr.Windows() {
+		if w.Total != 0 || w.ErrorBurn != 0 || w.LatencyBurn != 0 {
+			t.Errorf("%s window did not age out: %+v", w.Window, w)
+		}
+	}
+}
+
+func TestSLOTrackerRingReuse(t *testing.T) {
+	tr, clk := newTestTracker()
+	// Write a slot, then come back to the same ring index sloSlots seconds
+	// later: the stale slot must be overwritten, not accumulated.
+	tr.Observe(500, time.Millisecond)
+	clk.advance(sloSlots * time.Second)
+	tr.Observe(200, time.Millisecond)
+	ws := tr.Windows()
+	if ws[0].Total != 1 || ws[0].Errors != 0 {
+		t.Errorf("stale ring slot leaked into the window: %+v", ws[0])
+	}
+}
+
+func closeTo(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}

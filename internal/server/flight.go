@@ -1,0 +1,152 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/snaps/snaps/internal/admission"
+	"github.com/snaps/snaps/internal/obs"
+)
+
+// EnableFlightRecorder attaches a flight recorder: ServeHTTP writes one
+// sampled record per admission-classified request (searches, pedigree
+// renders, ingest — operational endpoints like /metrics and /healthz are
+// neither recorded nor replayable), including shed requests, so a replayed
+// log reproduces backpressure behaviour rather than just accepted traffic.
+func (s *Server) EnableFlightRecorder(fr *obs.FlightRecorder) {
+	s.flight = fr
+}
+
+// EnableSLO attaches an SLO tracker: ServeHTTP feeds it every response and
+// /healthz reports the rolling 1m/5m error- and latency-budget burn rates.
+func (s *Server) EnableSLO(t *obs.SLOTracker) {
+	s.slo = t
+}
+
+// maxFlightBody caps the ingest request body a flight record may carry, so
+// one oversized submission cannot bloat the log.
+const maxFlightBody = 1 << 20
+
+// flightCapture accumulates one request's flight record across the
+// middleware: created before the handler runs (so the sampling decision is
+// made exactly once and the ingest body can be teed), finished after.
+type flightCapture struct {
+	rec   obs.FlightRecord
+	nowUs int64
+	body  *bytes.Buffer // non-nil only for sampled ingest requests
+}
+
+// startFlight decides whether this request is recorded and, when it is,
+// seeds the record with the replayable request identity. Returns nil when
+// recording is off, the route is not admission-classified, or the sampler
+// skipped the request.
+func (s *Server) startFlight(route string, r *http.Request) *flightCapture {
+	if s.flight == nil || classifyRoute(route) == admission.Exempt {
+		return nil
+	}
+	if !s.flight.Sampled() {
+		return nil
+	}
+	q := r.URL.Query()
+	fc := &flightCapture{
+		nowUs: time.Now().UnixMicro(),
+		rec: obs.FlightRecord{
+			Route:   route,
+			First:   q.Get("first_name"),
+			Surname: q.Get("surname"),
+			Entity:  q.Get("id"),
+		},
+	}
+	fc.rec.Key = obs.QueryKey(route, fc.rec.First, fc.rec.Surname, fc.rec.Entity)
+	return fc
+}
+
+// teeBody returns the request with its body teed into the capture (capped
+// at maxFlightBody), so an ingest submission can be replayed. No-op for
+// bodyless requests.
+func (fc *flightCapture) teeBody(r *http.Request) *http.Request {
+	if fc == nil || r.Body == nil || r.Body == http.NoBody {
+		return r
+	}
+	fc.body = &bytes.Buffer{}
+	r.Body = &teeReadCloser{rc: r.Body, buf: fc.body}
+	return r
+}
+
+type teeReadCloser struct {
+	rc  io.ReadCloser
+	buf *bytes.Buffer
+}
+
+func (t *teeReadCloser) Read(p []byte) (int, error) {
+	n, err := t.rc.Read(p)
+	if n > 0 && t.buf.Len() < maxFlightBody {
+		room := maxFlightBody - t.buf.Len()
+		if room > n {
+			room = n
+		}
+		t.buf.Write(p[:room])
+	}
+	return n, err
+}
+
+func (t *teeReadCloser) Close() error { return t.rc.Close() }
+
+// finishShed records an admission rejection: status 429 plus the shed
+// reason, class, and the Retry-After hint the client was given.
+func (fc *flightCapture) finishShed(s *Server, dec admission.Decision, d time.Duration, traceID string) {
+	if fc == nil {
+		return
+	}
+	fc.rec.Status = http.StatusTooManyRequests
+	fc.rec.Shed = dec.Reason
+	fc.rec.ShedClass = classifyRoute(fc.rec.Route).String()
+	fc.rec.RetryAfter = dec.RetryAfter.Seconds()
+	fc.rec.LatencyUs = d.Microseconds()
+	fc.rec.TraceID = traceID
+	s.flight.Record(fc.rec, fc.nowUs)
+}
+
+// finish records a served request: outcome, latency, the generation that
+// answered it, and — for search routes — the result-cache outcome lifted
+// from the finished "search" span.
+func (fc *flightCapture) finish(s *Server, ctx context.Context, sw *statusWriter, d time.Duration, traceID string) {
+	if fc == nil {
+		return
+	}
+	fc.rec.Status = sw.status
+	fc.rec.LatencyUs = d.Microseconds()
+	fc.rec.TraceID = traceID
+	if g := sw.Header().Get("X-Snaps-Generation"); g != "" {
+		fc.rec.Generation, _ = strconv.ParseUint(g, 10, 64)
+	}
+	if fc.body != nil && fc.body.Len() > 0 {
+		fc.rec.Body = fc.body.String()
+	}
+	if classifyRoute(fc.rec.Route) == admission.Search && fc.rec.First != "" {
+		fc.rec.Cache = cacheOutcome(ctx)
+	}
+	s.flight.Record(fc.rec, fc.nowUs)
+}
+
+// cacheOutcome reads the result-cache outcome off the request's finished
+// "search" span: the query engine stamps cache_hit=1 or cache_stale=1 on
+// it, and their absence on a completed search means a miss.
+func cacheOutcome(ctx context.Context) string {
+	if v, ok := obs.FinishedSpanAttr(ctx, "search", "cache_hit"); ok && attrIsOne(v) {
+		return "hit"
+	}
+	if v, ok := obs.FinishedSpanAttr(ctx, "search", "cache_stale"); ok && attrIsOne(v) {
+		return "stale"
+	}
+	return "miss"
+}
+
+func attrIsOne(v any) bool {
+	n, ok := v.(int64)
+	return ok && n == 1
+}

@@ -1,0 +1,311 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/snaps/snaps/internal/admission"
+	"github.com/snaps/snaps/internal/ingest"
+	"github.com/snaps/snaps/internal/obs"
+)
+
+// flightLog wires a fresh recorder into the server and returns a reader
+// for whatever the test recorded.
+func flightLog(t *testing.T, s *Server, sample int) func() []obs.FlightRecord {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "flight.log")
+	fr, err := obs.NewFlightRecorder(path, sample, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.EnableFlightRecorder(fr)
+	return func() []obs.FlightRecord {
+		if err := fr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		recs, err := obs.ReadFlightLog(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return recs
+	}
+}
+
+// TestFlightMiddlewareRecordsRequests drives search and ingest traffic
+// through a recording server and checks each record carries the replayable
+// identity plus the outcome telemetry.
+func TestFlightMiddlewareRecordsRequests(t *testing.T) {
+	cfg := ingest.DefaultConfig()
+	cfg.BatchSize = 1 << 20 // no background flush during the test
+	cfg.MaxAge = time.Hour
+	cfg.QueryCache = 64 // so the repeat search is a recorded cache hit
+	srv, _ := ingestFamily(t, cfg)
+	read := flightLog(t, srv, 1)
+
+	search := "/api/search?first_name=torquil&surname=macsween"
+	if w := do(srv, "GET", search); w.Code != http.StatusOK {
+		t.Fatalf("search status %d", w.Code)
+	}
+	if w := do(srv, "GET", search); w.Code != http.StatusOK { // repeat: cache hit
+		t.Fatalf("repeat search status %d", w.Code)
+	}
+	w := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/api/ingest", strings.NewReader(torquilDeathJSON))
+	req.Header.Set("Content-Type", "application/json")
+	srv.ServeHTTP(w, req)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("ingest status %d: %s", w.Code, w.Body.String())
+	}
+	// Operational endpoints are exempt from recording.
+	if w := do(srv, "GET", "/metrics"); w.Code != http.StatusOK {
+		t.Fatalf("metrics status %d", w.Code)
+	}
+
+	recs := read()
+	if len(recs) != 3 {
+		t.Fatalf("recorded %d requests, want 3 (searches + ingest, not /metrics): %+v", len(recs), recs)
+	}
+
+	s0 := recs[0]
+	if s0.Route != "/api/search" || s0.First != "torquil" || s0.Surname != "macsween" {
+		t.Errorf("search record identity = %+v", s0)
+	}
+	if s0.Status != 200 || s0.LatencyUs <= 0 || s0.TraceID == "" || s0.Key == "" {
+		t.Errorf("search record outcome = %+v", s0)
+	}
+	if s0.Cache != "miss" {
+		t.Errorf("first search cache = %q, want miss", s0.Cache)
+	}
+	if recs[1].Cache != "hit" {
+		t.Errorf("repeat search cache = %q, want hit", recs[1].Cache)
+	}
+	if recs[0].Key != recs[1].Key {
+		t.Error("identical searches got different query keys")
+	}
+
+	ing := recs[2]
+	if ing.Route != "/api/ingest" || ing.Status != http.StatusAccepted {
+		t.Errorf("ingest record = %+v", ing)
+	}
+	if ing.Body != torquilDeathJSON {
+		t.Errorf("ingest body did not round-trip: %q", ing.Body)
+	}
+}
+
+// TestFlightMiddlewareRecordsShed pins that admission rejections land in
+// the log with their class, reason, and Retry-After hint — satellite (b).
+func TestFlightMiddlewareRecordsShed(t *testing.T) {
+	srv, g := testServer(t)
+	first, sur := someName(g)
+	read := flightLog(t, srv, 1)
+
+	cfg := admission.DefaultConfig()
+	cfg.MaxConcurrency = 2
+	cfg.RetryAfter = 2 * time.Second
+	ctrl := admission.New(cfg)
+	srv.EnableAdmission(ctrl)
+
+	// Hold the whole budget so the next search is shed.
+	rel1, d1 := ctrl.Admit(admission.Search)
+	rel2, d2 := ctrl.Admit(admission.Search)
+	if !d1.Admitted || !d2.Admitted {
+		t.Fatal("setup admissions shed")
+	}
+	defer rel1()
+	defer rel2()
+
+	if w := do(srv, "GET", "/api/search?first_name="+first+"&surname="+sur); w.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated search status %d, want 429", w.Code)
+	}
+
+	recs := read()
+	if len(recs) != 1 {
+		t.Fatalf("recorded %d requests, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.Status != http.StatusTooManyRequests || r.Shed != "concurrency" || r.ShedClass != "search" {
+		t.Errorf("shed record = %+v", r)
+	}
+	if r.RetryAfter <= 0 {
+		t.Errorf("shed record Retry-After = %v, want > 0", r.RetryAfter)
+	}
+}
+
+func TestFlightMiddlewareSampling(t *testing.T) {
+	srv, g := testServer(t)
+	first, sur := someName(g)
+	read := flightLog(t, srv, 2) // 1 in 2
+
+	for i := 0; i < 4; i++ {
+		if w := do(srv, "GET", "/api/search?first_name="+first+"&surname="+sur); w.Code != http.StatusOK {
+			t.Fatalf("search %d status %d", i, w.Code)
+		}
+	}
+	if recs := read(); len(recs) != 2 {
+		t.Fatalf("sample=2 recorded %d of 4 requests, want 2", len(recs))
+	}
+}
+
+// TestMetricsOpenMetricsNegotiation checks the Accept-header switch: the
+// OpenMetrics rendition carries trace-ID exemplars and the # EOF
+// terminator; the default 0.0.4 rendition carries neither.
+func TestMetricsOpenMetricsNegotiation(t *testing.T) {
+	srv, g := testServer(t)
+	first, sur := someName(g)
+	if w := do(srv, "GET", "/api/search?first_name="+first+"&surname="+sur); w.Code != http.StatusOK {
+		t.Fatalf("search status %d", w.Code)
+	}
+
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text; version=1.0.0")
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("openmetrics scrape status %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/openmetrics-text") {
+		t.Fatalf("openmetrics content type %q", ct)
+	}
+	body := w.Body.String()
+	if !strings.HasSuffix(strings.TrimRight(body, "\n"), "# EOF") {
+		t.Error("OpenMetrics body does not end with # EOF")
+	}
+	if !strings.Contains(body, `trace_id="`) {
+		t.Error("OpenMetrics body has no trace-ID exemplars after a traced search")
+	}
+	// The request-latency histogram family carries an exemplar on a bucket
+	// of the route that served the search.
+	found := false
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "snaps_http_request_seconds_bucket") &&
+			strings.Contains(line, `route="/api/search"`) && strings.Contains(line, " # {") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no exemplar on the /api/search latency buckets")
+	}
+
+	// Classic scrape: text/plain, no exemplars, no EOF marker.
+	w = httptest.NewRecorder()
+	srv.ServeHTTP(w, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("classic content type %q", ct)
+	}
+	if strings.Contains(w.Body.String(), " # {") {
+		t.Error("classic 0.0.4 body contains exemplars")
+	}
+	if strings.Contains(w.Body.String(), "# EOF") {
+		t.Error("classic 0.0.4 body contains # EOF")
+	}
+}
+
+// TestMetricsScrapeUnderConcurrentLoad is the acceptance race test: both
+// exposition formats are scraped continuously while scatter-gather
+// searches, pedigree renders, and ingest flushes run — with the flight
+// recorder and SLO tracker attached. Run under -race in CI.
+func TestMetricsScrapeUnderConcurrentLoad(t *testing.T) {
+	cfg := ingest.DefaultConfig()
+	cfg.BatchSize = 1 // flush on every certificate
+	cfg.MaxAge = 10 * time.Millisecond
+	srv, _ := shardedFamily(t, 4, cfg)
+	read := flightLog(t, srv, 3)
+	srv.EnableSLO(obs.NewSLOTracker(0, 0, 0))
+	srv.EnableHealth(nil)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	run := func(f func()) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					f()
+				}
+			}
+		}()
+	}
+
+	// Searchers: scatter-gather across all four shards.
+	for i := 0; i < 4; i++ {
+		run(func() {
+			do(srv, "GET", "/api/search?first_name=torquil&surname=macsween")
+		})
+	}
+	// Pedigree renders exercise the per-shard engines.
+	run(func() { do(srv, "GET", "/api/pedigree?id=0") })
+	// Ingest: every certificate triggers a flush and a snapshot swap.
+	year := 1900
+	run(func() {
+		body := hotShardBirthJSON("racer", "clanrace", year)
+		year++
+		w := httptest.NewRecorder()
+		req := httptest.NewRequest("POST", "/api/ingest", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		srv.ServeHTTP(w, req)
+	})
+	// Scrapers: classic and OpenMetrics, plus health (reads the SLO ring).
+	run(func() {
+		if w := do(srv, "GET", "/metrics"); w.Code != http.StatusOK {
+			t.Error("classic scrape failed")
+		}
+	})
+	run(func() {
+		req := httptest.NewRequest("GET", "/metrics", nil)
+		req.Header.Set("Accept", "application/openmetrics-text")
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			t.Error("openmetrics scrape failed")
+		}
+	})
+	run(func() { do(srv, "GET", "/healthz") })
+
+	time.Sleep(500 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// The sampled log must be readable and hold only classified routes.
+	for _, r := range read() {
+		switch r.Route {
+		case "/api/search", "/api/pedigree", "/api/ingest":
+		default:
+			t.Fatalf("unclassified route %q in flight log", r.Route)
+		}
+	}
+}
+
+// TestHealthzReportsSLOBurn checks /healthz surfaces the burn windows and
+// flips to "burning" when both windows page.
+func TestHealthzReportsSLOBurn(t *testing.T) {
+	srv, g := testServer(t)
+	first, sur := someName(g)
+	srv.EnableHealth(nil)
+	srv.EnableSLO(obs.NewSLOTracker(time.Nanosecond, 0.001, 0.001)) // everything is slow
+
+	if w := do(srv, "GET", "/api/search?first_name="+first+"&surname="+sur); w.Code != http.StatusOK {
+		t.Fatalf("search status %d", w.Code)
+	}
+
+	w := do(srv, "GET", "/healthz")
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("burning /healthz status %d, want 503", w.Code)
+	}
+	body := w.Body.String()
+	if !strings.Contains(body, `"burning"`) {
+		t.Errorf("healthz did not report burning: %s", body)
+	}
+	if !strings.Contains(body, `"1m"`) || !strings.Contains(body, `"5m"`) {
+		t.Errorf("healthz missing burn windows: %s", body)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"github.com/snaps/snaps/internal/admission"
 	"github.com/snaps/snaps/internal/ingest"
+	"github.com/snaps/snaps/internal/obs"
 )
 
 // HealthResponse is the readiness snapshot of GET /healthz: the served
@@ -26,7 +27,18 @@ type HealthResponse struct {
 	Shards   []ingest.ShardBacklog `json:"shards,omitempty"`
 	Inflight int64                 `json:"inflight_weighted"`
 	Shedding []string              `json:"shedding,omitempty"`
+	// SLO reports the rolling error- and latency-budget burn rates over the
+	// 1m and 5m windows (EnableSLO). A burn of 1.0 spends the budget at
+	// exactly the sustainable rate; when BOTH windows burn above the
+	// page-now threshold (14.4) on the same budget, Status degrades to
+	// "burning" — the multi-window rule that reacts to a real spike within
+	// a minute without flapping on a single slow request.
+	SLO []obs.Burn `json:"slo,omitempty"`
 }
+
+// burnThreshold is the classic multi-window page-now burn rate: spending a
+// 30-day budget in under 2 days.
+const burnThreshold = 14.4
 
 // EnableHealth mounts GET /healthz. Both arguments are optional: without a
 // pipeline the generation comes from the served engine and the backlog
@@ -58,6 +70,17 @@ func (s *Server) EnableHealth(pipe *ingest.Pipeline) {
 			}
 			if c.Overloaded() {
 				resp.Status = "overloaded"
+			}
+		}
+		if s.slo != nil {
+			resp.SLO = s.slo.Windows()
+			if len(resp.SLO) == 2 && resp.Status == "ok" {
+				short, long := resp.SLO[0], resp.SLO[1]
+				errorBurning := short.ErrorBurn > burnThreshold && long.ErrorBurn > burnThreshold
+				latencyBurning := short.LatencyBurn > burnThreshold && long.LatencyBurn > burnThreshold
+				if errorBurning || latencyBurning {
+					resp.Status = "burning"
+				}
 			}
 		}
 		w.Header().Set("Content-Type", "application/json")

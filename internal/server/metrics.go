@@ -3,17 +3,28 @@ package server
 import (
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"time"
 
 	"github.com/snaps/snaps/internal/obs"
 )
 
-// Request metrics, one series per registered route pattern. Pattern
-// cardinality is bounded by the mux registrations, never by client input:
-// unmatched paths all collapse into the "unmatched" series.
+// Request metrics, one series per registered route pattern × status class.
+// Pattern cardinality is bounded by the mux registrations, never by client
+// input: unmatched paths all collapse into the "unmatched" series, and the
+// vec's series cap backstops everything else.
 const (
 	httpRequestsFamily = "snaps_http_requests_total"
 	httpLatencyFamily  = "snaps_http_request_seconds"
+)
+
+var (
+	mHTTPRequests = obs.Default.CounterVec(httpRequestsFamily,
+		"Total HTTP requests served, by route pattern and status class.",
+		"route", "code")
+	mHTTPLatency = obs.Default.HistogramVec(httpLatencyFamily,
+		"HTTP request latency by route pattern and status class.",
+		obs.LatencyBuckets, "route", "code")
 )
 
 // statusWriter captures the status code a handler writes, so the request
@@ -43,22 +54,25 @@ func statusClass(code int) string {
 }
 
 // observeRequest records one served request into the default registry.
-func observeRequest(route string, status int, d time.Duration) {
+// traceID, when non-empty (the request was traced), becomes the latency
+// bucket's exemplar so a tail bucket on /metrics links to its span tree in
+// /api/debug/traces.
+func observeRequest(route string, status int, d time.Duration, traceID string) {
 	if route == "" {
 		route = "unmatched"
 	}
-	obs.Default.Counter(
-		httpRequestsFamily+"{"+obs.Label("route", route)+","+obs.Label("code", statusClass(status))+"}",
-		"Total HTTP requests served, by route pattern and status class.").Inc()
-	obs.Default.Histogram(
-		httpLatencyFamily+"{"+obs.Label("route", route)+"}",
-		"HTTP request latency by route pattern.", obs.DefBuckets).ObserveDuration(d)
+	code := statusClass(status)
+	mHTTPRequests.With(route, code).Inc()
+	mHTTPLatency.With(route, code).ObserveDurationExemplar(d, traceID)
 }
 
-// handleMetrics serves the Prometheus text exposition of every metric in
-// the default registry: request counts and latencies, ingest pipeline
-// counters, query-engine and index statistics, and the offline stage
-// timing histograms.
+// handleMetrics serves the text exposition of every metric in the default
+// registry: request counts and latencies, ingest pipeline counters,
+// query-engine and index statistics, and the offline stage timing
+// histograms. Scrapers that Accept application/openmetrics-text get the
+// OpenMetrics rendering, which additionally carries the trace-ID exemplars
+// on histogram buckets; everyone else gets classic text 0.0.4, whose
+// grammar has no exemplar clause.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -67,6 +81,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// Refresh the Go runtime gauges (goroutines, heap, GC pause total,
 	// build info) so every scrape reports current values.
 	obs.SampleRuntime(obs.Default)
+	if strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		obs.Default.WriteOpenMetrics(w)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	obs.Default.WriteText(w)
 }

@@ -102,10 +102,13 @@ func TestMetricsEndpoint(t *testing.T) {
 	if sumFamily(after, "snaps_query_searches_total") < 1 {
 		t.Fatal("snaps_query_searches_total missing after a search")
 	}
-	// The request latency histogram must carry the served requests.
-	latCount := `snaps_http_request_seconds_count{route="/api/search"}`
-	if after[latCount] < 2 {
-		t.Fatalf("latency histogram count %v, want >= 2", after[latCount])
+	// The request latency histogram must carry the served requests, one
+	// series per status class.
+	if v := after[`snaps_http_request_seconds_count{route="/api/search",code="2xx"}`]; v < 1 {
+		t.Fatalf("2xx latency histogram count %v, want >= 1", v)
+	}
+	if v := after[`snaps_http_request_seconds_count{route="/api/search",code="4xx"}`]; v < 1 {
+		t.Fatalf("4xx latency histogram count %v, want >= 1", v)
 	}
 	// A scrape itself is counted: /metrics appears as a route.
 	if sumFamily(after, `snaps_http_requests_total{route="/metrics",code="2xx"}`) < 1 {

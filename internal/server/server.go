@@ -78,6 +78,13 @@ type Server struct {
 	// handler runs: weighted concurrency limits, rate limits, and ingest
 	// backpressure, with the pedigree-before-search degradation ladder.
 	admit *admission.Controller
+	// flight, when set (EnableFlightRecorder), receives one sampled record
+	// per admission-classified request — including shed ones — for offline
+	// replay by cmd/snapsload.
+	flight *obs.FlightRecorder
+	// slo, when set (EnableSLO), tracks every response against the latency
+	// and error budgets; /healthz reports its 1m/5m burn rates.
+	slo *obs.SLOTracker
 }
 
 // New wires the handlers around a single-shard query engine.
@@ -146,8 +153,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		spanName = "unmatched"
 	}
 	ctx, span := s.tracer.StartRoot(r.Context(), r.Method+" "+spanName, r.Header.Get("X-Request-ID"))
-	w.Header().Set("X-Request-ID", obs.TraceIDFromContext(ctx))
+	traceID := obs.TraceIDFromContext(ctx)
+	w.Header().Set("X-Request-ID", traceID)
 	start := time.Now()
+	fc := s.startFlight(route, r)
 
 	// Admission runs before the handler: a shed request never touches the
 	// engine or the pedigree graph, it only costs the decision itself.
@@ -159,17 +168,27 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			span.SetAttrStr("shed_reason", dec.Reason)
 			span.SetAttr("status", http.StatusTooManyRequests)
 			span.End()
-			observeRequest(route, http.StatusTooManyRequests, time.Since(start))
+			d := time.Since(start)
+			observeRequest(route, http.StatusTooManyRequests, d, traceID)
+			if s.slo != nil {
+				s.slo.Observe(http.StatusTooManyRequests, d)
+			}
+			fc.finishShed(s, dec, d, traceID)
 			return
 		}
 		defer release()
 	}
 
 	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-	s.mux.ServeHTTP(sw, r.WithContext(ctx))
+	s.mux.ServeHTTP(sw, fc.teeBody(r.WithContext(ctx)))
 	span.SetAttr("status", int64(sw.status))
 	span.End()
-	observeRequest(route, sw.status, time.Since(start))
+	d := time.Since(start)
+	observeRequest(route, sw.status, d, traceID)
+	if s.slo != nil {
+		s.slo.Observe(sw.status, d)
+	}
+	fc.finish(s, ctx, sw, d, traceID)
 }
 
 // SearchResult is one row of the JSON result list.

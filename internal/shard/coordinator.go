@@ -3,6 +3,7 @@ package shard
 import (
 	"context"
 	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -15,28 +16,49 @@ import (
 )
 
 // Coordinator-level metrics in the default registry, exposed at /metrics.
+// Latency families use the log-scale bucket layout: post-PR-4 hot-path
+// searches are sub-millisecond, and on the coarse linear DefBuckets every
+// one of them collapsed into the lowest bucket.
 var (
 	mShardCount = obs.Default.Gauge("snaps_shard_count",
 		"Number of serving shards in the current coordinator.")
 	mScatterSeconds = obs.Default.Histogram("snaps_shard_scatter_seconds",
-		"Wall-clock duration of one scatter-gather search across all shards.", obs.DefBuckets)
+		"Wall-clock duration of one scatter-gather search across all shards.", obs.LatencyBuckets)
+	mMergeSeconds = obs.Default.Histogram("snaps_shard_merge_seconds",
+		"Duration of the k-way merge of per-shard rankings after the scatter.", obs.LatencyBuckets)
+	mStragglerSeconds = obs.Default.Histogram("snaps_shard_straggler_seconds",
+		"Per scatter: slowest shard search minus the median one — scatter time lost to the laggard.",
+		obs.LatencyBuckets)
 	mFlushTouched = obs.Default.Counter("snaps_shard_flush_touched_total",
 		"Shards rebuilt (incrementally or fully) by ingest flushes.")
 	mFlushReused = obs.Default.Counter("snaps_shard_flush_reused_total",
 		"Shards carried over untouched by ingest flushes.")
+
+	mShardSearchSeconds = obs.Default.HistogramVec("snaps_shard_search_seconds",
+		"Per-shard search duration under the scatter-gather coordinator.",
+		obs.LatencyBuckets, "shard")
+	mShardQueueWait = obs.Default.HistogramVec("snaps_shard_queue_wait_seconds",
+		"Delay between scatter start and a worker picking up the shard's search.",
+		obs.LatencyBuckets, "shard")
+	mStragglerTotal = obs.Default.CounterVec("snaps_shard_straggler_total",
+		"Scatters in which the shard was the slowest one.", "shard")
 )
 
 // shardMetrics are the per-shard series, pre-created at shard construction
-// so the serving hot path never takes the registry lock.
+// so the serving hot path never takes the registry (or vec) lock.
 type shardMetrics struct {
-	searches *obs.Counter
-	rebuilds *obs.Counter
-	nodes    *obs.Gauge
-	gen      *obs.Gauge
+	searches      *obs.Counter
+	rebuilds      *obs.Counter
+	nodes         *obs.Gauge
+	gen           *obs.Gauge
+	searchSeconds *obs.Histogram
+	queueWait     *obs.Histogram
+	straggles     *obs.Counter
 }
 
 func metricsFor(id int) *shardMetrics {
-	l := obs.Label("shard", strconv.Itoa(id))
+	sid := strconv.Itoa(id)
+	l := obs.Label("shard", sid)
 	return &shardMetrics{
 		searches: obs.Default.Counter("snaps_shard_searches_total{"+l+"}",
 			"Searches served by the shard under the scatter-gather coordinator."),
@@ -46,6 +68,9 @@ func metricsFor(id int) *shardMetrics {
 			"Pedigree entities owned by the shard."),
 		gen: obs.Default.Gauge("snaps_shard_generation{"+l+"}",
 			"Shard-local generation: advances only when a flush touches the shard."),
+		searchSeconds: mShardSearchSeconds.With(sid),
+		queueWait:     mShardQueueWait.With(sid),
+		straggles:     mStragglerTotal.With(sid),
 	}
 }
 
@@ -329,6 +354,7 @@ func (c *Coordinator) SearchContext(ctx context.Context, q query.Query) []query.
 	start := time.Now()
 	ctx, sp := obs.StartSpan(ctx, "scatter")
 	parts := make([][]query.Result, len(c.shards))
+	durs := make([]time.Duration, len(c.shards))
 	workers := c.workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -338,7 +364,7 @@ func (c *Coordinator) SearchContext(ctx context.Context, q query.Query) []query.
 	}
 	if workers <= 1 {
 		for i, sh := range c.shards {
-			parts[i] = c.searchShard(ctx, sh, q)
+			parts[i], durs[i] = c.searchShard(ctx, sh, q, start)
 		}
 	} else {
 		var next atomic.Int32
@@ -352,29 +378,62 @@ func (c *Coordinator) SearchContext(ctx context.Context, q query.Query) []query.
 					if i >= len(c.shards) {
 						return
 					}
-					parts[i] = c.searchShard(ctx, c.shards[i], q)
+					parts[i], durs[i] = c.searchShard(ctx, c.shards[i], q, start)
 				}
 			}()
 		}
 		wg.Wait()
 	}
+	mergeStart := time.Now()
 	out := mergeRanked(parts, c.TopM())
+	merge := time.Since(mergeStart)
+	mMergeSeconds.ObserveDuration(merge)
+
+	// Straggler accounting: the scatter finishes with its slowest shard, so
+	// the time the laggard spent beyond the (lower-)median shard is scatter
+	// latency that better balance would recover. The laggard's identity and
+	// generation land on the scatter span, which the slow-query WARN logs in
+	// full — the forensics name the shard, not just the total.
+	slow := 0
+	for i := range durs {
+		if durs[i] > durs[slow] {
+			slow = i
+		}
+	}
+	sorted := append([]time.Duration(nil), durs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	lag := durs[slow] - sorted[(len(sorted)-1)/2]
+	mStragglerSeconds.ObserveDuration(lag)
+	c.shards[slow].met.straggles.Inc()
+
 	sp.SetAttr("shards", int64(len(c.shards)))
 	sp.SetAttr("results", int64(len(out)))
+	sp.SetAttr("merge_us", merge.Microseconds())
+	sp.SetAttr("straggler_shard", int64(slow))
+	sp.SetAttr("straggler_generation", int64(c.shards[slow].Generation))
+	sp.SetAttr("straggler_us", lag.Microseconds())
 	sp.End()
-	mScatterSeconds.ObserveDuration(time.Since(start))
+	mScatterSeconds.ObserveDurationExemplar(time.Since(start), obs.TraceIDFromContext(ctx))
 	return out
 }
 
-// searchShard runs the query on one shard under its own child span.
-func (c *Coordinator) searchShard(ctx context.Context, sh *Shard, q query.Query) []query.Result {
+// searchShard runs the query on one shard under its own child span, timing
+// both the queue wait (scatter start to worker pickup) and the search
+// itself into the shard's pre-created series.
+func (c *Coordinator) searchShard(ctx context.Context, sh *Shard, q query.Query, scatterStart time.Time) ([]query.Result, time.Duration) {
+	wait := time.Since(scatterStart)
+	sh.met.queueWait.ObserveDuration(wait)
 	ctx, sp := obs.StartSpan(ctx, "shard_search")
 	sp.SetAttr("shard", int64(sh.ID))
 	sp.SetAttr("shard_generation", int64(sh.Generation))
+	sp.SetAttr("queue_wait_us", wait.Microseconds())
+	t0 := time.Now()
 	res := sh.Engine.SearchContext(ctx, q)
+	dur := time.Since(t0)
+	sh.met.searchSeconds.ObserveDuration(dur)
 	sh.met.searches.Inc()
 	sp.End()
-	return res
+	return res, dur
 }
 
 // resultBefore is the global ranking order: score descending, NodeID

@@ -1,0 +1,97 @@
+// External test locking down the coordinator's per-shard scatter
+// telemetry: after multi-shard searches, /metrics-visible series exist per
+// shard (search latency, queue wait) and per scatter (merge time,
+// straggler lag), and the straggler counter attributes lag to a shard.
+package shard_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/snaps/snaps/internal/obs"
+	"github.com/snaps/snaps/internal/shard"
+)
+
+// defaultSamples renders the default registry and returns series -> value.
+func defaultSamples(t *testing.T) map[string]float64 {
+	t.Helper()
+	var b strings.Builder
+	if err := obs.Default.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]float64{}
+	for _, line := range strings.Split(b.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			t.Fatalf("bad sample %q: %v", line, err)
+		}
+		out[name] = v
+	}
+	return out
+}
+
+func stragglerAttribution(samples map[string]float64, nshards int) float64 {
+	total := 0.0
+	for i := 0; i < nshards; i++ {
+		total += samples[`snaps_shard_straggler_total{shard="`+strconv.Itoa(i)+`"}`]
+	}
+	return total
+}
+
+func TestScatterTelemetryPerShard(t *testing.T) {
+	const nshards = 4
+	_, _, g := builtCase(t, 0.06)
+	c := shard.Partition(g, shard.Options{Shards: nshards, SimThreshold: 0.5})
+
+	before := defaultSamples(t)
+
+	queries := goldenQueries(g)
+	if len(queries) > 20 {
+		queries = queries[:20]
+	}
+	for _, q := range queries {
+		c.Search(q)
+	}
+
+	after := defaultSamples(t)
+	n := float64(len(queries))
+
+	// Every shard served every scatter: its latency and queue-wait
+	// histograms exist and carry the searches.
+	for i := 0; i < nshards; i++ {
+		sid := strconv.Itoa(i)
+		for _, fam := range []string{"snaps_shard_search_seconds", "snaps_shard_queue_wait_seconds"} {
+			series := fam + `_count{shard="` + sid + `"}`
+			if after[series]-before[series] < n {
+				t.Errorf("%s grew by %v, want >= %v", series, after[series]-before[series], n)
+			}
+		}
+	}
+	// Each scatter records one merge duration and one straggler lag, and
+	// attributes the lag to exactly one shard.
+	if got := after["snaps_shard_merge_seconds_count"] - before["snaps_shard_merge_seconds_count"]; got < n {
+		t.Errorf("merge histogram grew by %v, want >= %v", got, n)
+	}
+	if got := after["snaps_shard_straggler_seconds_count"] - before["snaps_shard_straggler_seconds_count"]; got < n {
+		t.Errorf("straggler histogram grew by %v, want >= %v", got, n)
+	}
+	if got := stragglerAttribution(after, nshards) - stragglerAttribution(before, nshards); got < n {
+		t.Errorf("straggler attribution counters grew by %v, want >= %v", got, n)
+	}
+
+	// The single-shard fast path stays out of the scatter accounting.
+	single := shard.Partition(g, shard.Options{Shards: 1, SimThreshold: 0.5})
+	b2 := defaultSamples(t)["snaps_shard_straggler_seconds_count"]
+	single.Search(queries[0])
+	if a2 := defaultSamples(t)["snaps_shard_straggler_seconds_count"]; a2 != b2 {
+		t.Errorf("single-shard search recorded straggler lag (%v -> %v)", b2, a2)
+	}
+}

@@ -11,6 +11,12 @@
 #   SHARDS=4 ./scripts/bench_serve.sh             # sharded scatter-gather tier
 #   OUT=/tmp/serve.json ./scripts/bench_serve.sh
 #
+# Flight-recorder workflow (see DESIGN.md §13):
+#   RECORD=flight.log ./scripts/bench_serve.sh    # record the query log while benching
+#   REPLAY=flight.log ./scripts/bench_serve.sh    # replay it closed-loop and compare
+#   REPLAY=flight.log REPLAY_SPEED=2 CLOSED_LOOP=0 ./scripts/bench_serve.sh
+#                                                 # paced replay at twice recorded rate
+#
 # The arrival schedule is open-loop: the offered rate does not slow down
 # when the server does, so an overloaded run shows real queueing latency
 # and admission sheds rather than a self-throttled flattering number.
@@ -24,11 +30,35 @@ SEED="${SEED:-1}"
 OUT="${OUT:-BENCH_serve.json}"
 MIXES="${MIXES:-read-heavy,mixed,ingest-burst}"
 SHARDS="${SHARDS:-1}"
+RECORD="${RECORD:-}"
+REPLAY="${REPLAY:-}"
+REPLAY_SPEED="${REPLAY_SPEED:-1}"
+CLOSED_LOOP="${CLOSED_LOOP:-1}"
+CONCURRENCY="${CONCURRENCY:-8}"
 
-go run ./cmd/snapsload \
-    -dataset ios -scale "$SCALE" \
-    -rate "$RATE" -duration "$DURATION" -seed "$SEED" \
-    -mixes "$MIXES" -shards "$SHARDS" \
-    -out "$OUT"
+if [ -n "$REPLAY" ]; then
+    # Replay a recorded query log against a freshly built in-process
+    # server; closed-loop by default so the comparison measures capacity
+    # on the recorded op sequence.
+    extra="-replay $REPLAY -replay-speed $REPLAY_SPEED -concurrency $CONCURRENCY"
+    if [ "$CLOSED_LOOP" = "1" ]; then
+        extra="$extra -closed-loop"
+    fi
+    go run ./cmd/snapsload \
+        -dataset ios -scale "$SCALE" -seed "$SEED" -shards "$SHARDS" \
+        $extra \
+        -out "$OUT"
+else
+    extra=""
+    if [ -n "$RECORD" ]; then
+        extra="-record $RECORD -record-sample ${RECORD_SAMPLE:-1}"
+    fi
+    go run ./cmd/snapsload \
+        -dataset ios -scale "$SCALE" \
+        -rate "$RATE" -duration "$DURATION" -seed "$SEED" \
+        -mixes "$MIXES" -shards "$SHARDS" \
+        $extra \
+        -out "$OUT"
+fi
 
 echo "wrote $OUT"

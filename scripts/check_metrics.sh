@@ -1,0 +1,37 @@
+#!/bin/sh
+# check_metrics.sh — metric-name drift check. Every Prometheus metric
+# family the binaries can register (grep for "snaps_… string literals in
+# non-test sources) must appear in scripts/metrics_allowlist.txt, and
+# every allowlisted name must still exist in the source. A rename, a typo
+# in a new family, or a silently dropped metric breaks dashboards and
+# alert rules downstream — this turns that into a failing CI step with an
+# explicit allowlist edit in the diff.
+#
+# Usage:
+#   ./scripts/check_metrics.sh            # verify (CI)
+#   ./scripts/check_metrics.sh --update   # rewrite the allowlist
+set -e
+cd "$(dirname "$0")/.."
+
+ALLOWLIST=scripts/metrics_allowlist.txt
+ACTUAL=$(mktemp)
+trap 'rm -f "$ACTUAL"' EXIT
+
+grep -rhoE '"snaps_[a-z0-9_]+' --include="*.go" --exclude="*_test.go" internal/ cmd/ \
+    | sed 's/^"//' | sort -u > "$ACTUAL"
+
+if [ "${1:-}" = "--update" ]; then
+    cp "$ACTUAL" "$ALLOWLIST"
+    echo "updated $ALLOWLIST ($(wc -l < "$ALLOWLIST") names)"
+    exit 0
+fi
+
+if ! diff -u "$ALLOWLIST" "$ACTUAL"; then
+    echo ""
+    echo "metric names drifted from $ALLOWLIST."
+    echo "lines with '+' are new/renamed families missing from the allowlist;"
+    echo "lines with '-' are allowlisted families no longer in the source."
+    echo "if the change is intentional, run: ./scripts/check_metrics.sh --update"
+    exit 1
+fi
+echo "metric names match $ALLOWLIST ($(wc -l < "$ALLOWLIST") names)"
