@@ -335,7 +335,7 @@ func benchExtendBase() (*model.Dataset, *er.EntityStore, model.RecordID) {
 	certID := model.CertID(len(base.Certificates))
 	base.Records = append(base.Records, model.Record{
 		ID: firstNew, Cert: certID, Role: model.Dd, Gender: model.Male,
-		FirstName: "torquil", Surname: "macsween", Year: 1899,
+		First: model.Intern("torquil"), Sur: model.Intern("macsween"), Year: 1899,
 		Truth: model.NoPerson,
 	})
 	base.Certificates = append(base.Certificates, model.Certificate{

@@ -24,31 +24,37 @@ func main() {
 	var (
 		dsName = flag.String("dataset", "ios", "data set: ios, kil, ds, or bhic")
 		scale  = flag.Float64("scale", 0.25, "population scale factor")
+		certs  = flag.Int("certs", 0, "when > 0, use the DS-scale direct-emission generator targeting this many certificates (ignores -dataset/-scale/-census)")
 		outDir = flag.String("out", ".", "output directory")
 		truth  = flag.Bool("truth", false, "include ground-truth person-id columns")
 		census = flag.Bool("census", false, "include decennial census households and export them as a fourth CSV")
 	)
 	flag.Parse()
 
-	var cfg dataset.Config
-	switch strings.ToLower(*dsName) {
-	case "ios":
-		cfg = dataset.IOS()
-	case "kil":
-		cfg = dataset.KIL()
-	case "ds":
-		cfg = dataset.DS()
-	case "bhic":
-		cfg = dataset.BHIC(1900)
-	default:
-		log.Fatalf("unknown dataset %q", *dsName)
+	var pop *dataset.Population
+	if *certs > 0 {
+		pop = dataset.GenerateScale(dataset.ScaleTier(*certs))
+	} else {
+		var cfg dataset.Config
+		switch strings.ToLower(*dsName) {
+		case "ios":
+			cfg = dataset.IOS()
+		case "kil":
+			cfg = dataset.KIL()
+		case "ds":
+			cfg = dataset.DS()
+		case "bhic":
+			cfg = dataset.BHIC(1900)
+		default:
+			log.Fatalf("unknown dataset %q", *dsName)
+		}
+		cfg = cfg.Scaled(*scale)
+		if *census {
+			cfg = cfg.WithCensus()
+		}
+		pop = dataset.Generate(cfg)
 	}
-	cfg = cfg.Scaled(*scale)
-	if *census {
-		cfg = cfg.WithCensus()
-	}
-
-	pop := dataset.Generate(cfg)
+	cfg := pop.Config
 	d := pop.Dataset
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		log.Fatal(err)

@@ -64,14 +64,14 @@ func main() {
 	d.Records = append(d.Records,
 		model.Record{
 			ID: firstNew, Cert: certID, Role: model.Dd, Gender: model.Male,
-			FirstName: person.FirstName, Surname: person.Surname,
-			Address: person.Address, Year: deathYear, Truth: person.ID,
+			First: model.Intern(person.FirstName), Sur: model.Intern(person.Surname),
+			Addr: model.Intern(person.Address), Year: deathYear, Truth: person.ID,
 			BirthHint: person.BirthYear,
 		},
 		model.Record{
 			ID: firstNew + 1, Cert: certID, Role: model.Ds, Gender: model.Female,
-			FirstName: spouse.FirstName, Surname: spouse.Surname,
-			Address: spouse.Address, Year: deathYear, Truth: spouse.ID,
+			First: model.Intern(spouse.FirstName), Sur: model.Intern(spouse.Surname),
+			Addr: model.Intern(spouse.Address), Year: deathYear, Truth: spouse.ID,
 		},
 	)
 	d.Certificates = append(d.Certificates, model.Certificate{

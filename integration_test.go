@@ -130,14 +130,14 @@ func TestFullSystemIntegration(t *testing.T) {
 		d.Records = append(d.Records,
 			model.Record{
 				ID: firstNew, Cert: certID, Role: model.Dd, Gender: person.Gender,
-				FirstName: person.FirstName, Surname: person.Surname,
-				Address: person.Address, Year: 1902, Truth: person.ID,
+				First: model.Intern(person.FirstName), Sur: model.Intern(person.Surname),
+				Addr: model.Intern(person.Address), Year: 1902, Truth: person.ID,
 				BirthHint: person.BirthYear,
 			},
 			model.Record{
 				ID: firstNew + 1, Cert: certID, Role: model.Ds, Gender: spouse.Gender,
-				FirstName: spouse.FirstName, Surname: spouse.Surname,
-				Address: spouse.Address, Year: 1902, Truth: spouse.ID,
+				First: model.Intern(spouse.FirstName), Sur: model.Intern(spouse.Surname),
+				Addr: model.Intern(spouse.Address), Year: 1902, Truth: spouse.ID,
 			},
 		)
 		d.Certificates = append(d.Certificates, model.Certificate{

@@ -71,11 +71,11 @@ func Anonymize(d *model.Dataset, cfg Config) (*model.Dataset, map[string]string)
 	mapping := buildNameMapping(d, cfg)
 	for i := range out.Records {
 		rec := &out.Records[i]
-		if rec.FirstName != "" {
-			rec.FirstName = mapName(mapping, rec.FirstName)
+		if rec.First != 0 {
+			rec.First = model.Intern(mapName(mapping, rec.FirstName()))
 		}
-		if rec.Surname != "" {
-			rec.Surname = mapName(mapping, rec.Surname)
+		if rec.Sur != 0 {
+			rec.Sur = model.Intern(mapName(mapping, rec.Surname()))
 		}
 		if rec.Year != 0 {
 			rec.Year += cfg.YearOffset
@@ -146,19 +146,19 @@ func buildNameMapping(d *model.Dataset, cfg Config) map[string]string {
 		if g == model.GenderUnknown {
 			g = model.RoleGender(rec.Role)
 		}
-		if rec.FirstName != "" {
+		if rec.First != 0 {
 			switch g {
 			case model.Female:
-				femFreq[rec.FirstName]++
+				femFreq[rec.FirstName()]++
 			case model.Male:
-				maleFreq[rec.FirstName]++
+				maleFreq[rec.FirstName()]++
 			default:
 				// Unknown gender names join the larger pool deterministically.
-				femFreq[rec.FirstName]++
+				femFreq[rec.FirstName()]++
 			}
 		}
-		if rec.Surname != "" {
-			surFreq[rec.Surname]++
+		if rec.Sur != 0 {
+			surFreq[rec.Surname()]++
 		}
 	}
 	mapping := map[string]string{}

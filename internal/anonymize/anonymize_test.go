@@ -38,11 +38,11 @@ func TestAnonymizeReplacesAllNames(t *testing.T) {
 	// (A replacement may coincide with a *different* person's sensitive
 	// name when the corpora overlap; that does not identify anyone.)
 	for i := range anon.Records {
-		orig, got := d.Records[i].FirstName, anon.Records[i].FirstName
+		orig, got := d.Records[i].FirstName(), anon.Records[i].FirstName()
 		if orig != "" && got == orig {
 			t.Fatalf("record %d: first name %q survived anonymisation", i, orig)
 		}
-		orig, got = d.Records[i].Surname, anon.Records[i].Surname
+		orig, got = d.Records[i].Surname(), anon.Records[i].Surname()
 		if orig != "" && got == orig {
 			t.Fatalf("record %d: surname %q survived anonymisation", i, orig)
 		}
@@ -54,11 +54,11 @@ func TestAnonymizeConsistentMapping(t *testing.T) {
 	anon, mapping := Anonymize(d, DefaultConfig())
 	// The same sensitive value must always map to the same public value.
 	for i := range d.Records {
-		orig := d.Records[i].Surname
+		orig := d.Records[i].Surname()
 		if orig == "" {
 			continue
 		}
-		got := anon.Records[i].Surname
+		got := anon.Records[i].Surname()
 		if want := mapping[orig]; got != want {
 			t.Fatalf("record %d: surname %q mapped to %q, mapping says %q", i, orig, got, want)
 		}
@@ -145,7 +145,7 @@ func TestNameMappingPreservesSimilarityStructure(t *testing.T) {
 	var names []string
 	seen := map[string]bool{}
 	for i := range d.Records {
-		if v := d.Records[i].Surname; v != "" && !seen[v] {
+		if v := d.Records[i].Surname(); v != "" && !seen[v] {
 			seen[v] = true
 			names = append(names, v)
 		}

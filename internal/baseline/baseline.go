@@ -216,13 +216,13 @@ func valuesOr(store *er.EntityStore, id model.RecordID, attr model.Attr, d *mode
 func setValue(r *model.Record, attr model.Attr, v string) {
 	switch attr {
 	case model.FirstName:
-		r.FirstName = v
+		r.First = model.Intern(v)
 	case model.Surname:
-		r.Surname = v
+		r.Sur = model.Intern(v)
 	case model.Address:
-		r.Address = v
+		r.Addr = model.Intern(v)
 	case model.Occupation:
-		r.Occupation = v
+		r.Occ = model.Intern(v)
 	}
 }
 
@@ -255,11 +255,11 @@ func (m *RelCluster) Resolve(d *model.Dataset, g *depgraph.Graph) *er.EntityStor
 	// combination (Bhattacharya & Getoor's ambiguity of attribute values).
 	freq := map[string]int{}
 	for i := range d.Records {
-		freq[d.Records[i].FirstName+"|"+d.Records[i].Surname]++
+		freq[d.Records[i].FirstName()+"|"+d.Records[i].Surname()]++
 	}
 	o := float64(len(d.Records))
 	amb := func(r *model.Record) float64 {
-		f := float64(freq[r.FirstName+"|"+r.Surname])
+		f := float64(freq[r.FirstName()+"|"+r.Surname()])
 		if f <= 0 || o < 2 {
 			return 0
 		}

@@ -46,12 +46,12 @@ func quality(d *model.Dataset, pred map[model.PairKey]bool, rp model.RolePair) e
 
 func TestPairSimBounds(t *testing.T) {
 	cfg := depgraph.DefaultConfig()
-	a := &model.Record{FirstName: "mary", Surname: "smith", Address: "5 uig", Occupation: "crofter"}
-	b := &model.Record{FirstName: "mary", Surname: "smith", Address: "5 uig", Occupation: "crofter"}
+	a := &model.Record{First: model.Intern("mary"), Sur: model.Intern("smith"), Addr: model.Intern("5 uig"), Occ: model.Intern("crofter")}
+	b := &model.Record{First: model.Intern("mary"), Sur: model.Intern("smith"), Addr: model.Intern("5 uig"), Occ: model.Intern("crofter")}
 	if s := PairSim(cfg, a, b); s != 1 {
 		t.Errorf("identical records PairSim = %v, want 1", s)
 	}
-	c := &model.Record{FirstName: "zeb", Surname: "quirk"}
+	c := &model.Record{First: model.Intern("zeb"), Sur: model.Intern("quirk")}
 	if s := PairSim(cfg, a, c); s > 0.5 {
 		t.Errorf("dissimilar records PairSim = %v, want low", s)
 	}

@@ -51,8 +51,8 @@ func BenchmarkEmitPairs(b *testing.B) {
 		for i := lo; i < hi; i++ {
 			rec := d.Record(ids[i])
 			hashes[i].full = l.bandHashes(nameKey(rec))
-			if rec.Surname != "" {
-				hashes[i].surname = l.bandHashes(rec.Surname)
+			if rec.Surname() != "" {
+				hashes[i].surname = l.bandHashes(rec.Surname())
 			}
 		}
 	})

@@ -60,6 +60,19 @@ func DefaultLSHConfig() LSHConfig {
 	return LSHConfig{Bands: 8, Rows: 4, Seed: 0x5eed, MaxBlockSize: 400}
 }
 
+// ScaleLSHConfig returns the blocking profile for the DS-scale bench
+// tiers (100k–10M certificates). The parish-scale default admits pairs
+// down to bigram Jaccard ~0.35 — affordable at tens of thousands of
+// records, but candidate density grows with corpus size (measured: 130
+// pairs/record at 53k records, 207 at 266k) and the quadratic tail
+// dominates the offline build. Six bands of six rows moves the admission
+// threshold to ~0.7 and the tighter block cap bounds the per-record fan-
+// out, the same selectivity-for-scale trade the paper makes to run BHIC
+// windows (Table 6).
+func ScaleLSHConfig() LSHConfig {
+	return LSHConfig{Bands: 6, Rows: 6, Seed: 0x5eed, MaxBlockSize: 128}
+}
+
 // LSH is a MinHash locality-sensitive-hashing blocker over the
 // concatenation of a record's first name and surname.
 type LSH struct {
@@ -148,8 +161,8 @@ func (l *LSH) Pairs(d *model.Dataset, ids []model.RecordID) []Candidate {
 		for i := lo; i < hi; i++ {
 			rec := d.Record(ids[i])
 			hashes[i].full = l.bandHashes(nameKey(rec))
-			if rec.Surname != "" {
-				hashes[i].surname = l.bandHashes(rec.Surname)
+			if rec.Sur != 0 {
+				hashes[i].surname = l.bandHashes(rec.Surname())
 			}
 		}
 	})
@@ -234,7 +247,7 @@ func parallelRangeW(workers, n int, fn func(lo, hi int)) {
 }
 
 // nameKey is the blocking string of a record.
-func nameKey(rec *model.Record) string { return rec.FirstName + "|" + rec.Surname }
+func nameKey(rec *model.Record) string { return rec.FirstName() + "|" + rec.Surname() }
 
 // emitPairs deduplicates pair emission across blocks and applies the
 // gender-compatibility filter. A non-nil keep filter restricts emission.
@@ -323,13 +336,15 @@ func emitPairs(d *model.Dataset, blocks map[blockKey][]model.RecordID, maxBlock 
 
 // emitShard emits the deduplicated, filtered pairs of one contiguous run of
 // sorted block keys. pairHint is the worst-case pair count (every block
-// visit distinct); a pair that survives blocking typically recurs in many
-// of its bands, so measured distinct counts run an order of magnitude
-// below worst case. Sizing to pairHint/8 stays under the real count in
-// practice — no 10× over-allocation, at worst a rehash or two.
+// visit distinct). Measured distinct-pair fractions of worst case run
+// 0.18 on the parish-scale IOS profile and 0.41 on the DS-scale substrate
+// (TestPairHintSizingAudit) — the denser the blocks, the more of the
+// recurrence is same-pair-new-band and the higher the distinct fraction.
+// Sizing to pairHint/4 splits that range: at most one map growth at the
+// highest measured density, no over-allocation at the lowest.
 func emitShard(d *model.Dataset, blocks map[blockKey][]model.RecordID, keys []blockKey, keep func(a, b model.RecordID) bool, pairHint int) []Candidate {
-	seen := make(map[model.PairKey]bool, pairHint/8+16)
-	out := make([]Candidate, 0, pairHint/16+16)
+	seen := make(map[model.PairKey]bool, pairHint/4+16)
+	out := make([]Candidate, 0, pairHint/8+16)
 	for _, k := range keys {
 		blk := blocks[k]
 		for i := 0; i < len(blk); i++ {
@@ -408,10 +423,10 @@ func (s *Soundex) Pairs(d *model.Dataset, ids []model.RecordID) []Candidate {
 	}
 	for _, id := range ids {
 		rec := d.Record(id)
-		k1 := encode(rec.FirstName) + "/" + encode(rec.Surname)
+		k1 := encode(rec.FirstName()) + "/" + encode(rec.Surname())
 		blocks[blockKey{band: 0, hash: keyID(k1)}] = append(blocks[blockKey{band: 0, hash: keyID(k1)}], id)
 		// Second pass on surname alone tolerates first-name nicknames.
-		k2 := encode(rec.Surname)
+		k2 := encode(rec.Surname())
 		blocks[blockKey{band: 1, hash: keyID(k2)}] = append(blocks[blockKey{band: 1, hash: keyID(k2)}], id)
 	}
 	return emitPairs(d, blocks, s.MaxBlockSize, nil, 0)

@@ -111,7 +111,7 @@ func TestLSHSimilarNamesCollide(t *testing.T) {
 	add := func(first, sur string, role model.Role, cert model.CertID) model.RecordID {
 		id := model.RecordID(len(d.Records))
 		d.Records = append(d.Records, model.Record{
-			ID: id, Cert: cert, Role: role, FirstName: first, Surname: sur,
+			ID: id, Cert: cert, Role: role, First: model.Intern(first), Sur: model.Intern(sur),
 			Gender: model.Female, Truth: model.NoPerson,
 		})
 		return id
@@ -143,7 +143,7 @@ func TestLSHMaxBlockSizeSkipsLargeBlocks(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		d.Records = append(d.Records, model.Record{
 			ID: model.RecordID(i), Cert: model.CertID(i), Role: model.Bm,
-			FirstName: "mary", Surname: "smith", Gender: model.Female,
+			First: model.Intern("mary"), Sur: model.Intern("smith"), Gender: model.Female,
 		})
 	}
 	cfg := DefaultLSHConfig()

@@ -444,7 +444,7 @@ func TestBHICUsesDutchProfile(t *testing.T) {
 	hits := 0
 	for i := range p.Dataset.Records {
 		rec := &p.Dataset.Records[i]
-		if rec.FirstName != "" && dutchFirst[rec.FirstName] {
+		if rec.FirstName() != "" && dutchFirst[rec.FirstName()] {
 			hits++
 		}
 		if i > 500 {
@@ -457,7 +457,7 @@ func TestBHICUsesDutchProfile(t *testing.T) {
 	// Multi-token surnames with tussenvoegsels occur.
 	multi := false
 	for i := range p.Dataset.Records {
-		if indexByte(p.Dataset.Records[i].Surname, ' ') >= 0 {
+		if indexByte(p.Dataset.Records[i].Surname(), ' ') >= 0 {
 			multi = true
 			break
 		}

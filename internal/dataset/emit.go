@@ -92,28 +92,28 @@ func (g *generator) emitRecordWithSurname(p model.PersonID, cert model.CertID, r
 	id := model.RecordID(len(g.dataset.Records))
 	rec := model.Record{
 		ID: id, Cert: cert, Role: role, Gender: pp.Gender,
-		FirstName:  g.corruptName(pp.FirstName, true),
-		Surname:    g.corruptName(surname, false),
-		Address:    pp.Address,
-		Occupation: pp.Occupation,
-		Year:       year,
-		Truth:      pp.ID,
+		First: model.Intern(g.corruptName(pp.FirstName, true)),
+		Sur:   model.Intern(g.corruptName(surname, false)),
+		Addr:  model.Intern(pp.Address),
+		Occ:   model.Intern(pp.Occupation),
+		Year:  year,
+		Truth: pp.ID,
 	}
 	// Missing values per attribute.
 	if g.missing(model.FirstName) {
-		rec.FirstName = ""
+		rec.First = 0
 	}
 	if g.missing(model.Surname) {
-		rec.Surname = ""
+		rec.Sur = 0
 	}
 	if g.missing(model.Address) {
-		rec.Address = ""
+		rec.Addr = 0
 	}
-	if g.missing(model.Occupation) || rec.Occupation == "" {
-		rec.Occupation = ""
+	if g.missing(model.Occupation) {
+		rec.Occ = 0
 	}
-	if rec.Address != "" && g.gazetteer != nil {
-		if lat, lon, ok := g.gazetteer.Resolve(rec.Address); ok {
+	if rec.Addr != 0 && g.gazetteer != nil {
+		if lat, lon, ok := g.gazetteer.Resolve(rec.Address()); ok {
 			rec.Lat, rec.Lon = lat, lon
 		}
 	}
@@ -303,7 +303,7 @@ func BiasTruth(d *model.Dataset, pairs map[model.PairKey]bool, keep float64) map
 			break
 		}
 		a, b := k.Split()
-		if d.Record(a).Surname == d.Record(b).Surname {
+		if d.Record(a).Sur == d.Record(b).Sur {
 			out[k] = true
 		}
 	}

@@ -1,0 +1,93 @@
+package dataset
+
+import (
+	"testing"
+
+	"github.com/snaps/snaps/internal/model"
+)
+
+func TestGenerateScaleDeterministic(t *testing.T) {
+	cfg := ScaleTier(3000)
+	a := GenerateScale(cfg)
+	b := GenerateScale(cfg)
+	if len(a.Dataset.Records) != len(b.Dataset.Records) {
+		t.Fatalf("record counts differ: %d vs %d", len(a.Dataset.Records), len(b.Dataset.Records))
+	}
+	if len(a.Dataset.Certificates) != len(b.Dataset.Certificates) {
+		t.Fatalf("cert counts differ")
+	}
+	for i := range a.Dataset.Records {
+		if a.Dataset.Records[i] != b.Dataset.Records[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestGenerateScaleShape(t *testing.T) {
+	target := 5000
+	p := GenerateScale(ScaleTier(target))
+	d := p.Dataset
+
+	if len(d.Certificates) < target {
+		t.Fatalf("only %d certificates for target %d", len(d.Certificates), target)
+	}
+	if len(d.Certificates) > target+64 {
+		t.Fatalf("overshot target by %d certificates", len(d.Certificates)-target)
+	}
+	rpc := float64(len(d.Records)) / float64(len(d.Certificates))
+	if rpc < 1.8 || rpc > 4 {
+		t.Fatalf("records per certificate = %.2f, want household-like mix", rpc)
+	}
+
+	// The name substrate must have a long tail (no recycling a tiny pool)
+	// and household correlation (children share the father's surname).
+	surnames := map[string]int{}
+	types := map[model.CertType]int{}
+	for i := range d.Records {
+		if s := d.Records[i].Surname(); s != "" {
+			surnames[s]++
+		}
+	}
+	for i := range d.Certificates {
+		types[d.Certificates[i].Type]++
+	}
+	if len(surnames) < 500 {
+		t.Fatalf("only %d distinct surnames at %d records", len(surnames), len(d.Records))
+	}
+	for _, ct := range []model.CertType{model.Birth, model.Death, model.Marriage} {
+		if types[ct] == 0 {
+			t.Fatalf("no certificates of type %v", ct)
+		}
+	}
+
+	// Ground truth present: records carry person ids and persons link
+	// children to parents.
+	linked := 0
+	for i := range p.Persons {
+		if p.Persons[i].Mother != model.NoPerson {
+			linked++
+		}
+	}
+	if linked == 0 {
+		t.Fatal("no parent-linked persons")
+	}
+	for i := range d.Records {
+		if d.Records[i].Truth == model.NoPerson {
+			t.Fatalf("record %d lacks ground truth", i)
+		}
+	}
+}
+
+func TestComposeNamesDistinct(t *testing.T) {
+	names := composeNames(nil, 24000, surPre, surMid, surSuf)
+	if len(names) != 24000 {
+		t.Fatalf("got %d names, want 24000", len(names))
+	}
+	seen := map[string]bool{}
+	for _, s := range names {
+		if seen[s] {
+			t.Fatalf("duplicate name %q", s)
+		}
+		seen[s] = true
+	}
+}

@@ -176,32 +176,32 @@ func (g *Graph) AtomicSim(n *RelationalNode, attr model.Attr) (float64, bool) {
 func CompareAttr(cfg Config, a, b *model.Record, attr model.Attr) (sim float64, ok bool) {
 	switch attr {
 	case model.FirstName:
-		if a.FirstName == "" || b.FirstName == "" {
+		if a.First == 0 || b.First == 0 {
 			return 0, false
 		}
 		// NameSim extends Jaro-Winkler with Monge-Elkan token matching so
 		// transposed or partially recorded double forenames still compare.
-		return strsim.NameSim(a.FirstName, b.FirstName), true
+		return strsim.NameSim(a.FirstName(), b.FirstName()), true
 	case model.Surname:
-		if a.Surname == "" || b.Surname == "" {
+		if a.Sur == 0 || b.Sur == 0 {
 			return 0, false
 		}
 		// Token-aware comparison also handles multi-token surnames with
 		// tussenvoegsels ("van den berg") in the BHIC data.
-		return strsim.NameSim(a.Surname, b.Surname), true
+		return strsim.NameSim(a.Surname(), b.Surname()), true
 	case model.Address:
-		if a.Address == "" || b.Address == "" {
+		if a.Addr == 0 || b.Addr == 0 {
 			return 0, false
 		}
 		if a.Lat != 0 && b.Lat != 0 {
 			return strsim.GeoSim(a.Lat, a.Lon, b.Lat, b.Lon, cfg.GeoMaxKm), true
 		}
-		return strsim.Jaccard(a.Address, b.Address), true
+		return strsim.Jaccard(a.Address(), b.Address()), true
 	case model.Occupation:
-		if a.Occupation == "" || b.Occupation == "" {
+		if a.Occ == 0 || b.Occ == 0 {
 			return 0, false
 		}
-		return strsim.TokenJaccard(a.Occupation, b.Occupation), true
+		return strsim.TokenJaccard(a.Occupation(), b.Occupation()), true
 	}
 	return 0, false
 }

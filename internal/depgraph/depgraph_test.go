@@ -17,7 +17,7 @@ func figure3Dataset() *model.Dataset {
 		id := model.RecordID(len(d.Records))
 		d.Records = append(d.Records, model.Record{
 			ID: id, Cert: cert, Role: role, Gender: g,
-			FirstName: first, Surname: sur, Year: year, Truth: model.NoPerson,
+			First: model.Intern(first), Sur: model.Intern(sur), Year: year, Truth: model.NoPerson,
 		})
 		return id
 	}
@@ -148,8 +148,8 @@ func TestAtomicKeyCanonical(t *testing.T) {
 
 func TestCompareAttrMissing(t *testing.T) {
 	cfg := DefaultConfig()
-	a := &model.Record{FirstName: "mary"}
-	b := &model.Record{FirstName: ""}
+	a := &model.Record{First: model.Intern("mary")}
+	b := &model.Record{First: model.Intern("")}
 	if _, ok := CompareAttr(cfg, a, b, model.FirstName); ok {
 		t.Error("missing value must report not-ok")
 	}
@@ -160,8 +160,8 @@ func TestCompareAttrMissing(t *testing.T) {
 
 func TestCompareAttrGeocoded(t *testing.T) {
 	cfg := DefaultConfig()
-	a := &model.Record{Address: "5 portree", Lat: 57.41, Lon: -6.19}
-	b := &model.Record{Address: "7 uig", Lat: 57.58, Lon: -6.36}
+	a := &model.Record{Addr: model.Intern("5 portree"), Lat: 57.41, Lon: -6.19}
+	b := &model.Record{Addr: model.Intern("7 uig"), Lat: 57.58, Lon: -6.36}
 	s, ok := CompareAttr(cfg, a, b, model.Address)
 	if !ok {
 		t.Fatal("geocoded comparison should be ok")
@@ -169,7 +169,7 @@ func TestCompareAttrGeocoded(t *testing.T) {
 	if s != 0 {
 		t.Errorf("villages ~20km apart with GeoMaxKm=5 should score 0, got %v", s)
 	}
-	c := &model.Record{Address: "5 portree", Lat: 57.41, Lon: -6.19}
+	c := &model.Record{Addr: model.Intern("5 portree"), Lat: 57.41, Lon: -6.19}
 	if s, _ := CompareAttr(cfg, a, c, model.Address); s != 1 {
 		t.Errorf("same location should score 1, got %v", s)
 	}
@@ -177,8 +177,8 @@ func TestCompareAttrGeocoded(t *testing.T) {
 
 func TestCompareAttrFallbackJaccard(t *testing.T) {
 	cfg := DefaultConfig()
-	a := &model.Record{Address: "5 king street"}
-	b := &model.Record{Address: "5 king street"}
+	a := &model.Record{Addr: model.Intern("5 king street")}
+	b := &model.Record{Addr: model.Intern("5 king street")}
 	if s, ok := CompareAttr(cfg, a, b, model.Address); !ok || s != 1 {
 		t.Errorf("identical ungeocoded addresses = (%v,%v), want (1,true)", s, ok)
 	}
@@ -187,8 +187,8 @@ func TestCompareAttrFallbackJaccard(t *testing.T) {
 func TestBuildRequiresNameSupport(t *testing.T) {
 	d := &model.Dataset{Name: "tiny"}
 	d.Records = []model.Record{
-		{ID: 0, Cert: 0, Role: model.Bm, FirstName: "mary", Surname: "smith", Year: 1870, Gender: model.Female},
-		{ID: 1, Cert: 1, Role: model.Bm, FirstName: "ann", Surname: "brown", Year: 1872, Gender: model.Female},
+		{ID: 0, Cert: 0, Role: model.Bm, First: model.Intern("mary"), Sur: model.Intern("smith"), Year: 1870, Gender: model.Female},
+		{ID: 1, Cert: 1, Role: model.Bm, First: model.Intern("ann"), Sur: model.Intern("brown"), Year: 1872, Gender: model.Female},
 	}
 	g, _ := Build(d, DefaultConfig(), []blocking.Candidate{{A: 0, B: 1}})
 	if len(g.Nodes) != 0 {
@@ -214,7 +214,7 @@ func TestSiblingNodesJoinGroups(t *testing.T) {
 		id := model.RecordID(len(d.Records))
 		d.Records = append(d.Records, model.Record{
 			ID: id, Cert: cert, Role: role, Gender: g,
-			FirstName: first, Surname: sur, Year: year, Truth: model.NoPerson,
+			First: model.Intern(first), Sur: model.Intern(sur), Year: year, Truth: model.NoPerson,
 		})
 		return id
 	}

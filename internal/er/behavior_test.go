@@ -31,7 +31,7 @@ func buildCerts(t *testing.T, certs [][]certSpec, types []model.CertType) *model
 			id := model.RecordID(len(d.Records))
 			d.Records = append(d.Records, model.Record{
 				ID: id, Cert: model.CertID(ci), Role: sp.role, Gender: sp.gender,
-				FirstName: sp.first, Surname: sp.sur, Address: sp.addr,
+				First: model.Intern(sp.first), Sur: model.Intern(sp.sur), Addr: model.Intern(sp.addr),
 				Year: sp.year, Truth: sp.truth,
 			})
 			cert.Roles[sp.role] = id

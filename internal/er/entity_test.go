@@ -11,7 +11,7 @@ func tinyDataset(n int) *model.Dataset {
 	for i := 0; i < n; i++ {
 		d.Records = append(d.Records, model.Record{
 			ID: model.RecordID(i), Cert: model.CertID(i), Role: model.Bm,
-			FirstName: "mary", Surname: "smith", Year: 1870 + i,
+			First: model.Intern("mary"), Sur: model.Intern("smith"), Year: 1870 + i,
 			Gender: model.Female, Truth: model.NoPerson,
 		})
 	}
@@ -97,7 +97,7 @@ func TestEntityStoreUnlink(t *testing.T) {
 
 func TestEntityStoreValues(t *testing.T) {
 	d := tinyDataset(3)
-	d.Records[1].Surname = "taylor"
+	d.Records[1].Sur = model.Intern("taylor")
 	s := NewEntityStore(d)
 	s.Link(0, 1)
 	vals := s.Values(0, model.Surname)

@@ -16,7 +16,7 @@ func TestExtendLinksNewCertificate(t *testing.T) {
 		id := model.RecordID(len(d.Records))
 		d.Records = append(d.Records, model.Record{
 			ID: id, Cert: cert, Role: role, Gender: g,
-			FirstName: first, Surname: sur, Address: addr, Year: year, Truth: truth,
+			First: model.Intern(first), Sur: model.Intern(sur), Addr: model.Intern(addr), Year: year, Truth: truth,
 		})
 		return id
 	}
@@ -80,7 +80,7 @@ func TestExtendOnlyBlocksNewPairs(t *testing.T) {
 		id := model.RecordID(len(d.Records))
 		d.Records = append(d.Records, model.Record{
 			ID: id, Cert: cert, Role: role, Gender: g,
-			FirstName: first, Surname: sur, Year: year, Truth: model.NoPerson,
+			First: model.Intern(first), Sur: model.Intern(sur), Year: year, Truth: model.NoPerson,
 		})
 		return id
 	}

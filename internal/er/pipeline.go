@@ -33,8 +33,16 @@ func (p *PipelineResult) Total() time.Duration {
 // graph construction, and the SNAPS bootstrapping/merging/refinement
 // process.
 func Run(d *model.Dataset, gcfg depgraph.Config, cfg Config) *PipelineResult {
+	return RunLSH(d, blocking.DefaultLSHConfig(), gcfg, cfg)
+}
+
+// RunLSH is Run under an explicit blocking profile. The DS-scale bench
+// tiers pass blocking.ScaleLSHConfig(), whose tighter admission keeps
+// candidate growth linear in the corpus; parish-scale callers should stay
+// on Run. The profile's Workers field is overridden by gcfg.Workers so
+// one knob bounds the whole build.
+func RunLSH(d *model.Dataset, lcfg blocking.LSHConfig, gcfg depgraph.Config, cfg Config) *PipelineResult {
 	st := obs.StartStage("blocking")
-	lcfg := blocking.DefaultLSHConfig()
 	lcfg.Workers = gcfg.Workers
 	lsh := blocking.NewLSH(lcfg)
 	cands := lsh.Pairs(d, allRecordIDs(d))

@@ -164,7 +164,7 @@ func NewResolver(g *depgraph.Graph, cfg Config) *Resolver {
 // person; a frequent combination (a common name in a common place) needs
 // relationship corroboration.
 func nameCombo(rec *model.Record) string {
-	return rec.FirstName + "|" + rec.Surname + "|" + rec.Address
+	return rec.FirstName() + "|" + rec.Surname() + "|" + rec.Address()
 }
 
 // Resolve runs bootstrapping, merging, and refinement, and returns the
@@ -577,7 +577,7 @@ func (r *Resolver) nodeSimUncached(n *depgraph.RelationalNode) float64 {
 // where the whole family group must agree.
 func (r *Resolver) mustOK(n *depgraph.RelationalNode) bool {
 	ra, rb := r.d.Record(n.A), r.d.Record(n.B)
-	if ra.FirstName == "" || rb.FirstName == "" {
+	if ra.First == 0 || rb.First == 0 {
 		return false
 	}
 	if _, ok := r.g.AtomicSim(n, model.FirstName); ok {
@@ -728,7 +728,7 @@ func compareValues(cfg depgraph.Config, ra, rb *model.Record, attr model.Attr, x
 	case model.FirstName, model.Surname:
 		return strsim.NameSim(x, y)
 	case model.Address:
-		if x == ra.Address && y == rb.Address && ra.Lat != 0 && rb.Lat != 0 {
+		if x == ra.Address() && y == rb.Address() && ra.Lat != 0 && rb.Lat != 0 {
 			return strsim.GeoSim(ra.Lat, ra.Lon, rb.Lat, rb.Lon, cfg.GeoMaxKm)
 		}
 		return strsim.Jaccard(x, y)

@@ -19,7 +19,7 @@ func buildFamilyPair(motherFirst1, motherFirst2 string) *model.Dataset {
 		id := model.RecordID(len(d.Records))
 		d.Records = append(d.Records, model.Record{
 			ID: id, Cert: cert, Role: role, Gender: g,
-			FirstName: first, Surname: sur, Address: addr, Year: year, Truth: truth,
+			First: model.Intern(first), Sur: model.Intern(sur), Addr: model.Intern(addr), Year: year, Truth: truth,
 		})
 		return id
 	}
@@ -81,7 +81,7 @@ func TestPropagatedSimRebindsSurname(t *testing.T) {
 		id := model.RecordID(len(d.Records))
 		d.Records = append(d.Records, model.Record{
 			ID: id, Cert: cert, Role: role, Gender: g,
-			FirstName: first, Surname: sur, Year: year, Truth: model.NoPerson,
+			First: model.Intern(first), Sur: model.Intern(sur), Year: year, Truth: model.NoPerson,
 		})
 		return id
 	}
@@ -124,7 +124,7 @@ func TestSurnameChangeLinksEndToEnd(t *testing.T) {
 		id := model.RecordID(len(d.Records))
 		d.Records = append(d.Records, model.Record{
 			ID: id, Cert: cert, Role: role, Gender: g,
-			FirstName: first, Surname: sur, Year: year, Truth: truth,
+			First: model.Intern(first), Sur: model.Intern(sur), Year: year, Truth: truth,
 		})
 		return id
 	}
@@ -186,7 +186,7 @@ func TestPartialMatchGroup(t *testing.T) {
 		id := model.RecordID(len(d.Records))
 		d.Records = append(d.Records, model.Record{
 			ID: id, Cert: cert, Role: role, Gender: g,
-			FirstName: first, Surname: sur, Year: year, Truth: truth,
+			First: model.Intern(first), Sur: model.Intern(sur), Year: year, Truth: truth,
 		})
 		return id
 	}

@@ -45,6 +45,9 @@ type Options struct {
 	// uses GOMAXPROCS, 1 forces the serial paths. Results are identical
 	// for every setting.
 	Workers int
+	// TierCerts is the certificate count of the DS-scale tier for the
+	// memdiet experiment (not part of All(); the bench script sets it).
+	TierCerts int
 }
 
 // graphConfig is the dependency-graph config under the options' worker
@@ -64,7 +67,7 @@ func (o Options) erConfig() er.Config {
 
 // DefaultOptions mirror the paper's evaluation setup.
 func DefaultOptions() Options {
-	return Options{Scale: 0.25, TruthKeepBpDpIOS: 0.87, TruthKeepBpDpKIL: 0.72}
+	return Options{Scale: 0.25, TruthKeepBpDpIOS: 0.87, TruthKeepBpDpKIL: 0.72, TierCerts: 100000}
 }
 
 // BpBp and BpDp are the evaluated role-pair groups of Tables 3 and 4:
@@ -660,6 +663,9 @@ func Run(w io.Writer, id string, opt Options) bool {
 	switch id {
 	case "stages":
 		Stages(w, opt)
+		return true
+	case "memdiet":
+		Memdiet(w, opt.TierCerts, opt)
 		return true
 	case "sensitivity":
 		Sensitivity(w, opt)

@@ -14,7 +14,7 @@ func tinyDataset(n int) *model.Dataset {
 	for i := 0; i < n; i++ {
 		d.Records = append(d.Records, model.Record{
 			ID: model.RecordID(i), Cert: model.CertID(i), Role: model.Bm,
-			FirstName: "mary", Surname: "smith", Year: 1870 + i,
+			First: model.Intern("mary"), Sur: model.Intern("smith"), Year: 1870 + i,
 			Gender: model.Female, Truth: model.NoPerson,
 		})
 	}

@@ -20,7 +20,7 @@ func fixtureGraph(t *testing.T) *pedigree.Graph {
 		id := model.RecordID(len(d.Records))
 		d.Records = append(d.Records, model.Record{
 			ID: id, Cert: cert, Role: role, Gender: g,
-			FirstName: first, Surname: sur, Year: year, Truth: model.NoPerson,
+			First: model.Intern(first), Sur: model.Intern(sur), Year: year, Truth: model.NoPerson,
 		})
 		return id
 	}

@@ -98,10 +98,10 @@ func GeocodeDataset(d *model.Dataset, g *Gazetteer) int {
 	n := 0
 	for i := range d.Records {
 		rec := &d.Records[i]
-		if rec.Address == "" || rec.Lat != 0 || rec.Lon != 0 {
+		if rec.Addr == 0 || rec.Lat != 0 || rec.Lon != 0 {
 			continue
 		}
-		if lat, lon, ok := g.Resolve(rec.Address); ok {
+		if lat, lon, ok := g.Resolve(rec.Address()); ok {
 			rec.Lat, rec.Lon = lat, lon
 			n++
 		}

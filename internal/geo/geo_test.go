@@ -59,10 +59,10 @@ func TestResolveCaseInsensitive(t *testing.T) {
 
 func TestGeocodeDataset(t *testing.T) {
 	d := &model.Dataset{Records: []model.Record{
-		{ID: 0, Address: "5 portree"},
-		{ID: 1, Address: "unknown place"},
-		{ID: 2, Address: ""},
-		{ID: 3, Address: "7 uig", Lat: 1, Lon: 1}, // pre-geocoded: untouched
+		{ID: 0, Addr: model.Intern("5 portree")},
+		{ID: 1, Addr: model.Intern("unknown place")},
+		{ID: 2, Addr: model.Intern("")},
+		{ID: 3, Addr: model.Intern("7 uig"), Lat: 1, Lon: 1}, // pre-geocoded: untouched
 	}}
 	n := GeocodeDataset(d, Skye())
 	if n != 1 {

@@ -28,6 +28,7 @@ import (
 	"github.com/snaps/snaps/internal/obs"
 	"github.com/snaps/snaps/internal/pedigree"
 	"github.com/snaps/snaps/internal/strsim"
+	"github.com/snaps/snaps/internal/symbol"
 )
 
 // Memoisation metrics of the similarity-aware index: a miss is a
@@ -80,10 +81,12 @@ type SimilarValue struct {
 	Sim   float64
 }
 
-// Keyword is the keyword index K.
+// Keyword is the keyword index K. Posting lists are stored delta+varint
+// compressed (see postings.go); lists are immutable once stored, so
+// incremental updates share them across generations by reference.
 type Keyword struct {
 	// postings[field][value] lists the entity nodes carrying the value.
-	postings [NumFields]map[string][]pedigree.NodeID
+	postings [NumFields]map[string]postingList
 }
 
 // memoShards stripes the similarity memo; must be a power of two. 32
@@ -115,9 +118,10 @@ type Similarity struct {
 	// shards[field][stripe] holds the memoised lists of values hashing to
 	// the stripe (exact value included, first).
 	shards [NumFields][memoShards]memoShard
-	// bigramPost[field][bigram] lists values containing the bigram.
+	// bigramPost[field][bigram] lists the symbol ids of values containing
+	// the bigram, delta+varint compressed in ascending id order.
 	// Read-only after Build — scanned without locks.
-	bigramPost [NumFields]map[string][]string
+	bigramPost [NumFields]map[string]symList
 }
 
 // shardOf stripes a value by FNV-1a hash.
@@ -152,9 +156,11 @@ func Build(g *pedigree.Graph, simThreshold float64) (*Keyword, *Similarity) {
 // similarities identical.
 func BuildSubset(g *pedigree.Graph, keep func(pedigree.NodeID) bool, simThreshold float64) (*Keyword, *Similarity) {
 	defer obs.StartStage("index_build").Stop()
-	k := &Keyword{}
+	// Postings accumulate uncompressed and are compressed in one pass once
+	// sorted and deduplicated.
+	var raw [NumFields]map[string][]pedigree.NodeID
 	for f := Field(0); f < NumFields; f++ {
-		k.postings[f] = map[string][]pedigree.NodeID{}
+		raw[f] = map[string][]pedigree.NodeID{}
 	}
 	s := &Similarity{threshold: simThreshold}
 	for f := Field(0); f < NumFields; f++ {
@@ -162,40 +168,64 @@ func BuildSubset(g *pedigree.Graph, keep func(pedigree.NodeID) bool, simThreshol
 			s.shards[f][i].sims = map[string][]SimilarValue{}
 			s.shards[f][i].inflight = map[string]*memoCall{}
 		}
-		s.bigramPost[f] = map[string][]string{}
+		s.bigramPost[f] = map[string]symList{}
 	}
 
+	add := func(f Field, v string, id pedigree.NodeID) {
+		raw[f][v] = append(raw[f][v], id)
+	}
 	for i := range g.Nodes {
 		n := &g.Nodes[i]
 		if keep != nil && !keep(n.ID) {
 			continue
 		}
 		for _, v := range n.FirstNames {
-			k.add(FieldFirstName, v, n.ID)
+			add(FieldFirstName, v, n.ID)
 		}
 		for _, v := range n.Surnames {
-			k.add(FieldSurname, v, n.ID)
+			add(FieldSurname, v, n.ID)
 		}
 		for _, v := range n.Locations {
-			k.add(FieldLocation, v, n.ID)
+			add(FieldLocation, v, n.ID)
 		}
 		if n.Gender.String() != "?" {
-			k.add(FieldGender, n.Gender.String(), n.ID)
+			add(FieldGender, n.Gender.String(), n.ID)
 		}
 		// Years are matched by interval against Node.MinYear/MaxYear at
 		// query time; no per-year postings are stored.
 	}
-	k.sortPostings()
+	k := &Keyword{}
+	for f := Field(0); f < NumFields; f++ {
+		k.postings[f] = make(map[string]postingList, len(raw[f]))
+		for v, ids := range raw[f] {
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			// Deduplicate.
+			out := ids[:0]
+			var last pedigree.NodeID = -1
+			for _, id := range ids {
+				if id != last {
+					out = append(out, id)
+					last = id
+				}
+			}
+			k.postings[f][v] = encodePostings(out)
+		}
+	}
 
-	// Bigram postings for all string fields.
+	// Bigram postings for all string fields, as sorted symbol-id lists.
+	// Every indexed value is an interned record attribute, so Intern here
+	// is a map hit, not an insert.
 	for _, f := range []Field{FieldFirstName, FieldSurname, FieldLocation} {
+		bgRaw := map[string][]symbol.ID{}
 		for v := range k.postings[f] {
+			id := symbol.Intern(v)
 			for _, bg := range strsim.BigramSet(v) {
-				s.bigramPost[f][bg] = append(s.bigramPost[f][bg], v)
+				bgRaw[bg] = append(bgRaw[bg], id)
 			}
 		}
-		for bg := range s.bigramPost[f] {
-			sort.Strings(s.bigramPost[f][bg])
+		for bg, ids := range bgRaw {
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			s.bigramPost[f][bg] = encodeSyms(ids)
 		}
 	}
 	// Precompute similarities for the name fields, fanning the
@@ -251,49 +281,25 @@ func parallelRange(n int, fn func(lo, hi int)) {
 	wg.Wait()
 }
 
-func (k *Keyword) add(f Field, value string, id pedigree.NodeID) {
-	k.postings[f][value] = append(k.postings[f][value], id)
-}
-
-func (k *Keyword) sortPostings() {
-	for f := range k.postings {
-		for v, ids := range k.postings[f] {
-			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-			// Deduplicate.
-			out := ids[:0]
-			var last pedigree.NodeID = -1
-			for _, id := range ids {
-				if id != last {
-					out = append(out, id)
-					last = id
-				}
-			}
-			k.postings[f][v] = out
-		}
-	}
-}
-
-// Lookup returns the entities carrying the exact value in the field.
-//
-// The returned slice is the index's internal postings list, NOT a copy:
-// callers must treat it as read-only. The query engine (trusted, in
-// process) iterates it on every similar value of every search, so copying
-// here would put one allocation per similar value back on the hot path.
-// Callers that hand postings to untrusted code must use LookupCopy.
+// Lookup returns the entities carrying the exact value in the field,
+// decoded from the compressed posting list into a fresh slice. Callers
+// must treat the result as read-only (the historical contract); the query
+// hot path avoids the decode allocation entirely via Postings.
 func (k *Keyword) Lookup(f Field, value string) []pedigree.NodeID {
-	return k.postings[f][value]
+	return k.postings[f][value].decode()
 }
 
 // LookupCopy returns a private copy of the postings for the value, safe to
 // mutate or retain across index rebuilds.
 func (k *Keyword) LookupCopy(f Field, value string) []pedigree.NodeID {
-	ids := k.postings[f][value]
-	if len(ids) == 0 {
-		return nil
-	}
-	out := make([]pedigree.NodeID, len(ids))
-	copy(out, ids)
-	return out
+	return k.postings[f][value].decode()
+}
+
+// Postings returns an allocation-free iterator over the value's posting
+// list, in ascending node-id order. The iterator reads the immutable
+// compressed bytes, so it stays valid across concurrent index updates.
+func (k *Keyword) Postings(f Field, value string) PostingIter {
+	return k.postings[f][value].iter()
 }
 
 // Values returns the number of distinct values indexed for the field.
@@ -305,8 +311,8 @@ type PostingStats struct {
 	Values int
 	// Entries is the total number of posting-list entries.
 	Entries int
-	// Bytes approximates the heap footprint: value string bytes plus
-	// posting entries (4 bytes each) plus map/slice headers.
+	// Bytes approximates the heap footprint: value string bytes plus the
+	// compressed posting bytes plus map/slice headers.
 	Bytes int
 }
 
@@ -314,9 +320,9 @@ type PostingStats struct {
 // measured against it (see YearPostingEntries).
 func (k *Keyword) Stats(f Field) PostingStats {
 	st := PostingStats{Values: len(k.postings[f])}
-	for v, ids := range k.postings[f] {
-		st.Entries += len(ids)
-		st.Bytes += len(v) + 4*len(ids) + 48 // string bytes + NodeIDs + header overhead
+	for v, pl := range k.postings[f] {
+		st.Entries += pl.len()
+		st.Bytes += len(v) + len(pl.data) + 48 // string bytes + compressed postings + header overhead
 	}
 	return st
 }
@@ -396,14 +402,19 @@ func (s *Similarity) Memoised(f Field, value string) bool {
 // those with Jaro-Winkler similarity at or above the threshold. bigramPost
 // is immutable after Build, so no lock is held while computing.
 func (s *Similarity) computeSimilar(f Field, value string) []SimilarValue {
-	cand := map[string]bool{}
+	cand := map[symbol.ID]bool{}
 	for _, bg := range strsim.BigramSet(value) {
-		for _, v := range s.bigramPost[f][bg] {
-			cand[v] = true
+		for it := s.bigramPost[f][bg].iter(); ; {
+			id, ok := it.next()
+			if !ok {
+				break
+			}
+			cand[id] = true
 		}
 	}
 	out := make([]SimilarValue, 0, len(cand))
-	for v := range cand {
+	for id := range cand {
+		v := symbol.Str(id)
 		sim := strsim.NameSim(value, v)
 		if sim >= s.threshold {
 			out = append(out, SimilarValue{Value: v, Sim: sim})

@@ -44,7 +44,11 @@ func TestKeywordLookupConsistent(t *testing.T) {
 func TestKeywordPostingsSortedDeduped(t *testing.T) {
 	_, k, _ := builtIndexes(t)
 	for f := Field(0); f < NumFields; f++ {
-		for v, ids := range k.postings[f] {
+		for v, pl := range k.postings[f] {
+			ids := pl.decode()
+			if len(ids) != pl.len() {
+				t.Fatalf("postings for %v=%q decode to %d entries, header says %d", f, v, len(ids), pl.len())
+			}
 			for i := 1; i < len(ids); i++ {
 				if ids[i] <= ids[i-1] {
 					t.Fatalf("postings for %v=%q not sorted/deduped", f, v)

@@ -105,7 +105,7 @@ func TestLookupCopyProtectsIndex(t *testing.T) {
 	_, k, _ := builtIndexes(t)
 	var value string
 	for v, ids := range k.postings[FieldSurname] {
-		if len(ids) > 0 {
+		if ids.len() > 0 {
 			value = v
 			break
 		}

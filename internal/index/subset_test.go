@@ -45,7 +45,8 @@ func TestBuildSubsetPartitionsGlobal(t *testing.T) {
 			keep := keepFor(g, shard, n)
 			sk, _ := BuildSubset(g, keep, 0.5)
 			for f := Field(0); f < NumFields; f++ {
-				for v, ids := range sk.postings[f] {
+				for v, pl := range sk.postings[f] {
+					ids := pl.decode()
 					for _, id := range ids {
 						if !keep(id) {
 							t.Fatalf("n=%d shard %d field %v value %q: posting holds foreign node %d",
@@ -63,7 +64,8 @@ func TestBuildSubsetPartitionsGlobal(t *testing.T) {
 				t.Fatalf("n=%d field %v: union has %d values, global %d",
 					n, f, len(union[f]), len(k.postings[f]))
 			}
-			for v, want := range k.postings[f] {
+			for v, wantPL := range k.postings[f] {
+				want := wantPL.decode()
 				got := append([]pedigree.NodeID(nil), union[f][v]...)
 				sortNodeIDs(got)
 				if !reflect.DeepEqual(got, want) {
@@ -98,7 +100,7 @@ func TestBuildSubsetSimilarityIsFilteredGlobal(t *testing.T) {
 				got := ss.Similar(f, v)
 				var want []SimilarValue
 				for _, sv := range s.Similar(f, v) {
-					if len(sk.postings[f][sv.Value]) > 0 {
+					if sk.postings[f][sv.Value].len() > 0 {
 						want = append(want, sv)
 					}
 				}
@@ -139,7 +141,8 @@ func TestUpdateSubsetEquivalentToBuildSubset(t *testing.T) {
 				t.Fatalf("shard %d field %v: %d values incremental, %d fresh (stats %+v)",
 					shard, f, len(gotK.postings[f]), len(wantK.postings[f]), st)
 			}
-			for v, want := range wantK.postings[f] {
+			for v, wantPL := range wantK.postings[f] {
+				want := wantPL.decode()
 				if got := gotK.Lookup(f, v); !reflect.DeepEqual(got, want) {
 					t.Fatalf("shard %d field %v value %q: incremental postings %v, fresh %v",
 						shard, f, v, got, want)

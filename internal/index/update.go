@@ -20,6 +20,7 @@ import (
 	"github.com/snaps/snaps/internal/obs"
 	"github.com/snaps/snaps/internal/pedigree"
 	"github.com/snaps/snaps/internal/strsim"
+	"github.com/snaps/snaps/internal/symbol"
 )
 
 var (
@@ -188,39 +189,39 @@ type fieldValue struct {
 }
 
 // updateKeyword translates the previous postings through oldToNew and
-// reindexes the dirty nodes. Lists whose ids are unchanged are shared with
-// the previous index (which is immutable after its own build); any list
-// that is translated, filtered, or appended to is a fresh allocation,
-// sorted before return.
+// reindexes the dirty nodes. Compressed lists whose ids are unchanged are
+// shared with the previous index (the encoded bytes are immutable); any
+// list that is translated, filtered, or appended to is decoded into a
+// working slice, edited, sorted, and re-encoded fresh.
 func updateKeyword(g *pedigree.Graph, prevK *Keyword, oldToNew []pedigree.NodeID, isDirty []bool) *Keyword {
 	k := &Keyword{}
-	touched := map[fieldValue]bool{}
+	// touched holds the decoded working lists of every value being edited;
+	// they are re-encoded into k at the end.
+	touched := map[fieldValue][]pedigree.NodeID{}
 	for f := Field(0); f < NumFields; f++ {
-		k.postings[f] = make(map[string][]pedigree.NodeID, len(prevK.postings[f]))
-		for v, ids := range prevK.postings[f] {
-			out, shared := translatePostings(ids, oldToNew)
+		k.postings[f] = make(map[string]postingList, len(prevK.postings[f]))
+		for v, pl := range prevK.postings[f] {
+			out, shared := translatePostings(pl, oldToNew)
 			if shared {
-				k.postings[f][v] = ids
+				k.postings[f][v] = pl
 				continue
 			}
 			if len(out) == 0 {
 				continue // value disappeared with its dirty nodes
 			}
-			k.postings[f][v] = out
-			touched[fieldValue{f, v}] = true
+			touched[fieldValue{f, v}] = out
 		}
 	}
 
 	add := func(f Field, v string, id pedigree.NodeID) {
 		key := fieldValue{f, v}
-		ids := k.postings[f][v]
-		if !touched[key] {
-			// Copy-on-write: the list may be shared with the previous
-			// index, so the first append to it copies.
-			ids = append(make([]pedigree.NodeID, 0, len(ids)+1), ids...)
-			touched[key] = true
+		ids, ok := touched[key]
+		if !ok {
+			// First edit of a carried-over (or absent) list: decode it so
+			// the shared encoded bytes are never appended to.
+			ids = k.postings[f][v].decode()
 		}
-		k.postings[f][v] = append(ids, id)
+		touched[key] = append(ids, id)
 	}
 	for i := range g.Nodes {
 		if !isDirty[i] {
@@ -241,30 +242,39 @@ func updateKeyword(g *pedigree.Graph, prevK *Keyword, oldToNew []pedigree.NodeID
 		}
 	}
 
-	for key := range touched {
-		ids := k.postings[key.f][key.v]
+	for key, ids := range touched {
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		k.postings[key.f][key.v] = encodePostings(ids)
 	}
 	return k
 }
 
-// translatePostings maps a posting list through oldToNew, dropping ids of
-// previous nodes that no longer have a clean counterpart. When the mapping
-// is the identity for every id the original (sorted) list is reported as
-// shareable; otherwise a fresh, possibly unsorted list is returned.
-func translatePostings(ids, oldToNew []pedigree.NodeID) ([]pedigree.NodeID, bool) {
+// translatePostings maps a compressed posting list through oldToNew,
+// dropping ids of previous nodes that no longer have a clean counterpart.
+// When the mapping is the identity for every id the encoded list can be
+// shared as-is; otherwise the decoded, translated (possibly unsorted)
+// list is returned for further edits.
+func translatePostings(pl postingList, oldToNew []pedigree.NodeID) ([]pedigree.NodeID, bool) {
 	shared := true
-	for _, id := range ids {
+	for it := pl.iter(); ; {
+		id, ok := it.Next()
+		if !ok {
+			break
+		}
 		if oldToNew[id] != id {
 			shared = false
 			break
 		}
 	}
 	if shared {
-		return ids, true
+		return nil, true
 	}
-	out := make([]pedigree.NodeID, 0, len(ids))
-	for _, id := range ids {
+	out := make([]pedigree.NodeID, 0, pl.len())
+	for it := pl.iter(); ; {
+		id, ok := it.Next()
+		if !ok {
+			break
+		}
 		if nid := oldToNew[id]; nid >= 0 {
 			out = append(out, nid)
 		}
@@ -328,7 +338,7 @@ func updateSimilarity(k, prevK *Keyword, prevS *Similarity, simThreshold float64
 			s.shards[f][i].sims = map[string][]SimilarValue{}
 			s.shards[f][i].inflight = map[string]*memoCall{}
 		}
-		s.bigramPost[f] = map[string][]string{}
+		s.bigramPost[f] = map[string]symList{}
 	}
 
 	for _, f := range simFields {
@@ -336,8 +346,10 @@ func updateSimilarity(k, prevK *Keyword, prevS *Similarity, simThreshold float64
 		stats.AddedValues += len(added)
 		stats.RemovedValues += len(removed)
 		removedSet := make(map[string]bool, len(removed))
+		removedIDs := make(map[symbol.ID]bool, len(removed))
 		for _, v := range removed {
 			removedSet[v] = true
+			removedIDs[symbol.Intern(v)] = true
 		}
 		changed := map[string]bool{}
 		for _, v := range added {
@@ -352,33 +364,40 @@ func updateSimilarity(k, prevK *Keyword, prevS *Similarity, simThreshold float64
 		}
 
 		// Bigram postings, copy-on-write: lists touched by the diff are
-		// rebuilt (removed values filtered out, added values appended and
-		// re-sorted); the rest are shared.
-		bp := make(map[string][]string, len(prevS.bigramPost[f]))
+		// decoded and rebuilt (removed values filtered out, added values
+		// appended, re-sorted, re-encoded); the rest share the previous
+		// generation's immutable encoded bytes.
+		bp := make(map[string]symList, len(prevS.bigramPost[f]))
+		work := map[string][]symbol.ID{}
 		for bg, vals := range prevS.bigramPost[f] {
 			if !changed[bg] {
 				bp[bg] = vals
 				continue
 			}
-			out := make([]string, 0, len(vals)+1)
-			for _, v := range vals {
-				if !removedSet[v] {
-					out = append(out, v)
+			out := make([]symbol.ID, 0, vals.len()+1)
+			for it := vals.iter(); ; {
+				id, ok := it.next()
+				if !ok {
+					break
+				}
+				if !removedIDs[id] {
+					out = append(out, id)
 				}
 			}
-			bp[bg] = out
+			work[bg] = out
 		}
 		for _, a := range added {
+			aid := symbol.Intern(a)
 			for _, bg := range strsim.BigramSet(a) {
-				bp[bg] = append(bp[bg], a)
+				work[bg] = append(work[bg], aid)
 			}
 		}
-		for bg := range changed {
-			if len(bp[bg]) == 0 {
-				delete(bp, bg)
-				continue
+		for bg, ids := range work {
+			if len(ids) == 0 {
+				continue // bigram disappeared with its values
 			}
-			sort.Strings(bp[bg])
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			bp[bg] = encodeSyms(ids)
 		}
 		s.bigramPost[f] = bp
 
@@ -418,13 +437,18 @@ func updateSimilarity(k, prevK *Keyword, prevS *Similarity, simThreshold float64
 		// scan of the PREVIOUS bigram postings finds every list it may
 		// appear in.
 		for _, r := range removed {
-			cand := map[string]bool{}
+			cand := map[symbol.ID]bool{}
 			for _, bg := range strsim.BigramSet(r) {
-				for _, v := range prevS.bigramPost[f][bg] {
-					cand[v] = true
+				for it := prevS.bigramPost[f][bg].iter(); ; {
+					id, ok := it.next()
+					if !ok {
+						break
+					}
+					cand[id] = true
 				}
 			}
-			for v := range cand {
+			for id := range cand {
+				v := symbol.Str(id)
 				if v == r || removedSet[v] || addedSet[v] {
 					continue
 				}
@@ -455,7 +479,7 @@ func updateSimilarity(k, prevK *Keyword, prevS *Similarity, simThreshold float64
 					// NON-indexed probe's list is invisible to them, so it
 					// is dropped (lazily recomputed) if its candidate set
 					// may have changed.
-					if len(k.postings[f][v]) == 0 && touchesChanged(v, changed) {
+					if k.postings[f][v].len() == 0 && touchesChanged(v, changed) {
 						stats.DroppedSimLists++
 						continue
 					}
@@ -502,7 +526,7 @@ func updateSimilarity(k, prevK *Keyword, prevS *Similarity, simThreshold float64
 
 // valueDiff returns the values present only in cur (added) and only in
 // prev (removed), sorted.
-func valueDiff(cur, prev map[string][]pedigree.NodeID) (added, removed []string) {
+func valueDiff(cur, prev map[string]postingList) (added, removed []string) {
 	for v := range cur {
 		if _, ok := prev[v]; !ok {
 			added = append(added, v)

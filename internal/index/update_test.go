@@ -11,6 +11,7 @@ import (
 	"github.com/snaps/snaps/internal/pedigree"
 	"github.com/snaps/snaps/internal/store"
 	"github.com/snaps/snaps/internal/strsim"
+	"github.com/snaps/snaps/internal/symbol"
 )
 
 // appendBirthCert appends a synthetic birth certificate to the data set the
@@ -26,7 +27,7 @@ func appendBirthCert(d *model.Dataset, baby, father, mother [2]string, year int)
 		id := model.RecordID(len(d.Records))
 		d.Records = append(d.Records, model.Record{
 			ID: id, Cert: certID, Role: role, Gender: g,
-			FirstName: name[0], Surname: name[1],
+			First: model.Intern(name[0]), Sur: model.Intern(name[1]),
 			Year: year, Truth: model.NoPerson,
 		})
 		cert.Roles[role] = id
@@ -56,9 +57,9 @@ func buildGenerations(tb testing.TB, scale float64) (prevG, newG *pedigree.Graph
 	// existing clusters (dirtying their nodes) ...
 	r0, r1 := &d.Records[0], &d.Records[len(d.Records)/2]
 	appendBirthCert(newD,
-		[2]string{r0.FirstName, r0.Surname},
-		[2]string{r1.FirstName, r1.Surname},
-		[2]string{r1.FirstName, r0.Surname}, 1890)
+		[2]string{r0.FirstName(), r0.Surname()},
+		[2]string{r1.FirstName(), r1.Surname()},
+		[2]string{r1.FirstName(), r0.Surname()}, 1890)
 	// ... and introduce names no generation has seen, so the similarity
 	// index has genuinely new values to fold in.
 	appendBirthCert(newD,
@@ -128,8 +129,8 @@ func TestUpdateEquivalence(t *testing.T) {
 		if got, want := updK.Values(f), fullK.Values(f); got != want {
 			t.Fatalf("field %v: %d values, full rebuild has %d", f, got, want)
 		}
-		for v, want := range fullK.postings[f] {
-			got := updK.Lookup(f, v)
+		for v, wantPL := range fullK.postings[f] {
+			got, want := updK.Lookup(f, v), wantPL.decode()
 			if len(got) != len(want) {
 				t.Fatalf("field %v value %q: postings %v, full rebuild %v", f, v, got, want)
 			}
@@ -185,10 +186,10 @@ func TestUpdateSimilarityRemovesValues(t *testing.T) {
 	mk := func(vals ...string) *Keyword {
 		k := &Keyword{}
 		for f := Field(0); f < NumFields; f++ {
-			k.postings[f] = map[string][]pedigree.NodeID{}
+			k.postings[f] = map[string]postingList{}
 		}
 		for i, v := range vals {
-			k.postings[FieldSurname][v] = []pedigree.NodeID{pedigree.NodeID(i)}
+			k.postings[FieldSurname][v] = encodePostings([]pedigree.NodeID{pedigree.NodeID(i)})
 		}
 		return k
 	}
@@ -199,15 +200,18 @@ func TestUpdateSimilarityRemovesValues(t *testing.T) {
 			prevS.shards[f][i].sims = map[string][]SimilarValue{}
 			prevS.shards[f][i].inflight = map[string]*memoCall{}
 		}
-		prevS.bigramPost[f] = map[string][]string{}
+		prevS.bigramPost[f] = map[string]symList{}
 	}
+	bgRaw := map[string][]symbol.ID{}
 	for v := range prevK.postings[FieldSurname] {
+		id := symbol.Intern(v)
 		for _, bg := range strsim.BigramSet(v) {
-			prevS.bigramPost[FieldSurname][bg] = append(prevS.bigramPost[FieldSurname][bg], v)
+			bgRaw[bg] = append(bgRaw[bg], id)
 		}
 	}
-	for bg := range prevS.bigramPost[FieldSurname] {
-		sort.Strings(prevS.bigramPost[FieldSurname][bg])
+	for bg, ids := range bgRaw {
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		prevS.bigramPost[FieldSurname][bg] = encodeSyms(ids)
 	}
 	for v := range prevK.postings[FieldSurname] {
 		prevS.shard(FieldSurname, v).sims[v] = prevS.computeSimilar(FieldSurname, v)
@@ -223,8 +227,12 @@ func TestUpdateSimilarityRemovesValues(t *testing.T) {
 		t.Fatalf("RemovedValues = %d, want 1", st.RemovedValues)
 	}
 	for bg, vals := range s.bigramPost[FieldSurname] {
-		for _, v := range vals {
-			if v == "annie" {
+		for it := vals.iter(); ; {
+			id, ok := it.next()
+			if !ok {
+				break
+			}
+			if symbol.Str(id) == "annie" {
 				t.Fatalf("bigram %q still lists removed value annie", bg)
 			}
 		}

@@ -190,8 +190,8 @@ func Apply(d *model.Dataset, c *Certificate) (model.RecordID, error) {
 		id := model.RecordID(len(d.Records))
 		rec := model.Record{
 			ID: id, Cert: certID, Role: role, Gender: gender,
-			FirstName: norm(p.FirstName), Surname: norm(p.Surname),
-			Address: addr, Occupation: occ,
+			First: model.Intern(norm(p.FirstName)), Sur: model.Intern(norm(p.Surname)),
+			Addr: model.Intern(addr), Occ: model.Intern(occ),
 			Year: c.Year, Truth: model.NoPerson,
 		}
 		if t == model.Death && role == model.Dd && cert.Age >= 0 && c.Year != 0 {

@@ -15,7 +15,7 @@ func familyDataset() *model.Dataset {
 		id := model.RecordID(len(d.Records))
 		d.Records = append(d.Records, model.Record{
 			ID: id, Cert: cert, Role: role, Gender: g,
-			FirstName: first, Surname: sur, Address: "5 uig", Year: year, Truth: truth,
+			First: model.Intern(first), Sur: model.Intern(sur), Addr: model.Intern("5 uig"), Year: year, Truth: truth,
 		})
 		return id
 	}
@@ -114,22 +114,22 @@ func TestApply(t *testing.T) {
 		t.Errorf("bad certificate: %+v", cert)
 	}
 	dd := d.Record(cert.Roles[model.Dd])
-	if dd.FirstName != "torquil" || dd.Surname != "macsween" {
-		t.Errorf("names not normalised: %q %q", dd.FirstName, dd.Surname)
+	if dd.FirstName() != "torquil" || dd.Surname() != "macsween" {
+		t.Errorf("names not normalised: %q %q", dd.FirstName(), dd.Surname())
 	}
 	if dd.Gender != model.Male {
 		t.Errorf("deceased gender = %v", dd.Gender)
 	}
-	if dd.Address != "5 uig" {
-		t.Errorf("deceased address = %q", dd.Address)
+	if dd.Address() != "5 uig" {
+		t.Errorf("deceased address = %q", dd.Address())
 	}
 	if dd.BirthHint != 1870 {
 		t.Errorf("BirthHint = %d, want 1870 (year-age)", dd.BirthHint)
 	}
 	// Death-certificate parents carry no address (vitalio convention).
 	dm := d.Record(cert.Roles[model.Dm])
-	if dm.Address != "" {
-		t.Errorf("death mother address = %q, want empty", dm.Address)
+	if dm.Address() != "" {
+		t.Errorf("death mother address = %q, want empty", dm.Address())
 	}
 	if dm.Gender != model.Female {
 		t.Errorf("role-implied gender ignored: %v", dm.Gender)

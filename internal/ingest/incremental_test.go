@@ -70,9 +70,9 @@ func TestFlushIncrementalIndexGoldenEquivalence(t *testing.T) {
 	r0, r1 := &d.Records[0], &d.Records[len(d.Records)/2]
 	rounds := [][]*Certificate{
 		{ // merges into existing clusters, plus a brand-new surname
-			birthCert([2]string{r0.FirstName, r0.Surname},
-				[2]string{r1.FirstName, r1.Surname},
-				[2]string{r1.FirstName, r0.Surname}, 1890),
+			birthCert([2]string{r0.FirstName(), r0.Surname()},
+				[2]string{r1.FirstName(), r1.Surname()},
+				[2]string{r1.FirstName(), r0.Surname()}, 1890),
 			birthCert([2]string{"zebedee", "quixworth"},
 				[2]string{"barnabus", "quixworth"},
 				[2]string{"philomena", "quixworth"}, 1891),
@@ -80,7 +80,7 @@ func TestFlushIncrementalIndexGoldenEquivalence(t *testing.T) {
 		{ // second flush patches the first incremental generation
 			birthCert([2]string{"zebedee", "quixworth"},
 				[2]string{"barnabus", "quixworth"},
-				[2]string{r0.FirstName, r0.Surname}, 1893),
+				[2]string{r0.FirstName(), r0.Surname()}, 1893),
 		},
 	}
 	for round, batch := range rounds {
@@ -157,9 +157,9 @@ func TestConcurrentSearchesDuringIncrementalFlushes(t *testing.T) {
 	for round := 0; round < 4; round++ {
 		r := &d.Records[(round*31)%len(d.Records)]
 		c := birthCert(
-			[2]string{r.FirstName, r.Surname},
+			[2]string{r.FirstName(), r.Surname()},
 			[2]string{"fintan", fmt.Sprintf("newname%d", round)},
-			[2]string{"maeve", r.Surname}, 1880+round)
+			[2]string{"maeve", r.Surname()}, 1880+round)
 		if err := p.Submit(c); err != nil {
 			t.Fatal(err)
 		}

@@ -27,30 +27,30 @@ var FeatureNames = [NumFeatures]string{
 // classifier.
 func Features(a, b *model.Record) [NumFeatures]float64 {
 	var f [NumFeatures]float64
-	if a.FirstName != "" && b.FirstName != "" {
-		f[0] = strsim.JaroWinkler(a.FirstName, b.FirstName)
-		if a.FirstName == b.FirstName {
+	if a.FirstName() != "" && b.FirstName() != "" {
+		f[0] = strsim.JaroWinkler(a.FirstName(), b.FirstName())
+		if a.FirstName() == b.FirstName() {
 			f[1] = 1
 		}
 	} else {
 		f[10] = 1
 	}
-	if a.Surname != "" && b.Surname != "" {
-		f[2] = strsim.JaroWinkler(a.Surname, b.Surname)
-		if a.Surname == b.Surname {
+	if a.Surname() != "" && b.Surname() != "" {
+		f[2] = strsim.JaroWinkler(a.Surname(), b.Surname())
+		if a.Surname() == b.Surname() {
 			f[3] = 1
 		}
 	}
-	if a.Address != "" && b.Address != "" {
-		f[4] = strsim.Jaccard(a.Address, b.Address)
-		if a.Address == b.Address {
+	if a.Address() != "" && b.Address() != "" {
+		f[4] = strsim.Jaccard(a.Address(), b.Address())
+		if a.Address() == b.Address() {
 			f[5] = 1
 		}
 	} else {
 		f[11] = 1
 	}
-	if a.Occupation != "" && b.Occupation != "" {
-		f[6] = strsim.TokenJaccard(a.Occupation, b.Occupation)
+	if a.Occupation() != "" && b.Occupation() != "" {
+		f[6] = strsim.TokenJaccard(a.Occupation(), b.Occupation())
 	}
 	f[7] = strsim.YearSim(a.Year, b.Year, 40)
 	dy := a.Year - b.Year

@@ -10,10 +10,10 @@ import (
 )
 
 func TestFeaturesBasics(t *testing.T) {
-	a := &model.Record{FirstName: "mary", Surname: "smith", Address: "5 uig",
-		Occupation: "crofter", Year: 1870, Gender: model.Female}
-	b := &model.Record{FirstName: "mary", Surname: "smith", Address: "5 uig",
-		Occupation: "crofter", Year: 1870, Gender: model.Female}
+	a := &model.Record{First: model.Intern("mary"), Sur: model.Intern("smith"), Addr: model.Intern("5 uig"),
+		Occ: model.Intern("crofter"), Year: 1870, Gender: model.Female}
+	b := &model.Record{First: model.Intern("mary"), Sur: model.Intern("smith"), Addr: model.Intern("5 uig"),
+		Occ: model.Intern("crofter"), Year: 1870, Gender: model.Female}
 	f := Features(a, b)
 	for _, i := range []int{0, 1, 2, 3, 4, 5, 6, 7, 9} {
 		if f[i] != 1 {

@@ -9,7 +9,11 @@
 // then clusters records that refer to the same real-world person.
 package model
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/snaps/snaps/internal/symbol"
+)
 
 // CertType identifies the kind of vital-event certificate a record was
 // extracted from.
@@ -249,17 +253,32 @@ func CategoryOf(a Attr) AttrCategory {
 	}
 }
 
+// Sym aliases the global symbol-table ID so packages constructing records
+// need not import internal/symbol separately.
+type Sym = symbol.ID
+
+// Intern interns a string attribute value into the global symbol table and
+// returns its ID ("" interns to the zero ID).
+func Intern(s string) Sym { return symbol.Intern(s) }
+
 // Record is a single occurrence of an individual on a certificate.
+//
+// The four string QID attributes are integer-coded: each field holds a
+// symbol-table ID (internal/symbol) instead of a string, so a record costs
+// 16 bytes of attribute state regardless of value length and duplicate
+// values across records share one set of backing bytes. Read them through
+// FirstName()/Surname()/Address()/Occupation() or Value(); compare for
+// exact equality directly on the IDs.
 type Record struct {
 	ID     RecordID
 	Cert   CertID
 	Role   Role
 	Gender Gender
 
-	FirstName  string
-	Surname    string
-	Address    string
-	Occupation string
+	First Sym // first (given) name
+	Sur   Sym // surname
+	Addr  Sym // address
+	Occ   Sym // occupation
 
 	// Year is the year of the vital event (birth, death, or marriage) the
 	// certificate records, not necessarily the person's birth year.
@@ -279,18 +298,46 @@ type Record struct {
 	Truth PersonID
 }
 
+// FirstName resolves the record's first name through the symbol table.
+func (r *Record) FirstName() string { return symbol.Str(r.First) }
+
+// Surname resolves the record's surname through the symbol table.
+func (r *Record) Surname() string { return symbol.Str(r.Sur) }
+
+// Address resolves the record's address through the symbol table.
+func (r *Record) Address() string { return symbol.Str(r.Addr) }
+
+// Occupation resolves the record's occupation through the symbol table.
+func (r *Record) Occupation() string { return symbol.Str(r.Occ) }
+
+// Sym returns the record's symbol ID for a string QID attribute (None for
+// EventYear, which has no interned representation).
+func (r *Record) Sym(a Attr) Sym {
+	switch a {
+	case FirstName:
+		return r.First
+	case Surname:
+		return r.Sur
+	case Address:
+		return r.Addr
+	case Occupation:
+		return r.Occ
+	}
+	return symbol.None
+}
+
 // Value returns the record's value for a string QID attribute, or the
 // decimal year for EventYear. Missing values are empty strings.
 func (r *Record) Value(a Attr) string {
 	switch a {
 	case FirstName:
-		return r.FirstName
+		return symbol.Str(r.First)
 	case Surname:
-		return r.Surname
+		return symbol.Str(r.Sur)
 	case Address:
-		return r.Address
+		return symbol.Str(r.Addr)
 	case Occupation:
-		return r.Occupation
+		return symbol.Str(r.Occ)
 	case EventYear:
 		if r.Year == 0 {
 			return ""

@@ -140,8 +140,8 @@ func TestPairKeyRoundTrip(t *testing.T) {
 }
 
 func TestRecordValue(t *testing.T) {
-	r := Record{FirstName: "mary", Surname: "smith", Address: "5 uig",
-		Occupation: "crofter", Year: 1870}
+	r := Record{First: Intern("mary"), Sur: Intern("smith"), Addr: Intern("5 uig"),
+		Occ: Intern("crofter"), Year: 1870}
 	cases := map[Attr]string{
 		FirstName: "mary", Surname: "smith", Address: "5 uig",
 		Occupation: "crofter", EventYear: "1870",

@@ -157,14 +157,14 @@ func (g *Graph) aggregate(n *Node) {
 			n.Lon += rec.Lon
 			geoCount++
 		}
-		if rec.FirstName != "" {
-			first[rec.FirstName]++
+		if rec.First != 0 {
+			first[rec.FirstName()]++
 		}
-		if rec.Surname != "" {
-			sur[rec.Surname]++
+		if rec.Sur != 0 {
+			sur[rec.Surname()]++
 		}
-		if rec.Address != "" {
-			loc[rec.Address]++
+		if rec.Addr != 0 {
+			loc[rec.Address()]++
 		}
 		if rec.Gender != model.GenderUnknown {
 			n.Gender = rec.Gender

@@ -21,7 +21,7 @@ func familyFixture(t *testing.T) (*model.Dataset, *er.EntityStore) {
 		id := model.RecordID(len(d.Records))
 		d.Records = append(d.Records, model.Record{
 			ID: id, Cert: cert, Role: role, Gender: g,
-			FirstName: first, Surname: sur, Address: "5 uig", Year: year, Truth: truth,
+			First: model.Intern(first), Sur: model.Intern(sur), Addr: model.Intern("5 uig"), Year: year, Truth: truth,
 		})
 		return id
 	}

@@ -455,7 +455,14 @@ func (e *Engine) accumulate(st *searchState, f index.Field, value string, simila
 	for _, sv := range similar {
 		exact := sv.Value == value
 		contribution := weight * sv.Sim
-		for _, id := range e.Keyword.Lookup(f, sv.Value) {
+		// Iterate the compressed postings in place: decoding to a slice
+		// here would put one allocation per similar value back on the hot
+		// path the pooled accumulators took off it.
+		for it := e.Keyword.Postings(f, sv.Value); ; {
+			id, ok := it.Next()
+			if !ok {
+				break
+			}
 			var a *accum
 			if st.mark[id] == st.epoch {
 				a = &st.slab[st.slot[id]]

@@ -26,7 +26,7 @@ func ingestFamily(t *testing.T, cfg ingest.Config) (*Server, *ingest.Pipeline) {
 		id := model.RecordID(len(d.Records))
 		d.Records = append(d.Records, model.Record{
 			ID: id, Cert: cert, Role: role, Gender: g,
-			FirstName: first, Surname: sur, Address: "5 uig", Year: year,
+			First: model.Intern(first), Sur: model.Intern(sur), Addr: model.Intern("5 uig"), Year: year,
 			Truth: model.NoPerson,
 		})
 		return id

@@ -27,7 +27,7 @@ func shardedFamily(t *testing.T, nshards int, cfg ingest.Config) (*Server, *inge
 		id := model.RecordID(len(d.Records))
 		d.Records = append(d.Records, model.Record{
 			ID: id, Cert: cert, Role: role, Gender: g,
-			FirstName: first, Surname: sur, Address: "5 uig", Year: year,
+			First: model.Intern(first), Sur: model.Intern(sur), Addr: model.Intern("5 uig"), Year: year,
 			Truth: model.NoPerson,
 		})
 		return id

@@ -224,9 +224,9 @@ func TestScatterGatherGoldenEquivalenceGrown(t *testing.T) {
 	r0, r1 := &d.Records[0], &d.Records[len(d.Records)/2]
 	rounds := [][]*ingest.Certificate{
 		{
-			growCert([2]string{r0.FirstName, r0.Surname},
-				[2]string{r1.FirstName, r1.Surname},
-				[2]string{r1.FirstName, r0.Surname}, 1890),
+			growCert([2]string{r0.FirstName(), r0.Surname()},
+				[2]string{r1.FirstName(), r1.Surname()},
+				[2]string{r1.FirstName(), r0.Surname()}, 1890),
 			growCert([2]string{"zebedee", "quixworth"},
 				[2]string{"barnabus", "quixworth"},
 				[2]string{"philomena", "quixworth"}, 1891),
@@ -234,7 +234,7 @@ func TestScatterGatherGoldenEquivalenceGrown(t *testing.T) {
 		{
 			growCert([2]string{"zebedee", "quixworth"},
 				[2]string{"barnabus", "quixworth"},
-				[2]string{r0.FirstName, r0.Surname}, 1893),
+				[2]string{r0.FirstName(), r0.Surname()}, 1893),
 		},
 	}
 

@@ -70,7 +70,7 @@ func Owner(g *pedigree.Graph, n *pedigree.Node, shards int) int {
 		}
 	}
 	rec := g.Dataset.Record(min)
-	return Route(rec.FirstName, rec.Surname, shards)
+	return Route(rec.FirstName(), rec.Surname(), shards)
 }
 
 // computeOwners assigns every node of g to its owning shard and counts the

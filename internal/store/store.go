@@ -1,8 +1,16 @@
 // Package store persists the outputs of the SNAPS offline phase — the data
 // set, the resolved entity clusters, and the pedigree graph — so a server
-// can start without re-running entity resolution. The format is a versioned
-// gob stream with a magic header; Load rejects unknown versions instead of
-// misinterpreting bytes.
+// can start without re-running entity resolution. Two wire formats are
+// supported, both behind an 8-byte magic header so Load rejects unknown
+// versions instead of misinterpreting bytes:
+//
+//   - SNAPSv01: the original gob stream. Still readable (old deployments
+//     keep working) and still writable via WriteV01/SaveV01 for
+//     compatibility tests and load-time benchmarks.
+//   - SNAPSBINv02: the compact length-prefixed binary format of binary.go
+//     — a per-file symbol table plus varint-coded records, certificates,
+//     and clusters. Write/Save emit it by default; it is a fraction of the
+//     gob's size and decodes section-by-section without gob's reflection.
 package store
 
 import (
@@ -14,11 +22,23 @@ import (
 
 	"github.com/snaps/snaps/internal/er"
 	"github.com/snaps/snaps/internal/model"
+	"github.com/snaps/snaps/internal/obs"
 	"github.com/snaps/snaps/internal/pedigree"
+	"github.com/snaps/snaps/internal/symbol"
 )
 
-// magic identifies a SNAPS store stream.
-var magic = [8]byte{'S', 'N', 'A', 'P', 'S', 'v', '0', '1'}
+// magicV01 identifies the gob-based SNAPS store stream.
+var magicV01 = [8]byte{'S', 'N', 'A', 'P', 'S', 'v', '0', '1'}
+
+// Footprint gauges: how much resident memory the loaded snapshot's data
+// costs, amortised per record. Set on every successful Read/Load, so the
+// memory-diet trajectory is visible on /metrics, not just in bench JSON.
+var (
+	mStoreRecords = obs.Default.Gauge("snaps_store_records",
+		"Records in the most recently loaded or saved snapshot.")
+	mStoreBytesPerRecord = obs.Default.FloatGauge("snaps_store_bytes_per_record",
+		"Estimated resident data bytes per record of the most recent snapshot (records, certificates, clusters, and the amortised symbol table).")
+)
 
 // Snapshot is everything the online component needs.
 type Snapshot struct {
@@ -59,9 +79,52 @@ func (s *Snapshot) PedigreeGraph() *pedigree.Graph {
 // wire format).
 type wire struct {
 	Name         string
-	Records      []model.Record
+	Records      []wireRecord
 	Certificates []wireCert
 	Clusters     [][]model.RecordID
+}
+
+// wireRecord is the v01 gob shape of a record. It keeps the historical
+// string fields under their original names: gob matches struct fields by
+// name, so this is what makes pre-diet v01 files (and files written by
+// older binaries) decode correctly now that model.Record holds symbol ids
+// — encoding model.Record directly would silently drop every name field
+// on old files and leak process-local symbol ids into new ones.
+type wireRecord struct {
+	ID         model.RecordID
+	Cert       model.CertID
+	Role       model.Role
+	Gender     model.Gender
+	FirstName  string
+	Surname    string
+	Address    string
+	Occupation string
+	Year       int
+	Lat, Lon   float64
+	BirthHint  int
+	Truth      model.PersonID
+}
+
+// toWire converts a record to its v01 gob shape.
+func toWire(r *model.Record) wireRecord {
+	return wireRecord{
+		ID: r.ID, Cert: r.Cert, Role: r.Role, Gender: r.Gender,
+		FirstName: r.FirstName(), Surname: r.Surname(),
+		Address: r.Address(), Occupation: r.Occupation(),
+		Year: r.Year, Lat: r.Lat, Lon: r.Lon,
+		BirthHint: r.BirthHint, Truth: r.Truth,
+	}
+}
+
+// fromWire converts a v01 gob record back, interning its strings.
+func fromWire(w *wireRecord) model.Record {
+	return model.Record{
+		ID: w.ID, Cert: w.Cert, Role: w.Role, Gender: w.Gender,
+		First: model.Intern(w.FirstName), Sur: model.Intern(w.Surname),
+		Addr: model.Intern(w.Address), Occ: model.Intern(w.Occupation),
+		Year: w.Year, Lat: w.Lat, Lon: w.Lon,
+		BirthHint: w.BirthHint, Truth: w.Truth,
+	}
 }
 
 // wireCert flattens the certificate role map for stable encoding.
@@ -79,16 +142,30 @@ type wireRole struct {
 	Rec  model.RecordID
 }
 
-// Write serialises the snapshot.
+// Write serialises the snapshot in the compact v02 binary format.
 func Write(dst io.Writer, s *Snapshot) error {
 	w := bufio.NewWriter(dst)
-	if _, err := w.Write(magic[:]); err != nil {
+	if err := writeBinary(w, s); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// WriteV01 serialises the snapshot in the legacy gob format, for
+// compatibility tests and for benchmarking old-format load times against
+// the compact format.
+func WriteV01(dst io.Writer, s *Snapshot) error {
+	w := bufio.NewWriter(dst)
+	if _, err := w.Write(magicV01[:]); err != nil {
 		return err
 	}
 	payload := wire{
 		Name:     s.Dataset.Name,
-		Records:  s.Dataset.Records,
 		Clusters: s.Clusters,
+	}
+	payload.Records = make([]wireRecord, len(s.Dataset.Records))
+	for i := range s.Dataset.Records {
+		payload.Records[i] = toWire(&s.Dataset.Records[i])
 	}
 	for i := range s.Dataset.Certificates {
 		c := &s.Dataset.Certificates[i]
@@ -106,21 +183,42 @@ func Write(dst io.Writer, s *Snapshot) error {
 	return w.Flush()
 }
 
-// Read deserialises a snapshot.
+// Read deserialises a snapshot, dispatching on the 8-byte magic: v01 gob
+// or v02 compact binary.
 func Read(src io.Reader) (*Snapshot, error) {
 	r := bufio.NewReader(src)
 	var got [8]byte
 	if _, err := io.ReadFull(r, got[:]); err != nil {
 		return nil, fmt.Errorf("store: reading header: %w", err)
 	}
-	if got != magic {
-		return nil, fmt.Errorf("store: bad magic %q (want %q)", got, magic)
+	var s *Snapshot
+	var err error
+	switch {
+	case got == magicV01:
+		s, err = readGob(r)
+	case got == magicV02Head:
+		s, err = readBinary(r)
+	default:
+		return nil, fmt.Errorf("store: bad magic %q (want %q or %q)", got, magicV01, magicV02)
 	}
+	if err != nil {
+		return nil, err
+	}
+	recordFootprint(s)
+	return s, nil
+}
+
+// readGob decodes the v01 gob payload following the magic.
+func readGob(r *bufio.Reader) (*Snapshot, error) {
 	var payload wire
 	if err := gob.NewDecoder(r).Decode(&payload); err != nil {
 		return nil, fmt.Errorf("store: decoding: %w", err)
 	}
-	d := &model.Dataset{Name: payload.Name, Records: payload.Records}
+	d := &model.Dataset{Name: payload.Name}
+	d.Records = make([]model.Record, len(payload.Records))
+	for i := range payload.Records {
+		d.Records[i] = fromWire(&payload.Records[i])
+	}
 	for _, wc := range payload.Certificates {
 		c := model.Certificate{
 			ID: wc.ID, Type: wc.Type, Year: wc.Year, Cause: wc.Cause, Age: wc.Age,
@@ -135,6 +233,16 @@ func Read(src io.Reader) (*Snapshot, error) {
 		return nil, err
 	}
 	return &Snapshot{Dataset: d, Clusters: payload.Clusters}, nil
+}
+
+// recordFootprint publishes the loaded snapshot's resident data footprint
+// on the store gauges.
+func recordFootprint(s *Snapshot) {
+	n := len(s.Dataset.Records)
+	mStoreRecords.Set(int64(n))
+	if n > 0 {
+		mStoreBytesPerRecord.Set(float64(FootprintBytes(s.Dataset, s.Clusters)) / float64(n))
+	}
 }
 
 // validate rejects structurally broken snapshots (out-of-range ids,
@@ -171,14 +279,86 @@ func validate(d *model.Dataset, clusters [][]model.RecordID) error {
 	return nil
 }
 
-// Save writes the snapshot to a file, atomically via a temporary sibling.
+// FootprintBytes estimates the resident heap bytes of a loaded snapshot's
+// data: the record slab, certificates with their role maps, clusters, and
+// the full interned-string table (an upper bound on this data set's share
+// of it — the table is process-global and amortised across every clone and
+// generation referencing it). The bench harness divides it by the record
+// count for the bytes-per-record trajectory of BENCH_offline.json.
+func FootprintBytes(d *model.Dataset, clusters [][]model.RecordID) int64 {
+	const (
+		recordSize  = 64 // unsafe.Sizeof(model.Record{}) with padding
+		certBase    = 64 // Certificate struct + map header overhead
+		roleEntry   = 16 // map bucket share per role entry
+		sliceHeader = 24
+	)
+	total := int64(len(d.Records)) * recordSize
+	for i := range d.Certificates {
+		total += certBase + int64(len(d.Certificates[i].Roles))*roleEntry + int64(len(d.Certificates[i].Cause))
+	}
+	for _, c := range clusters {
+		total += sliceHeader + 4*int64(len(c))
+	}
+	total += symbolTableBytes()
+	return total
+}
+
+// symbolTableBytes reports the resident cost of the global symbol table:
+// backing string bytes plus a string header per entry.
+func symbolTableBytes() int64 {
+	return symbol.Bytes() + 16*int64(symbol.Len())
+}
+
+// FootprintBytesPreDiet estimates the same data's resident bytes under the
+// pre-diet representation, for the before/after trajectory in
+// BENCH_offline.json: records carried four inline string headers and the
+// decoder materialised a private heap copy of every populated attribute
+// value, so string bytes scale with mentions rather than distinct values
+// and there is no shared table to amortise.
+func FootprintBytesPreDiet(d *model.Dataset, clusters [][]model.RecordID) int64 {
+	const (
+		fatRecordSize = 112 // old Record: four 16-byte string headers replace the 4-byte symbol ids
+		strOverhead   = 8   // per-string allocator size-class rounding, averaged
+		certBase      = 64
+		roleEntry     = 16
+		sliceHeader   = 24
+	)
+	total := int64(len(d.Records)) * fatRecordSize
+	for i := range d.Records {
+		r := &d.Records[i]
+		for _, v := range []string{r.FirstName(), r.Surname(), r.Address(), r.Occupation()} {
+			if v != "" {
+				total += int64(len(v)) + strOverhead
+			}
+		}
+	}
+	for i := range d.Certificates {
+		total += certBase + int64(len(d.Certificates[i].Roles))*roleEntry + int64(len(d.Certificates[i].Cause))
+	}
+	for _, c := range clusters {
+		total += sliceHeader + 4*int64(len(c))
+	}
+	return total
+}
+
+// Save writes the snapshot to a file in the v02 format, atomically via a
+// temporary sibling.
 func Save(path string, s *Snapshot) error {
+	return save(path, s, Write)
+}
+
+// SaveV01 writes the snapshot in the legacy gob format (see WriteV01).
+func SaveV01(path string, s *Snapshot) error {
+	return save(path, s, WriteV01)
+}
+
+func save(path string, s *Snapshot, write func(io.Writer, *Snapshot) error) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	if err := Write(f, s); err != nil {
+	if err := write(f, s); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err

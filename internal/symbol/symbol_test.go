@@ -1,0 +1,78 @@
+package symbol
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestEmptyIsNone(t *testing.T) {
+	if Intern("") != None {
+		t.Fatalf("Intern(\"\") = %d, want None", Intern(""))
+	}
+	if Str(None) != "" {
+		t.Fatalf("Str(None) = %q, want empty", Str(None))
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	values := []string{"john", "mary", "macdonald", "7 portree", "crofter"}
+	ids := make([]ID, len(values))
+	for i, v := range values {
+		ids[i] = Intern(v)
+	}
+	for i, v := range values {
+		if got := Intern(v); got != ids[i] {
+			t.Errorf("Intern(%q) not stable: %d then %d", v, ids[i], got)
+		}
+		if got := Str(ids[i]); got != v {
+			t.Errorf("Str(%d) = %q, want %q", ids[i], got, v)
+		}
+		if id, ok := Lookup(v); !ok || id != ids[i] {
+			t.Errorf("Lookup(%q) = %d,%v want %d,true", v, id, ok, ids[i])
+		}
+	}
+}
+
+func TestUnknownIDResolvesEmpty(t *testing.T) {
+	if got := Str(ID(1 << 30)); got != "" {
+		t.Fatalf("Str(huge) = %q, want empty", got)
+	}
+	if Valid(ID(1 << 30)) {
+		t.Fatal("Valid(huge) = true")
+	}
+}
+
+// TestConcurrentIntern hammers Intern and Str from many goroutines; run
+// with -race this guards the snapshot-publishing protocol.
+func TestConcurrentIntern(t *testing.T) {
+	const workers = 8
+	const perWorker = 500
+	var wg sync.WaitGroup
+	ids := make([][]ID, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ids[w] = make([]ID, perWorker)
+			for i := 0; i < perWorker; i++ {
+				// Overlapping value universes force both the hit and the
+				// insert path.
+				v := fmt.Sprintf("concurrent-%d", i%(perWorker/2))
+				ids[w][i] = Intern(v)
+				if got := Str(ids[w][i]); got != v {
+					t.Errorf("Str after Intern(%q) = %q", v, got)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for i := range ids[w] {
+			if ids[w][i] != ids[0][i] {
+				t.Fatalf("worker %d got id %d for value %d, worker 0 got %d", w, ids[w][i], i, ids[0][i])
+			}
+		}
+	}
+}

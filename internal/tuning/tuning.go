@@ -41,12 +41,12 @@ func SampleQueries(g *pedigree.Graph, n int, seed int64) []LabelledQuery {
 	for _, id := range candidates {
 		node := g.Node(id)
 		rec := g.Dataset.Record(node.Records[rng.Intn(len(node.Records))])
-		if rec.FirstName == "" || rec.Surname == "" {
+		if rec.First == 0 || rec.Sur == 0 {
 			continue
 		}
 		q := query.Query{
-			FirstName: rec.FirstName,
-			Surname:   rec.Surname,
+			FirstName: rec.FirstName(),
+			Surname:   rec.Surname(),
 			Gender:    node.Gender,
 		}
 		if node.MinYear != 0 {

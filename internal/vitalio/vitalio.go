@@ -140,8 +140,8 @@ func (r *Reader) addRecord(cert model.CertID, role model.Role, first, sur, addr,
 	id := model.RecordID(len(r.d.Records))
 	r.d.Records = append(r.d.Records, model.Record{
 		ID: id, Cert: cert, Role: role, Gender: gender,
-		FirstName: norm(first), Surname: norm(sur),
-		Address: norm(addr), Occupation: norm(occ),
+		First: model.Intern(norm(first)), Sur: model.Intern(norm(sur)),
+		Addr: model.Intern(norm(addr)), Occ: model.Intern(norm(occ)),
 		Year: year, Truth: truth,
 	})
 	return id, true
@@ -429,21 +429,21 @@ func first(r *model.Record) string {
 	if r == nil {
 		return ""
 	}
-	return r.FirstName
+	return r.FirstName()
 }
 
 func sur(r *model.Record) string {
 	if r == nil {
 		return ""
 	}
-	return r.Surname
+	return r.Surname()
 }
 
 func occ(r *model.Record) string {
 	if r == nil {
 		return ""
 	}
-	return r.Occupation
+	return r.Occupation()
 }
 
 func gender(r *model.Record) string {
@@ -455,8 +455,8 @@ func gender(r *model.Record) string {
 
 func addrOf(rs ...*model.Record) string {
 	for _, r := range rs {
-		if r != nil && r.Address != "" {
-			return r.Address
+		if r != nil && r.Addr != 0 {
+			return r.Address()
 		}
 	}
 	return ""

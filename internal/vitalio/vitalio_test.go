@@ -43,7 +43,7 @@ func TestReadAllTypes(t *testing.T) {
 		t.Fatalf("birth 0: %+v", b0)
 	}
 	baby := d.Record(b0.Roles[model.Bb])
-	if baby.FirstName != "mary" || baby.Gender != model.Female || baby.Year != 1870 {
+	if baby.FirstName() != "mary" || baby.Gender != model.Female || baby.Year != 1870 {
 		t.Errorf("baby record: %+v", baby)
 	}
 	// Death: spouse absent (empty name columns).
@@ -86,7 +86,7 @@ func TestReadNormalisesCase(t *testing.T) {
 		t.Fatal(err)
 	}
 	baby := r.Dataset().Record(0)
-	if baby.FirstName != "mary" || baby.Surname != "macrae" || baby.Address != "5 portree" {
+	if baby.FirstName() != "mary" || baby.Surname() != "macrae" || baby.Address() != "5 portree" {
 		t.Errorf("normalisation failed: %+v", baby)
 	}
 }

@@ -10,9 +10,17 @@
 #                                vs incremental Update of the new generation
 #   BenchmarkExtend              incremental re-resolution (flush ER path)
 #
+# The memdiet section tracks the DS-scale memory-diet tiers (interned
+# records, compressed postings, compact snapshots): bytes-per-record
+# before/after the diet, heap around the build stages, and v01-gob vs
+# v02-binary snapshot sizes and load times. The 100k tier always runs
+# (CI smoke); the 1M tier is minutes-long and single-node-RAM-hungry, so
+# it only runs with TIERS=full (local, then commit the refreshed JSON).
+#
 # Usage:
 #   ./scripts/bench_offline.sh                 # default -benchtime 3x
 #   BENCHTIME=1x ./scripts/bench_offline.sh    # CI smoke: one iteration
+#   TIERS=full ./scripts/bench_offline.sh      # adds the 1M memdiet tier
 #   OUT=/tmp/b.json ./scripts/bench_offline.sh
 #
 # For statistically sound comparisons run each side >= 10 times and feed
@@ -23,7 +31,8 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${BENCHTIME:-3x}"
 OUT="${OUT:-BENCH_offline.json}"
 RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+MEMDIET="$(mktemp)"
+trap 'rm -f "$RAW" "$MEMDIET"' EXIT
 
 go test -run '^$' -bench 'BenchmarkOfflineRunWorkers|BenchmarkExtend$' \
     -benchtime "$BENCHTIME" . | tee "$RAW"
@@ -31,6 +40,11 @@ go test -run '^$' -bench 'BenchmarkEmitPairs' \
     -benchtime "$BENCHTIME" ./internal/blocking | tee -a "$RAW"
 go test -run '^$' -bench 'BenchmarkIndexUpdate' \
     -benchtime "$BENCHTIME" ./internal/index | tee -a "$RAW"
+
+go run ./cmd/experiments -exp memdiet -certs 100000 | tee "$MEMDIET"
+if [ "${TIERS:-}" = "full" ]; then
+    go run ./cmd/experiments -exp memdiet -certs 1000000 | tee -a "$MEMDIET"
+fi
 
 # GOMAXPROCS defaults to the CPU count; record the effective value so a
 # reader knows how many cores the workers=gomaxprocs rows actually used.
@@ -58,6 +72,20 @@ GOMAXPROCS_VAL="${GOMAXPROCS:-$(nproc)}"
     END { printf "\n" }
   ' "$RAW"
   printf '  ],\n'
+  printf '  "memdiet": [\n'
+  # Each experiment line is already a JSON object; join with commas.
+  awk '{ printf "%s    %s", sep, $0; sep = ",\n" } END { printf "\n" }' "$MEMDIET"
+  printf '  ],\n'
+  # pairHint sizing re-audit (see TestPairHintSizingAudit and the
+  # env-guarded BenchmarkEmitPairsScale in internal/blocking): measured
+  # distinct-pair fractions of the worst-case hint, which set the
+  # emitShard map sizing to pairHint/4.
+  printf '  "emit_pairs_sizing_audit": {\n'
+  printf '    "distinct_fraction_ios": 0.182,\n'
+  printf '    "distinct_fraction_ds_scale": 0.407,\n'
+  printf '    "seen_map_hint": "pairHint/4 (was pairHint/8; under-sized at both profiles, two rehashes at DS density)",\n'
+  printf '    "regression_bench": "SNAPS_BENCH_SCALE=1M go test -bench EmitPairsScale -benchtime 1x ./internal/blocking"\n'
+  printf '  },\n'
   printf '  "baseline_pre_pr": [\n'
   printf '    {"name":"BenchmarkFullRun","ns_per_op":554201356,"bytes_per_op":198934378,"allocs_per_op":4601905},\n'
   printf '    {"name":"BenchmarkExtend","ns_per_op":30836144,"bytes_per_op":10438173,"allocs_per_op":27289},\n'
