@@ -373,6 +373,44 @@ func BenchmarkExtend(b *testing.B) {
 	}
 }
 
+// BenchmarkBuildGraphStream compares the two ways blocking output reaches
+// graph construction: materialising the full candidate slice and handing
+// it to Build, versus streaming chunks from PairsChunked straight into
+// BuildStream (the RunLSH path). Both produce byte-identical graphs (see
+// TestBuildStreamMatchesBuild); the gap is the allocation and peak-memory
+// cost of the intermediate slice.
+func BenchmarkBuildGraphStream(b *testing.B) {
+	d := dataset.Generate(dataset.IOS().Scaled(0.08)).Dataset
+	ids := make([]model.RecordID, len(d.Records))
+	for i := range d.Records {
+		ids[i] = d.Records[i].ID
+	}
+	gcfg := depgraph.DefaultConfig()
+	lcfg := blocking.DefaultLSHConfig()
+	b.Run("materialised", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cands := blocking.NewLSH(lcfg).Pairs(d, ids)
+			g, _ := depgraph.Build(d, gcfg, cands)
+			if len(g.Nodes) == 0 {
+				b.Fatal("empty graph")
+			}
+		}
+	})
+	b.Run("streamed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			lsh := blocking.NewLSH(lcfg)
+			g, _ := depgraph.BuildStream(d, gcfg, func(emit func(chunk []blocking.Candidate)) {
+				lsh.PairsChunked(d, ids, emit)
+			})
+			if len(g.Nodes) == 0 {
+				b.Fatal("empty graph")
+			}
+		}
+	})
+}
+
 // BenchmarkOfflineRunWorkers runs the complete offline build — blocking,
 // dependency graph, and component-partitioned resolution — serially and
 // with one worker per core. The resolved clusters are identical for every

@@ -50,7 +50,7 @@ func BenchmarkEmitPairs(b *testing.B) {
 	parallelRange(len(ids), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			rec := d.Record(ids[i])
-			hashes[i].full = l.bandHashes(nameKey(rec))
+			hashes[i].full = l.bandHashes(nameKeySyms(rec.First, rec.Sur))
 			if rec.Surname() != "" {
 				hashes[i].surname = l.bandHashes(rec.Surname())
 			}

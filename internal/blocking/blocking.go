@@ -11,14 +11,15 @@
 package blocking
 
 import (
-	"hash/fnv"
 	"runtime"
 	"sort"
 	"sync"
 
 	"github.com/snaps/snaps/internal/model"
 	"github.com/snaps/snaps/internal/obs"
+	"github.com/snaps/snaps/internal/simcache"
 	"github.com/snaps/snaps/internal/strsim"
+	"github.com/snaps/snaps/internal/symbol"
 )
 
 // Candidate is a candidate record pair produced by a blocker.
@@ -128,10 +129,22 @@ func (l *LSH) signature(name string) []uint64 {
 	return sig
 }
 
+// FNV-1a, inlined: hash/fnv's New64a allocates a hasher per call, and the
+// signature loop hashes every bigram of every distinct name. The constants
+// and the xor-then-multiply order match hash/fnv exactly (pinned by
+// TestFNVHashMatchesStdlib).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
 func fnvHash(s string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(s))
-	return h.Sum64()
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
 }
 
 // blockKey identifies one band of one signature.
@@ -149,35 +162,79 @@ type blockKey struct {
 // first names differ — nicknamed re-recordings of one person, and the
 // sibling pairs whose presence in node groups drives the REL technique.
 func (l *LSH) Pairs(d *model.Dataset, ids []model.RecordID) []Candidate {
-	// Band hashes are computed in parallel per record (the expensive part:
-	// MinHash over all bigrams), then collected serially so block contents
-	// stay in deterministic record order.
-	type recHashes struct {
-		full    []uint64 // one hash per band of the full-name signature
-		surname []uint64 // nil when the record has no surname
-	}
-	hashes := make([]recHashes, len(ids))
-	parallelRangeW(l.cfg.Workers, len(ids), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			rec := d.Record(ids[i])
-			hashes[i].full = l.bandHashes(nameKey(rec))
-			if rec.Sur != 0 {
-				hashes[i].surname = l.bandHashes(rec.Surname())
+	var out []Candidate
+	l.PairsChunked(d, ids, func(chunk []Candidate) {
+		out = append(out, chunk...)
+	})
+	return out
+}
+
+// PairsChunked is Pairs with streamed output: candidate pairs are delivered
+// in bounded chunks, in exactly the order Pairs would return them. Chunk
+// slices are only valid during the emit call and are reused afterwards.
+// Streaming bounds the blocking stage's memory to the block map plus one
+// wave of shard outputs, instead of the full candidate slice.
+func (l *LSH) PairsChunked(d *model.Dataset, ids []model.RecordID, emit func(chunk []Candidate)) {
+	// MinHash signatures depend only on the name strings, and Zipf-shaped
+	// name distributions make distinct (first, surname) pairs far rarer
+	// than records, so signatures are keyed by the packed symbol pair and
+	// computed once per distinct name (and once per distinct surname for
+	// the second pass) rather than once per record.
+	pairIdx := map[uint64]int32{}
+	recPair := make([]int32, len(ids))
+	var pairSyms [][2]model.Sym
+	surIdx := map[model.Sym]int32{}
+	recSur := make([]int32, len(ids))
+	var surSyms []model.Sym
+	for i, id := range ids {
+		rec := d.Record(id)
+		pk := uint64(rec.First)<<32 | uint64(rec.Sur)
+		pi, ok := pairIdx[pk]
+		if !ok {
+			pi = int32(len(pairSyms))
+			pairIdx[pk] = pi
+			pairSyms = append(pairSyms, [2]model.Sym{rec.First, rec.Sur})
+		}
+		recPair[i] = pi
+		recSur[i] = -1
+		if rec.Sur != 0 {
+			si, ok := surIdx[rec.Sur]
+			if !ok {
+				si = int32(len(surSyms))
+				surIdx[rec.Sur] = si
+				surSyms = append(surSyms, rec.Sur)
 			}
+			recSur[i] = si
+		}
+	}
+	fullSigs := make([][]uint64, len(pairSyms))
+	parallelRangeW(l.cfg.Workers, len(pairSyms), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fullSigs[i] = l.bandHashes(nameKeySyms(pairSyms[i][0], pairSyms[i][1]))
 		}
 	})
+	surSigs := make([][]uint64, len(surSyms))
+	parallelRangeW(l.cfg.Workers, len(surSyms), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			surSigs[i] = l.bandHashes(symbol.Str(surSyms[i]))
+		}
+	})
+	// Block contents are collected serially in record order, exactly as
+	// the per-record hashing produced them.
 	blocks := make(map[blockKey][]model.RecordID)
 	for i, id := range ids {
-		for b, h := range hashes[i].full {
+		for b, h := range fullSigs[recPair[i]] {
 			key := blockKey{band: b, hash: h}
 			blocks[key] = append(blocks[key], id)
 		}
-		for b, h := range hashes[i].surname {
-			key := blockKey{band: l.cfg.Bands + b, hash: h}
-			blocks[key] = append(blocks[key], id)
+		if si := recSur[i]; si >= 0 {
+			for b, h := range surSigs[si] {
+				key := blockKey{band: l.cfg.Bands + b, hash: h}
+				blocks[key] = append(blocks[key], id)
+			}
 		}
 	}
-	return emitPairs(d, blocks, l.cfg.MaxBlockSize, nil, l.cfg.Workers)
+	emitPairsChunked(d, blocks, l.cfg.MaxBlockSize, nil, l.cfg.Workers, emit)
 }
 
 // PairsTouching blocks all records but emits only candidate pairs with at
@@ -185,31 +242,47 @@ func (l *LSH) Pairs(d *model.Dataset, ids []model.RecordID) []Candidate {
 // newly arrived records must be compared against the whole data set but
 // existing pairs need not be revisited.
 func (l *LSH) PairsTouching(d *model.Dataset, ids []model.RecordID, focus map[model.RecordID]bool) []Candidate {
-	all := l.Pairs(d, ids)
-	out := all[:0]
-	for _, c := range all {
-		if focus[c.A] || focus[c.B] {
-			out = append(out, c)
-		}
-	}
+	var out []Candidate
+	l.PairsTouchingChunked(d, ids, focus, func(chunk []Candidate) {
+		out = append(out, chunk...)
+	})
 	return out
 }
 
-// bandHashes computes the per-band hashes of a name's MinHash signature.
+// PairsTouchingChunked is PairsTouching with streamed output; the focus
+// filter is a pure pair predicate, so filtering each chunk yields the same
+// candidate sequence as filtering the materialised list.
+func (l *LSH) PairsTouchingChunked(d *model.Dataset, ids []model.RecordID, focus map[model.RecordID]bool, emit func(chunk []Candidate)) {
+	l.PairsChunked(d, ids, func(chunk []Candidate) {
+		w := 0
+		for _, c := range chunk {
+			if focus[c.A] || focus[c.B] {
+				chunk[w] = c
+				w++
+			}
+		}
+		if w > 0 {
+			emit(chunk[:w])
+		}
+	})
+}
+
+// bandHashes computes the per-band hashes of a name's MinHash signature,
+// FNV-1a over each band's rows in little-endian byte order (byte-for-byte
+// the hash/fnv writer it replaces).
 func (l *LSH) bandHashes(name string) []uint64 {
 	sig := l.signature(name)
 	out := make([]uint64, l.cfg.Bands)
 	for b := 0; b < l.cfg.Bands; b++ {
-		h := fnv.New64a()
-		var buf [8]byte
+		h := uint64(fnvOffset64)
 		for r := 0; r < l.cfg.Rows; r++ {
 			v := sig[b*l.cfg.Rows+r]
 			for k := 0; k < 8; k++ {
-				buf[k] = byte(v >> (8 * k))
+				h ^= v >> (8 * k) & 0xff
+				h *= fnvPrime64
 			}
-			h.Write(buf[:])
 		}
-		out[b] = h.Sum64()
+		out[b] = h
 	}
 	return out
 }
@@ -246,26 +319,128 @@ func parallelRangeW(workers, n int, fn func(lo, hi int)) {
 	wg.Wait()
 }
 
-// nameKey is the blocking string of a record.
-func nameKey(rec *model.Record) string { return rec.FirstName() + "|" + rec.Surname() }
+// nameKeySyms is the blocking string of a (first name, surname) pair,
+// built once per distinct pair instead of once per record.
+func nameKeySyms(first, sur model.Sym) string {
+	return symbol.Str(first) + "|" + symbol.Str(sur)
+}
 
-// emitPairs deduplicates pair emission across blocks and applies the
-// gender-compatibility filter. A non-nil keep filter restricts emission.
-//
-// The sorted block keys are split into contiguous shards balanced by
-// pair-count, each shard emits with a local dedup map, and shard outputs
-// are concatenated in shard order under a global first-wins dedup. Because
-// shards are contiguous runs of the serial iteration order, the merged
-// output reproduces the serial first-occurrence order byte for byte; the
-// gender/certificate filters are pure pair predicates, so applying them
-// before or after deduplication yields the same candidate list.
+// pairChunkTarget bounds the pre-dedup pair count of one emitted span; the
+// streamed consumer sees chunks of at most roughly this many candidates.
+const pairChunkTarget = 1 << 16
+
+// mix64 is the splitmix64 finaliser used to spread pair keys over the
+// open-addressed dedup table.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// pairSet is an open-addressed set of pair keys: the global first-wins
+// dedup structure of the chunked emitter. Pair keys are canonical A<B, so
+// B is nonzero and zero serves as the empty-slot sentinel. At DS scale it
+// replaces a map[PairKey]bool holding tens of millions of entries with a
+// flat uint64 table at under half the footprint and no per-entry overhead.
+type pairSet struct {
+	keys []uint64
+	n    int
+}
+
+func newPairSet(hint int) *pairSet {
+	size := 1024
+	for size*7 < hint*10 {
+		size <<= 1
+	}
+	return &pairSet{keys: make([]uint64, size)}
+}
+
+// add inserts k and reports whether it was absent.
+func (s *pairSet) add(k uint64) bool {
+	if 10*(s.n+1) >= 7*len(s.keys) {
+		s.grow()
+	}
+	mask := uint64(len(s.keys) - 1)
+	for i := mix64(k) & mask; ; i = (i + 1) & mask {
+		switch s.keys[i] {
+		case 0:
+			s.keys[i] = k
+			s.n++
+			return true
+		case k:
+			return false
+		}
+	}
+}
+
+func (s *pairSet) grow() {
+	old := s.keys
+	s.keys = make([]uint64, 2*len(old))
+	s.n = 0
+	for _, k := range old {
+		if k != 0 {
+			s.add(k)
+		}
+	}
+}
+
+// reset empties the set, reallocating only when the existing table cannot
+// hold hint entries below the load factor. Clearing in place (a memclr)
+// lets one table serve every span a wave slot processes — at DS scale the
+// per-span dedup previously churned gigabytes of short-lived maps, which
+// set the GC pacing (and so the peak heap) of the whole offline build.
+func (s *pairSet) reset(hint int) {
+	size := 1024
+	for size*7 < hint*10 {
+		size <<= 1
+	}
+	if size > len(s.keys) {
+		s.keys = make([]uint64, size)
+	} else {
+		clear(s.keys)
+	}
+	s.n = 0
+}
+
+// emitScratch is the reusable per-wave-slot state of emitPairsChunked: the
+// span-local dedup table and the span output buffer. Both survive across
+// waves; the output buffer may be handed to emit because the chunked
+// contract says chunks are only read during the emit call.
+type emitScratch struct {
+	seen pairSet
+	out  []Candidate
+}
+
+// emitPairs is the materialising adapter over emitPairsChunked, retained
+// for the Soundex blocker and tests.
 func emitPairs(d *model.Dataset, blocks map[blockKey][]model.RecordID, maxBlock int, keep func(a, b model.RecordID) bool, workers int) []Candidate {
+	var out []Candidate
+	emitPairsChunked(d, blocks, maxBlock, keep, workers, func(chunk []Candidate) {
+		out = append(out, chunk...)
+	})
+	return out
+}
+
+// emitPairsChunked deduplicates pair emission across blocks and applies the
+// gender-compatibility filter, delivering the candidates in bounded chunks.
+// A non-nil keep filter restricts emission.
+//
+// The sorted block keys are split into contiguous spans of roughly
+// pairChunkTarget pairs each; spans are emitted in waves of `workers` with
+// a local dedup map per span, then merged serially in span order under the
+// global first-wins pairSet and handed to emit. Because spans are
+// contiguous runs of the serial iteration order, the merged stream
+// reproduces the serial first-occurrence order byte for byte regardless of
+// span size or worker count (the PR 5 ordering contract); the gender and
+// certificate filters are pure pair predicates, so applying them before or
+// after deduplication yields the same candidate sequence.
+func emitPairsChunked(d *model.Dataset, blocks map[blockKey][]model.RecordID, maxBlock int, keep func(a, b model.RecordID) bool, workers int, emit func(chunk []Candidate)) {
 	st := obs.StartStage("blocking.emit_pairs")
 	defer st.Stop()
 
 	// Deterministic iteration: sort keys, dropping capped blocks up front
-	// and summing emittable pair counts for shard balancing and output
-	// preallocation.
+	// and summing emittable pair counts for span sizing.
 	keys := make([]blockKey, 0, len(blocks))
 	for k, blk := range blocks {
 		if maxBlock > 0 && len(blk) > maxBlock {
@@ -284,67 +459,88 @@ func emitPairs(d *model.Dataset, blocks map[blockKey][]model.RecordID, maxBlock 
 		n := len(blocks[k])
 		total += n * (n - 1) / 2
 	}
-
+	if total == 0 {
+		return
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	// Sharding pays a second dedup pass at merge; a single shard skips it.
-	if workers <= 1 || total < 1<<12 {
-		return emitShard(d, blocks, keys, keep, total)
-	}
 
-	// Contiguous shards with roughly equal pair counts.
+	// Contiguous spans of roughly pairChunkTarget pre-dedup pairs.
 	type span struct{ lo, hi, pairs int }
 	var spans []span
-	target := (total + workers - 1) / workers
 	cur := span{}
 	for i, k := range keys {
 		n := len(blocks[k])
 		cur.pairs += n * (n - 1) / 2
-		if cur.pairs >= target || i == len(keys)-1 {
+		if cur.pairs >= pairChunkTarget || i == len(keys)-1 {
 			cur.hi = i + 1
 			spans = append(spans, cur)
 			cur = span{lo: i + 1}
 		}
 	}
+	if len(spans) == 1 {
+		// One span needs no cross-span dedup: its local table already
+		// produced the serial first-occurrence order.
+		var sc emitScratch
+		if out := emitShard(d, blocks, keys, keep, total, &sc); len(out) > 0 {
+			emit(out)
+		}
+		return
+	}
+
+	// One scratch per wave slot, reused for every wave: slot s of each wave
+	// runs on one goroutine at a time and waves are serial, so reuse is
+	// race-free, and the emit contract (chunks are only read during the
+	// call) makes recycling the output buffers legal.
+	seen := newPairSet(total/4 + 16)
+	scratch := make([]emitScratch, min(workers, len(spans)))
 	outs := make([][]Candidate, len(spans))
-	parallelRangeW(workers, len(spans), func(lo, hi int) {
-		for s := lo; s < hi; s++ {
-			sp := spans[s]
-			outs[s] = emitShard(d, blocks, keys[sp.lo:sp.hi], keep, sp.pairs)
+	for wave := 0; wave < len(spans); wave += workers {
+		end := wave + workers
+		if end > len(spans) {
+			end = len(spans)
 		}
-	})
-	// Ordered merge with first-wins dedup across shards.
-	emitted := 0
-	for _, o := range outs {
-		emitted += len(o)
-	}
-	seen := make(map[model.PairKey]bool, emitted)
-	out := make([]Candidate, 0, emitted)
-	for _, o := range outs {
-		for _, c := range o {
-			pk := model.MakePairKey(c.A, c.B)
-			if seen[pk] {
-				continue
+		parallelRangeW(workers, end-wave, func(lo, hi int) {
+			for s := lo; s < hi; s++ {
+				sp := spans[wave+s]
+				outs[wave+s] = emitShard(d, blocks, keys[sp.lo:sp.hi], keep, sp.pairs, &scratch[s])
 			}
-			seen[pk] = true
-			out = append(out, c)
+		})
+		// Ordered merge with global first-wins dedup, then hand the
+		// surviving chunk to the consumer. The span buffer stays owned by
+		// its scratch slot and is overwritten next wave.
+		for s := wave; s < end; s++ {
+			o := outs[s]
+			outs[s] = nil
+			w := 0
+			for _, c := range o {
+				if seen.add(uint64(model.MakePairKey(c.A, c.B))) {
+					o[w] = c
+					w++
+				}
+			}
+			if w > 0 {
+				emit(o[:w])
+			}
 		}
 	}
-	return out
 }
 
 // emitShard emits the deduplicated, filtered pairs of one contiguous run of
-// sorted block keys. pairHint is the worst-case pair count (every block
-// visit distinct). Measured distinct-pair fractions of worst case run
-// 0.18 on the parish-scale IOS profile and 0.41 on the DS-scale substrate
+// sorted block keys into sc, whose dedup table and output buffer are reused
+// across spans. pairHint is the worst-case pair count (every block visit
+// distinct). Measured distinct-pair fractions of worst case run 0.18 on the
+// parish-scale IOS profile and 0.41 on the DS-scale substrate
 // (TestPairHintSizingAudit) — the denser the blocks, the more of the
 // recurrence is same-pair-new-band and the higher the distinct fraction.
-// Sizing to pairHint/4 splits that range: at most one map growth at the
-// highest measured density, no over-allocation at the lowest.
-func emitShard(d *model.Dataset, blocks map[blockKey][]model.RecordID, keys []blockKey, keep func(a, b model.RecordID) bool, pairHint int) []Candidate {
-	seen := make(map[model.PairKey]bool, pairHint/4+16)
-	out := make([]Candidate, 0, pairHint/8+16)
+// Resetting to pairHint/4 splits that range: at most one table growth at
+// the highest measured density, no over-allocation at the lowest — and
+// after the first wave the table has reached working size, so steady state
+// allocates nothing at all.
+func emitShard(d *model.Dataset, blocks map[blockKey][]model.RecordID, keys []blockKey, keep func(a, b model.RecordID) bool, pairHint int, sc *emitScratch) []Candidate {
+	sc.seen.reset(pairHint/4 + 16)
+	out := sc.out[:0]
 	for _, k := range keys {
 		blk := blocks[k]
 		for i := 0; i < len(blk); i++ {
@@ -359,11 +555,9 @@ func emitShard(d *model.Dataset, blocks map[blockKey][]model.RecordID, keys []bl
 				if keep != nil && !keep(a, b) {
 					continue
 				}
-				pk := model.MakePairKey(a, b)
-				if seen[pk] {
+				if !sc.seen.add(uint64(model.MakePairKey(a, b))) {
 					continue
 				}
-				seen[pk] = true
 				ra, rb := d.Record(a), d.Record(b)
 				if !GenderCompatible(ra, rb) {
 					continue
@@ -375,6 +569,7 @@ func emitShard(d *model.Dataset, blocks map[blockKey][]model.RecordID, keys []bl
 			}
 		}
 	}
+	sc.out = out
 	return out
 }
 
@@ -409,7 +604,14 @@ type Soundex struct {
 func (s *Soundex) Pairs(d *model.Dataset, ids []model.RecordID) []Candidate {
 	encode := s.Encode
 	if encode == nil {
-		encode = strsim.Soundex
+		// Default to the per-symbol cached code: record values are
+		// interned, so the phonetic encoding is a slab lookup.
+		encode = func(v string) string {
+			if id, ok := symbol.Lookup(v); ok {
+				return simcache.Soundex(id)
+			}
+			return strsim.Soundex(v)
+		}
 	}
 	blocks := make(map[blockKey][]model.RecordID)
 	intern := map[string]uint64{}

@@ -1,0 +1,34 @@
+package blocking
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"testing"
+)
+
+// TestFNVHashMatchesStdlib pins the inlined FNV-1a to hash/fnv: the
+// allocation-free loop replaced fnv.New64a on the signature hot path, and
+// band hashes feed block keys, so any drift would silently reshuffle every
+// block assignment.
+func TestFNVHashMatchesStdlib(t *testing.T) {
+	ref := func(s string) uint64 {
+		h := fnv.New64a()
+		h.Write([]byte(s))
+		return h.Sum64()
+	}
+	fixed := []string{"", "a", "smith|john", "van den berg|", "jörg", "\x00\xff"}
+	for _, s := range fixed {
+		if got, want := fnvHash(s), ref(s); got != want {
+			t.Errorf("fnvHash(%q) = %#x, hash/fnv = %#x", s, got, want)
+		}
+	}
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 2000; i++ {
+		buf := make([]byte, rng.Intn(40))
+		rng.Read(buf)
+		s := string(buf)
+		if got, want := fnvHash(s), ref(s); got != want {
+			t.Fatalf("fnvHash(%q) = %#x, hash/fnv = %#x", s, got, want)
+		}
+	}
+}

@@ -17,7 +17,7 @@ func buildBlocks(d *model.Dataset, ids []model.RecordID, cfg LSHConfig) map[bloc
 	parallelRange(len(ids), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			rec := d.Record(ids[i])
-			hashes[i].full = l.bandHashes(nameKey(rec))
+			hashes[i].full = l.bandHashes(nameKeySyms(rec.First, rec.Sur))
 			if rec.Surname() != "" {
 				hashes[i].surname = l.bandHashes(rec.Surname())
 			}

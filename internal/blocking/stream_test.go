@@ -1,0 +1,80 @@
+package blocking
+
+import (
+	"testing"
+
+	"github.com/snaps/snaps/internal/dataset"
+	"github.com/snaps/snaps/internal/model"
+)
+
+// TestPairsChunkedStreamEquivalence locks the streamed emitter to the
+// materialised candidate list: concatenating the chunks must reproduce
+// Pairs byte for byte (same pairs, same order), with no duplicate pair
+// across chunk boundaries — the global first-wins dedup set spans spans.
+// The DS-scale tier is sized to force a few dozen chunks so the
+// cross-span path actually runs.
+func TestPairsChunkedStreamEquivalence(t *testing.T) {
+	d := dataset.GenerateScale(dataset.ScaleTier(3000)).Dataset
+	ids := allIDs(d)
+	for _, workers := range []int{1, 3} {
+		cfg := ScaleLSHConfig()
+		cfg.Workers = workers
+		l := NewLSH(cfg)
+		want := l.Pairs(d, ids)
+
+		var streamed []Candidate
+		chunks := 0
+		seen := make(map[model.PairKey]bool, len(want))
+		l.PairsChunked(d, ids, func(chunk []Candidate) {
+			chunks++
+			for _, c := range chunk {
+				k := model.MakePairKey(c.A, c.B)
+				if seen[k] {
+					t.Fatalf("workers=%d: pair %v emitted twice across chunks", workers, c)
+				}
+				seen[k] = true
+			}
+			streamed = append(streamed, chunk...)
+		})
+		if chunks < 2 {
+			t.Fatalf("workers=%d: got %d chunks, want several (tier too small to exercise streaming)", workers, chunks)
+		}
+		if len(streamed) != len(want) {
+			t.Fatalf("workers=%d: streamed %d pairs, materialised %d", workers, len(streamed), len(want))
+		}
+		for i := range want {
+			if streamed[i] != want[i] {
+				t.Fatalf("workers=%d: pair %d = %v streamed, %v materialised", workers, i, streamed[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPairsTouchingChunkedStreamEquivalence is the same lock for the
+// incremental (Extend) path's focus-filtered emitter.
+func TestPairsTouchingChunkedStreamEquivalence(t *testing.T) {
+	d := dataset.Generate(dataset.IOS().Scaled(0.08)).Dataset
+	ids := allIDs(d)
+	focus := map[model.RecordID]bool{}
+	for id := model.RecordID(len(d.Records) * 3 / 4); int(id) < len(d.Records); id++ {
+		focus[id] = true
+	}
+	cfg := DefaultLSHConfig()
+	l := NewLSH(cfg)
+	want := l.PairsTouching(d, ids, focus)
+	if len(want) == 0 {
+		t.Fatal("no touching pairs; focus window too small")
+	}
+	var streamed []Candidate
+	l.PairsTouchingChunked(d, ids, focus, func(chunk []Candidate) {
+		streamed = append(streamed, chunk...)
+	})
+	if len(streamed) != len(want) {
+		t.Fatalf("streamed %d pairs, materialised %d", len(streamed), len(want))
+	}
+	for i := range want {
+		if streamed[i] != want[i] {
+			t.Fatalf("pair %d = %v streamed, %v materialised", i, streamed[i], want[i])
+		}
+	}
+}

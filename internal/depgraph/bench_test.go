@@ -1,0 +1,58 @@
+package depgraph
+
+import (
+	"testing"
+
+	"github.com/snaps/snaps/internal/blocking"
+	"github.com/snaps/snaps/internal/dataset"
+	"github.com/snaps/snaps/internal/model"
+)
+
+// BenchmarkCompareAttrHot measures the per-candidate scoring loop the
+// streamed build spends its atomic phase in: all four compared attributes
+// of realistic candidate pairs, after the feature slab and the
+// symbol-pair memo are warm. This is the steady-state cost of one
+// candidate once Zipf-shaped repeats dominate — the allocs/op of this
+// loop must stay 0.
+func BenchmarkCompareAttrHot(b *testing.B) {
+	d := dataset.Generate(dataset.IOS().Scaled(0.05)).Dataset
+	cfg := DefaultConfig()
+	cands := blocking.NewLSH(blocking.DefaultLSHConfig()).Pairs(d, recordIDs(d))
+	if len(cands) == 0 {
+		b.Fatal("no candidates")
+	}
+	// Warm the memo and the feature slab with one full pass.
+	for _, c := range cands {
+		ra, rb := d.Record(c.A), d.Record(c.B)
+		for _, attr := range compareAttrs {
+			CompareAttr(cfg, ra, rb, attr)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := cands[i%len(cands)]
+		ra, rb := d.Record(c.A), d.Record(c.B)
+		for _, attr := range compareAttrs {
+			CompareAttr(cfg, ra, rb, attr)
+		}
+	}
+}
+
+// BenchmarkJaroKernelCold measures NameSim through CompareAttr on
+// never-memoised pairs by clearing nothing but cycling through distinct
+// record pairs — dominated by memo misses plus the underlying kernels.
+func BenchmarkCompareAttrColdish(b *testing.B) {
+	d := dataset.Generate(dataset.IOS().Scaled(0.05)).Dataset
+	cfg := DefaultConfig()
+	recs := len(d.Records)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ra := d.Record(model.RecordID(i % recs))
+		rb := d.Record(model.RecordID((i*7 + 13) % recs))
+		for _, attr := range compareAttrs {
+			CompareAttr(cfg, ra, rb, attr)
+		}
+	}
+}

@@ -13,13 +13,14 @@ package depgraph
 
 import (
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
 	"github.com/snaps/snaps/internal/blocking"
 	"github.com/snaps/snaps/internal/constraint"
 	"github.com/snaps/snaps/internal/model"
+	"github.com/snaps/snaps/internal/simcache"
 	"github.com/snaps/snaps/internal/strsim"
 )
 
@@ -55,14 +56,18 @@ func parallelRange(workers, n int, fn func(lo, hi int)) {
 }
 
 // AtomicKey identifies an atomic node: an attribute plus a canonical
-// (ordered) pair of values.
+// (ordered) pair of interned values. Keying by symbol ID instead of by the
+// strings makes interning a pair of integer compares and a small-key map
+// probe; the canonical order (ascending ID) differs from the old
+// lexicographic order, but a canonical order only has to be consistent —
+// the set of distinct keys, and therefore the graph, is unchanged.
 type AtomicKey struct {
 	Attr model.Attr
-	A, B string
+	A, B model.Sym
 }
 
 // MakeAtomicKey returns the canonical key for an attribute value pair.
-func MakeAtomicKey(attr model.Attr, a, b string) AtomicKey {
+func MakeAtomicKey(attr model.Attr, a, b model.Sym) AtomicKey {
 	if b < a {
 		a, b = b, a
 	}
@@ -181,45 +186,102 @@ func CompareAttr(cfg Config, a, b *model.Record, attr model.Attr) (sim float64, 
 		}
 		// NameSim extends Jaro-Winkler with Monge-Elkan token matching so
 		// transposed or partially recorded double forenames still compare.
-		return strsim.NameSim(a.FirstName(), b.FirstName()), true
+		return simcache.NameSim(a.First, b.First), true
 	case model.Surname:
 		if a.Sur == 0 || b.Sur == 0 {
 			return 0, false
 		}
 		// Token-aware comparison also handles multi-token surnames with
 		// tussenvoegsels ("van den berg") in the BHIC data.
-		return strsim.NameSim(a.Surname(), b.Surname()), true
+		return simcache.NameSim(a.Sur, b.Sur), true
 	case model.Address:
 		if a.Addr == 0 || b.Addr == 0 {
 			return 0, false
 		}
 		if a.Lat != 0 && b.Lat != 0 {
+			// Geocoded pairs compare by coordinates — a function of the
+			// records, not of the value pair, so never memoised.
 			return strsim.GeoSim(a.Lat, a.Lon, b.Lat, b.Lon, cfg.GeoMaxKm), true
 		}
-		return strsim.Jaccard(a.Address(), b.Address()), true
+		// String-compared (geo-less) addresses are a pure function of the
+		// value pair and ride the process-wide memo like the other
+		// attributes (this used to be the one unmemoised string path).
+		return simcache.Jaccard(a.Addr, b.Addr), true
 	case model.Occupation:
 		if a.Occ == 0 || b.Occ == 0 {
 			return 0, false
 		}
-		return strsim.TokenJaccard(a.Occupation(), b.Occupation()), true
+		return simcache.TokenJaccard(a.Occ, b.Occ), true
 	}
 	return 0, false
 }
 
+// AttrComparable reports whether both records carry a value for attr — the
+// ok half of CompareAttr without the similarity math. The bootstrap
+// scorer's strict category counting needs only presence.
+func AttrComparable(a, b *model.Record, attr model.Attr) bool {
+	return a.Sym(attr) != 0 && b.Sym(attr) != 0
+}
+
 // BuildStats reports the wall-clock time of the two graph-construction
 // phases, matching the "Generate N_A time" and "Generate N_R time" columns
-// of Table 6 of the paper.
+// of Table 6 of the paper, plus the number of candidate pairs scored.
 type BuildStats struct {
 	GenAtomic     time.Duration
 	GenRelational time.Duration
+	// Candidates counts the candidate pairs streamed through the build
+	// (the sum of all chunk lengths).
+	Candidates int
 }
+
+// GCRebaseMinCandidates gates the forced collections that re-base GC
+// pacing between offline-build phases (the stream→materialise boundary in
+// BuildStream, the graph→resolve boundary in er.RunLSH): builds that
+// streamed at least this many candidate pairs are DS-scale offline builds
+// where peak heap matters more than one GC pause; smaller builds (tests,
+// incremental Extend flushes) skip it.
+const GCRebaseMinCandidates = 1 << 22
+
+// buildChunkSize bounds the candidate pairs scored per streamed chunk; the
+// per-chunk scratch slabs (similarities, presence flags, atomic bindings)
+// are sized by it and reused, so graph construction memory no longer grows
+// with the total candidate count.
+const buildChunkSize = 1 << 16
 
 // Build constructs the dependency graph from blocking candidates. Candidate
 // pairs must already be gender-filtered; Build additionally applies the
 // constraint validator's pair filter (impossible role types and temporal
 // constraints, the paper's "two filtering steps") and requires at least one
 // supporting atomic node on a name attribute.
+//
+// Build is the materialised-slice adapter over BuildStream: the slice is
+// fed through the same chunked engine, so both entry points share one
+// (golden-tested) code path.
 func Build(d *model.Dataset, cfg Config, cands []blocking.Candidate) (*Graph, BuildStats) {
+	return BuildStream(d, cfg, func(emit func(chunk []blocking.Candidate)) {
+		for lo := 0; lo < len(cands); lo += buildChunkSize {
+			hi := lo + buildChunkSize
+			if hi > len(cands) {
+				hi = len(cands)
+			}
+			emit(cands[lo:hi])
+		}
+	})
+}
+
+// BuildStream constructs the dependency graph from a stream of candidate
+// chunks. stream must call emit once per chunk, in order; chunk slices are
+// only read during the emit call and may be reused by the producer.
+//
+// Each chunk is scored in parallel into fixed-size scratch, then interned
+// serially. Because chunks arrive in the same order the candidates would
+// occupy in one big slice, and both the atomic-node interning and the
+// relational-node appending are serial per chunk, the first-occurrence
+// orders — and therefore every node and group ID — are identical to the
+// monolithic build at any chunk size and worker count. Atomic and
+// relational nodes live in separate slices with independent ID spaces, so
+// interleaving their construction across chunks cannot renumber anything.
+func BuildStream(d *model.Dataset, cfg Config, stream func(emit func(chunk []blocking.Candidate))) (*Graph, BuildStats) {
 	g := &Graph{
 		Dataset:     d,
 		Config:      cfg,
@@ -227,89 +289,142 @@ func Build(d *model.Dataset, cfg Config, cands []blocking.Candidate) (*Graph, Bu
 		pairIndex:   map[model.PairKey]NodeID{},
 	}
 	var stats BuildStats
+	v := constraint.NewValidator(d)
 
-	// Phase 1: atomic nodes — compare QID value pairs in parallel, then
-	// intern those at or above the threshold t_a serially (the interning
-	// map is shared, and serial interning keeps node ids deterministic).
-	t0 := time.Now()
-	sims := make([][model.NumAttrs]float64, len(cands))
-	present := make([][model.NumAttrs]bool, len(cands))
-	parallelRange(cfg.Workers, len(cands), func(lo, hi int) {
-		// Per-worker value-pair memo: candidate pairs repeat the same name
-		// and occupation value pairs constantly (that repetition is why
-		// atomic nodes are interned at all), and these comparisons are pure
-		// functions of the two strings. Address is excluded — geocoded
-		// records compare by coordinates, not by the address string alone.
-		memo := make(map[AtomicKey]float64)
-		for ci := lo; ci < hi; ci++ {
-			c := cands[ci]
-			ra, rb := d.Record(c.A), d.Record(c.B)
-			for _, attr := range compareAttrs {
-				if attr == model.Address {
+	// Chunk-sized scratch, reused across chunks.
+	var (
+		sims        [][model.NumAttrs]float64
+		present     [][model.NumAttrs]bool
+		atomicOf    [][model.NumAttrs]int32
+		nameSupport []bool
+	)
+
+	// Surviving relational nodes are staged in fixed-size slabs and copied
+	// into one exactly-sized g.Nodes slice after the stream ends. Growing a
+	// multi-hundred-megabyte slice by appending reallocates ~5x its final
+	// footprint cumulatively and transiently holds both the old and new
+	// slab; the slab staging allocates each node's bytes twice total and
+	// never overshoots. NodeIDs are positional, so staging order IS final
+	// order.
+	const nodeSlabShift = 14 // 16384 nodes (~1.5 MB) per slab
+	var nodeSlabs [][]RelationalNode
+	nodeCount := 0
+
+	stream(func(chunk []blocking.Candidate) {
+		n := len(chunk)
+		if n == 0 {
+			return
+		}
+		stats.Candidates += n
+		if cap(sims) < n {
+			sims = make([][model.NumAttrs]float64, n)
+			present = make([][model.NumAttrs]bool, n)
+			atomicOf = make([][model.NumAttrs]int32, n)
+			nameSupport = make([]bool, n)
+		}
+		sims, present = sims[:n], present[:n]
+		atomicOf, nameSupport = atomicOf[:n], nameSupport[:n]
+
+		// Phase 1a: score the chunk in parallel. Similarities are pure
+		// functions of the value pairs, memoised process-wide by symbol
+		// pair (internal/simcache), so repeats across chunks, workers, and
+		// Extend flushes are computed once.
+		t0 := time.Now()
+		parallelRange(cfg.Workers, n, func(lo, hi int) {
+			for ci := lo; ci < hi; ci++ {
+				c := chunk[ci]
+				ra, rb := d.Record(c.A), d.Record(c.B)
+				for _, attr := range compareAttrs {
 					if s, ok := CompareAttr(cfg, ra, rb, attr); ok {
 						sims[ci][attr] = s
 						present[ci][attr] = true
+					} else {
+						present[ci][attr] = false
 					}
-					continue
 				}
-				va, vb := ra.Value(attr), rb.Value(attr)
-				if va == "" || vb == "" {
-					continue
-				}
-				key := MakeAtomicKey(attr, va, vb)
-				s, ok := memo[key]
-				if !ok {
-					s, _ = CompareAttr(cfg, ra, rb, attr)
-					memo[key] = s
-				}
-				sims[ci][attr] = s
-				present[ci][attr] = true
 			}
+		})
+		// Phase 1b: intern atomic nodes serially, in candidate order (the
+		// interning map is shared, and serial interning keeps node ids
+		// deterministic).
+		for ci := range chunk {
+			c := chunk[ci]
+			ra, rb := d.Record(c.A), d.Record(c.B)
+			var atomic [model.NumAttrs]int32
+			for i := range atomic {
+				atomic[i] = -1
+			}
+			nameSupport[ci] = false
+			for _, attr := range compareAttrs {
+				if !present[ci][attr] || sims[ci][attr] < cfg.AtomicThreshold {
+					continue
+				}
+				atomic[attr] = g.addAtomic(attr, ra.Sym(attr), rb.Sym(attr), sims[ci][attr])
+				if attr == model.FirstName || attr == model.Surname {
+					nameSupport[ci] = true
+				}
+			}
+			atomicOf[ci] = atomic
 		}
-	})
-	atomicOf := make([][model.NumAttrs]int32, len(cands))
-	nameSupport := make([]bool, len(cands))
-	for ci, c := range cands {
-		ra, rb := d.Record(c.A), d.Record(c.B)
-		var atomic [model.NumAttrs]int32
-		for i := range atomic {
-			atomic[i] = -1
-		}
-		for _, attr := range compareAttrs {
-			if !present[ci][attr] || sims[ci][attr] < cfg.AtomicThreshold {
+		stats.GenAtomic += time.Since(t0)
+
+		// Phase 2 (per chunk): filter impossible role pairs and temporal
+		// violations and append the surviving relational nodes. Both
+		// predicates depend only on the pair itself, so filtering per
+		// chunk equals filtering after full materialisation.
+		t1 := time.Now()
+		for ci := range chunk {
+			c := chunk[ci]
+			if !nameSupport[ci] || !v.BuildOK(c.A, c.B) {
 				continue
 			}
-			atomic[attr] = g.addAtomic(attr, ra.Value(attr), rb.Value(attr), sims[ci][attr])
-			if attr == model.FirstName || attr == model.Surname {
-				nameSupport[ci] = true
+			id := NodeID(nodeCount)
+			if si := nodeCount >> nodeSlabShift; si == len(nodeSlabs) {
+				nodeSlabs = append(nodeSlabs, make([]RelationalNode, 0, 1<<nodeSlabShift))
 			}
+			si := nodeCount >> nodeSlabShift
+			nodeSlabs[si] = append(nodeSlabs[si], RelationalNode{
+				ID: id, A: c.A, B: c.B, Atomic: atomicOf[ci], Group: -1,
+			})
+			nodeCount++
+			g.pairIndex[model.MakePairKey(c.A, c.B)] = id
 		}
-		atomicOf[ci] = atomic
-	}
-	stats.GenAtomic = time.Since(t0)
+		stats.GenRelational += time.Since(t1)
+	})
 
-	// Phase 2: relational nodes — filter impossible role pairs and
-	// temporal violations, then wire relationship edges and groups.
-	t1 := time.Now()
-	v := constraint.NewValidator(d)
-	for ci, c := range cands {
-		if !nameSupport[ci] || !v.BuildOK(c.A, c.B) {
-			continue
-		}
-		id := NodeID(len(g.Nodes))
-		g.Nodes = append(g.Nodes, RelationalNode{
-			ID: id, A: c.A, B: c.B, Atomic: atomicOf[ci], Group: -1,
-		})
-		g.pairIndex[model.MakePairKey(c.A, c.B)] = id
+	// For DS-scale builds, re-base GC pacing on the post-stream live set
+	// before the heaviest transient of the build (the node materialise
+	// below briefly holds the staged slabs and the final slice at once):
+	// the producer's blocking state and the chunk scratch just became
+	// garbage, but with GOGC headroom the collector would otherwise sit on
+	// them through the edge/group phases and let the heap peak near twice
+	// the live set. One forced collection here costs well under a second
+	// against a multi-minute build and is gated on candidate volume so
+	// incremental Extend flushes never pay it.
+	sims, present, atomicOf, nameSupport = nil, nil, nil, nil
+	if stats.Candidates >= GCRebaseMinCandidates {
+		runtime.GC()
 	}
+
+	// Materialise the staged nodes into one exactly-sized slice and drop
+	// the slabs before the edge/group phases allocate.
+	g.Nodes = make([]RelationalNode, 0, nodeCount)
+	for i, slab := range nodeSlabs {
+		g.Nodes = append(g.Nodes, slab...)
+		nodeSlabs[i] = nil
+	}
+	nodeSlabs = nil
+
+	// Relationship edges and groups need the complete node set.
+	t2 := time.Now()
 	g.connectRelationships()
 	g.buildGroups()
-	stats.GenRelational = time.Since(t1)
+	stats.GenRelational += time.Since(t2)
 	return g, stats
 }
 
 // addAtomic interns an atomic node and returns its index.
-func (g *Graph) addAtomic(attr model.Attr, a, b string, sim float64) int32 {
+func (g *Graph) addAtomic(attr model.Attr, a, b model.Sym, sim float64) int32 {
 	key := MakeAtomicKey(attr, a, b)
 	if idx, ok := g.AtomicIndex[key]; ok {
 		return idx
@@ -365,11 +480,13 @@ func (g *Graph) connectRelationships() {
 				continue
 			}
 			// Deduplicate and sort the neighbour list for determinism.
-			sort.Slice(n.Neighbours, func(a, b int) bool {
-				if n.Neighbours[a].Node != n.Neighbours[b].Node {
-					return n.Neighbours[a].Node < n.Neighbours[b].Node
+			// (slices.SortFunc, unlike sort.Slice, allocates no closure or
+			// reflect swapper — this runs once per multi-neighbour node.)
+			slices.SortFunc(n.Neighbours, func(a, b Neighbour) int {
+				if a.Node != b.Node {
+					return int(a.Node) - int(b.Node)
 				}
-				return n.Neighbours[a].Rel < n.Neighbours[b].Rel
+				return int(a.Rel) - int(b.Rel)
 			})
 			out := n.Neighbours[:1]
 			for _, nb := range n.Neighbours[1:] {
@@ -405,14 +522,26 @@ func (g *Graph) buildGroups() {
 	// smallest member node id (the resolver's queue tie-break), which the
 	// ascending scan guarantees for free. The walk itself is O(nodes+edges)
 	// pointer chasing — negligible next to the similarity phases.
+	//
+	// Every node lands in exactly one group, so all member lists share one
+	// arena sized len(Nodes): the backing array never reallocates, each
+	// group's Nodes slice is a window into it, and the millions of
+	// per-group slice allocations (most groups are singletons at DS scale)
+	// collapse into one slab. Groups themselves stage in fixed-size slabs
+	// and materialise exactly sized, like the relational nodes.
 	visited := make([]bool, len(g.Nodes))
+	memberArena := make([]NodeID, 0, len(g.Nodes))
+	var stack []NodeID
+	const groupSlabShift = 15 // 32768 groups (~1 MB) per slab
+	var groupSlabs [][]Group
+	groupCount := 0
 	for i := range g.Nodes {
 		if visited[i] {
 			continue
 		}
-		gid := GroupID(len(g.Groups))
-		var members []NodeID
-		stack := []NodeID{NodeID(i)}
+		gid := GroupID(groupCount)
+		start := len(memberArena)
+		stack = append(stack[:0], NodeID(i))
 		visited[i] = true
 		cp := certPairs[i]
 		for len(stack) > 0 {
@@ -420,7 +549,7 @@ func (g *Graph) buildGroups() {
 			stack = stack[:len(stack)-1]
 			n := &g.Nodes[id]
 			n.Group = gid
-			members = append(members, id)
+			memberArena = append(memberArena, id)
 			for _, nb := range n.Neighbours {
 				if visited[nb.Node] {
 					continue
@@ -432,7 +561,17 @@ func (g *Graph) buildGroups() {
 				stack = append(stack, nb.Node)
 			}
 		}
-		sort.Slice(members, func(a, b int) bool { return members[a] < members[b] })
-		g.Groups = append(g.Groups, Group{ID: gid, Nodes: members})
+		members := memberArena[start:len(memberArena):len(memberArena)]
+		slices.Sort(members)
+		if si := groupCount >> groupSlabShift; si == len(groupSlabs) {
+			groupSlabs = append(groupSlabs, make([]Group, 0, 1<<groupSlabShift))
+		}
+		groupSlabs[groupCount>>groupSlabShift] = append(groupSlabs[groupCount>>groupSlabShift], Group{ID: gid, Nodes: members})
+		groupCount++
+	}
+	g.Groups = make([]Group, 0, groupCount)
+	for i, slab := range groupSlabs {
+		g.Groups = append(g.Groups, slab...)
+		groupSlabs[i] = nil
 	}
 }

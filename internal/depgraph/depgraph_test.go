@@ -139,8 +139,9 @@ func TestAtomicNodesInterned(t *testing.T) {
 }
 
 func TestAtomicKeyCanonical(t *testing.T) {
-	a := MakeAtomicKey(model.Surname, "smith", "taylor")
-	b := MakeAtomicKey(model.Surname, "taylor", "smith")
+	smith, taylor := model.Intern("smith"), model.Intern("taylor")
+	a := MakeAtomicKey(model.Surname, smith, taylor)
+	b := MakeAtomicKey(model.Surname, taylor, smith)
 	if a != b {
 		t.Errorf("atomic keys not canonical: %+v vs %+v", a, b)
 	}

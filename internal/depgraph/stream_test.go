@@ -1,0 +1,116 @@
+package depgraph
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/snaps/snaps/internal/blocking"
+	"github.com/snaps/snaps/internal/dataset"
+	"github.com/snaps/snaps/internal/model"
+)
+
+// graphsEqual compares every exported component two builds can disagree
+// on: atomic nodes (values, similarities, interning order), relational
+// nodes (ids, bindings, neighbours), and groups. Node and group IDs are
+// positional, so slice equality IS id equality.
+func graphsEqual(t *testing.T, label string, got, want *Graph) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Atomics, want.Atomics) {
+		t.Fatalf("%s: atomic nodes differ (%d vs %d)", label, len(got.Atomics), len(want.Atomics))
+	}
+	if !reflect.DeepEqual(got.Nodes, want.Nodes) {
+		t.Fatalf("%s: relational nodes differ (%d vs %d)", label, len(got.Nodes), len(want.Nodes))
+	}
+	if !reflect.DeepEqual(got.Groups, want.Groups) {
+		t.Fatalf("%s: groups differ (%d vs %d)", label, len(got.Groups), len(want.Groups))
+	}
+}
+
+// TestBuildStreamMatchesBuild locks the streamed build to the monolithic
+// one: feeding the same candidates through BuildStream in chunks of any
+// size — including pathological sizes of 1 and sizes that straddle the
+// phase-2 filter — must produce an identical graph. This is the
+// chunk-interleaving determinism argument of DESIGN.md §15 made
+// executable.
+func TestBuildStreamMatchesBuild(t *testing.T) {
+	p := dataset.Generate(dataset.IOS().Scaled(0.05))
+	d := p.Dataset
+	cfg := DefaultConfig()
+	lsh := blocking.NewLSH(blocking.DefaultLSHConfig())
+	cands := lsh.Pairs(d, recordIDs(d))
+	if len(cands) < 100 {
+		t.Fatalf("only %d candidates; dataset too small to exercise chunking", len(cands))
+	}
+	want, wantStats := Build(d, cfg, cands)
+
+	for _, chunkSize := range []int{1, 7, 333, len(cands)/2 + 1, len(cands)} {
+		g, stats := BuildStream(d, cfg, func(emit func(chunk []blocking.Candidate)) {
+			for lo := 0; lo < len(cands); lo += chunkSize {
+				hi := lo + chunkSize
+				if hi > len(cands) {
+					hi = len(cands)
+				}
+				emit(cands[lo:hi])
+			}
+		})
+		graphsEqual(t, "chunkSize="+itoa(chunkSize), g, want)
+		if stats.Candidates != wantStats.Candidates {
+			t.Fatalf("chunkSize=%d: Candidates = %d, want %d", chunkSize, stats.Candidates, wantStats.Candidates)
+		}
+	}
+
+	// Worker-count invariance on top of chunk-size invariance: the parallel
+	// scoring inside a chunk must not reorder interning.
+	for _, workers := range []int{2, 5} {
+		wcfg := cfg
+		wcfg.Workers = workers
+		g, _ := Build(d, wcfg, cands)
+		graphsEqual(t, "workers="+itoa(workers), g, want)
+	}
+}
+
+// TestBuildStreamReusedChunkBuffer checks the documented producer
+// contract: chunk slices are only read during emit, so a producer reusing
+// one buffer for every chunk must still yield the monolithic graph.
+func TestBuildStreamReusedChunkBuffer(t *testing.T) {
+	p := dataset.Generate(dataset.IOS().Scaled(0.05))
+	d := p.Dataset
+	cfg := DefaultConfig()
+	cands := blocking.NewLSH(blocking.DefaultLSHConfig()).Pairs(d, recordIDs(d))
+	want, _ := Build(d, cfg, cands)
+
+	buf := make([]blocking.Candidate, 0, 100)
+	g, _ := BuildStream(d, cfg, func(emit func(chunk []blocking.Candidate)) {
+		for lo := 0; lo < len(cands); lo += 100 {
+			hi := lo + 100
+			if hi > len(cands) {
+				hi = len(cands)
+			}
+			buf = append(buf[:0], cands[lo:hi]...)
+			emit(buf)
+		}
+	})
+	graphsEqual(t, "reused buffer", g, want)
+}
+
+func recordIDs(d *model.Dataset) []model.RecordID {
+	ids := make([]model.RecordID, len(d.Records))
+	for i := range d.Records {
+		ids[i] = d.Records[i].ID
+	}
+	return ids
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -254,6 +254,20 @@ func (s *EntityStore) Values(r model.RecordID, attr model.Attr) map[string]int {
 	return out
 }
 
+// ValueSyms is Values over interned symbols: the distinct non-empty value
+// symbols (with counts) of an attribute across the entity of r. The
+// resolver's propagation cache consumes this form so every downstream
+// comparison stays symbol-native.
+func (s *EntityStore) ValueSyms(r model.RecordID, attr model.Attr) map[model.Sym]int {
+	out := map[model.Sym]int{}
+	for _, id := range s.View(r) {
+		if v := s.d.Record(id).Sym(attr); v != 0 {
+			out[v]++
+		}
+	}
+	return out
+}
+
 // MatchPairs returns every intra-entity record pair whose roles form the
 // given role pair: the pairwise closure of the clustering, which is what
 // precision/recall are scored on.

@@ -2,6 +2,7 @@ package er
 
 import (
 	"context"
+	"runtime"
 	"time"
 
 	"github.com/snaps/snaps/internal/blocking"
@@ -41,23 +42,48 @@ func Run(d *model.Dataset, gcfg depgraph.Config, cfg Config) *PipelineResult {
 // candidate growth linear in the corpus; parish-scale callers should stay
 // on Run. The profile's Workers field is overridden by gcfg.Workers so
 // one knob bounds the whole build.
+//
+// Blocking streams into graph construction: candidate chunks are scored
+// and interned as they are emitted, so the full candidate slice (and the
+// per-candidate similarity slabs) never materialise. The chunked emitter
+// preserves the serial first-occurrence pair order, so the graph — and
+// everything downstream — is byte-identical to the materialised path.
+// Blocking time is accounted as the producer-side wall clock minus the
+// time spent inside the scoring consumer.
 func RunLSH(d *model.Dataset, lcfg blocking.LSHConfig, gcfg depgraph.Config, cfg Config) *PipelineResult {
-	st := obs.StartStage("blocking")
 	lcfg.Workers = gcfg.Workers
 	lsh := blocking.NewLSH(lcfg)
-	cands := lsh.Pairs(d, allRecordIDs(d))
-	blockTime := st.Stop()
+	ids := allRecordIDs(d)
 
-	g, stats := depgraph.Build(d, gcfg, cands)
+	var prodTotal, inConsumer time.Duration
+	g, stats := depgraph.BuildStream(d, gcfg, func(emit func(chunk []blocking.Candidate)) {
+		t0 := time.Now()
+		lsh.PairsChunked(d, ids, func(chunk []blocking.Candidate) {
+			tc := time.Now()
+			emit(chunk)
+			inConsumer += time.Since(tc)
+		})
+		prodTotal = time.Since(t0)
+	})
+	blockTime := prodTotal - inConsumer
+	obs.ObserveStage("blocking", blockTime)
 	obs.ObserveStage("graph_atomic", stats.GenAtomic)
 	obs.ObserveStage("graph_relational", stats.GenRelational)
+	// DS-scale builds re-base GC pacing before resolution: the resolver's
+	// first allocations otherwise ride a trigger inflated by build-phase
+	// garbage, and the whole run's heap peak lands there. Gated like the
+	// BuildStream boundary collection so parish-scale runs and tests skip
+	// it.
+	if stats.Candidates >= depgraph.GCRebaseMinCandidates {
+		runtime.GC()
+	}
 	res := NewResolver(g, cfg).Resolve()
 	return &PipelineResult{
 		Graph: g, Result: res,
 		Blocking:      blockTime,
 		GenAtomic:     stats.GenAtomic,
 		GenRelational: stats.GenRelational,
-		Candidates:    len(cands),
+		Candidates:    stats.Candidates,
 	}
 }
 

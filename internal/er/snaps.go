@@ -10,7 +10,9 @@ import (
 	"github.com/snaps/snaps/internal/depgraph"
 	"github.com/snaps/snaps/internal/model"
 	"github.com/snaps/snaps/internal/obs"
+	"github.com/snaps/snaps/internal/simcache"
 	"github.com/snaps/snaps/internal/strsim"
+	"github.com/snaps/snaps/internal/symbol"
 )
 
 // Config holds the SNAPS resolver parameters and the ablation switches used
@@ -107,9 +109,11 @@ type Resolver struct {
 	store *EntityStore
 	val   *constraint.Validator
 
-	// nameFreq counts records per (first name | surname) combination; the
-	// denominator of the disambiguation similarity in Eq. (2).
-	nameFreq map[string]int
+	// nameFreq counts records per (first name, surname, address) symbol
+	// combination; the denominator of the disambiguation similarity in
+	// Eq. (2). Keying by the symbol triple instead of a joined string
+	// makes every lookup three integer compares and no allocation.
+	nameFreq map[nameComboKey]int
 
 	// simCache memoises nodeSim per relational node. A node's similarity is
 	// a pure function of the current entity views of its two records, so a
@@ -125,11 +129,13 @@ type Resolver struct {
 }
 
 // valuesEntry caches the propagated value lists of one record at store
-// version ver.
+// version ver. Values are interned symbols: every propagated value is some
+// record's attribute, so it already has a symbol, and symbol lists feed
+// the memoised similarity kernels without re-materialising strings.
 type valuesEntry struct {
 	ver   uint32
 	valid [model.NumAttrs]bool
-	vals  [model.NumAttrs][]string
+	vals  [model.NumAttrs][]model.Sym
 }
 
 // nodeSimEntry is one memoised node similarity, valid while the version
@@ -148,7 +154,7 @@ func NewResolver(g *depgraph.Graph, cfg Config) *Resolver {
 		d:        g.Dataset,
 		store:    NewEntityStore(g.Dataset),
 		val:      constraint.NewValidator(g.Dataset),
-		nameFreq: map[string]int{},
+		nameFreq: map[nameComboKey]int{},
 		simCache: make([]nodeSimEntry, len(g.Nodes)),
 		valCache: make([]valuesEntry, len(g.Dataset.Records)),
 	}
@@ -158,13 +164,18 @@ func NewResolver(g *depgraph.Graph, cfg Config) *Resolver {
 	return r
 }
 
-// nameCombo is the "combination of several QID values" whose frequency
-// feeds the disambiguation similarity of Eq. (2): first name, surname, and
-// address. Two records of a rare full combination are very likely the same
-// person; a frequent combination (a common name in a common place) needs
-// relationship corroboration.
-func nameCombo(rec *model.Record) string {
-	return rec.FirstName() + "|" + rec.Surname() + "|" + rec.Address()
+// nameComboKey is the symbol form of the "combination of several QID
+// values" of Eq. (2): first name, surname, address.
+type nameComboKey [3]model.Sym
+
+// nameCombo is the combination whose frequency feeds the disambiguation
+// similarity of Eq. (2). Two records of a rare full combination are very
+// likely the same person; a frequent combination (a common name in a
+// common place) needs relationship corroboration. Symbols are equal iff
+// their strings are equal, so the triple keys the same partition the old
+// joined string did.
+func nameCombo(rec *model.Record) nameComboKey {
+	return nameComboKey{rec.First, rec.Sur, rec.Addr}
 }
 
 // Resolve runs bootstrapping, merging, and refinement, and returns the
@@ -456,7 +467,7 @@ func (r *Resolver) mergeNode(n *depgraph.RelationalNode, res *Result) {
 // negative evidence for a record pair: both values present and the two
 // events close enough in time that the value should not have changed.
 func (r *Resolver) extraDisagrees(ra, rb *model.Record, attr model.Attr) bool {
-	if ra.Value(attr) == "" || rb.Value(attr) == "" {
+	if ra.Sym(attr) == 0 || rb.Sym(attr) == 0 {
 		return false
 	}
 	dy := ra.Year - rb.Year
@@ -518,7 +529,9 @@ func (r *Resolver) strictAtomicSim(n *depgraph.RelationalNode) float64 {
 	ra, rb := r.d.Record(n.A), r.d.Record(n.B)
 	var sums, counts [3]float64
 	for _, attr := range []model.Attr{model.FirstName, model.Surname, model.Address, model.Occupation} {
-		if _, present := depgraph.CompareAttr(r.g.Config, ra, rb, attr); !present {
+		// Only presence matters here: the category counting needs to know
+		// the attribute is comparable, not its similarity.
+		if !depgraph.AttrComparable(ra, rb, attr) {
 			continue
 		}
 		cat := model.CategoryOf(attr)
@@ -656,11 +669,11 @@ func (r *Resolver) propagatedSim(n *depgraph.RelationalNode) float64 {
 	return r.combineCategories(sums, counts)
 }
 
-// entityValues returns up to MaxPropValues distinct values of the attribute
-// across the record's entity, most frequent first, always including the
-// record's own value. The result is cached against the record's store
-// version stamp and must not be modified.
-func (r *Resolver) entityValues(id model.RecordID, attr model.Attr) []string {
+// entityValues returns up to MaxPropValues distinct values (as symbols) of
+// the attribute across the record's entity, most frequent first, always
+// including the record's own value. The result is cached against the
+// record's store version stamp and must not be modified.
+func (r *Resolver) entityValues(id model.RecordID, attr model.Attr) []model.Sym {
 	e := &r.valCache[id]
 	if ver := r.store.ver[id]; e.ver != ver {
 		*e = valuesEntry{ver: ver}
@@ -674,17 +687,17 @@ func (r *Resolver) entityValues(id model.RecordID, attr model.Attr) []string {
 	return vals
 }
 
-func (r *Resolver) entityValuesUncached(id model.RecordID, attr model.Attr) []string {
-	own := r.d.Record(id).Value(attr)
-	vals := r.store.Values(id, attr)
+func (r *Resolver) entityValuesUncached(id model.RecordID, attr model.Attr) []model.Sym {
+	own := r.d.Record(id).Sym(attr)
+	vals := r.store.ValueSyms(id, attr)
 	if len(vals) == 0 {
-		if own == "" {
+		if own == 0 {
 			return nil
 		}
-		return []string{own}
+		return []model.Sym{own}
 	}
 	type vc struct {
-		v string
+		v model.Sym
 		c int
 	}
 	list := make([]vc, 0, len(vals))
@@ -695,13 +708,16 @@ func (r *Resolver) entityValuesUncached(id model.RecordID, attr model.Attr) []st
 		if list[i].c != list[j].c {
 			return list[i].c > list[j].c
 		}
-		return list[i].v < list[j].v
+		// The tie-break stays lexicographic on the strings (not on symbol
+		// IDs, whose order is interning order): the MaxPropValues cap cuts
+		// this ordered list, so the tie-break is output-visible.
+		return symbol.Str(list[i].v) < symbol.Str(list[j].v)
 	})
 	maxN := r.cfg.MaxPropValues
 	if maxN <= 0 {
 		maxN = 6
 	}
-	out := make([]string, 0, maxN+1)
+	out := make([]model.Sym, 0, maxN+1)
 	hasOwn := false
 	for i := 0; i < len(list) && len(out) < maxN; i++ {
 		out = append(out, list[i].v)
@@ -709,7 +725,7 @@ func (r *Resolver) entityValuesUncached(id model.RecordID, attr model.Attr) []st
 			hasOwn = true
 		}
 	}
-	if own != "" && !hasOwn {
+	if own != 0 && !hasOwn {
 		out = append(out, own)
 	}
 	return out
@@ -719,21 +735,22 @@ func (r *Resolver) entityValuesUncached(id model.RecordID, attr model.Attr) []st
 // comparison function, mirroring depgraph.CompareAttr on records carrying
 // the substituted values x and y. Geocoded comparison only applies to the
 // records' own addresses, so propagated address values fall back to bigram
-// Jaccard.
-func compareValues(cfg depgraph.Config, ra, rb *model.Record, attr model.Attr, x, y string) float64 {
-	if x == "" || y == "" {
+// Jaccard. Values are symbols, so every string-pair comparison goes
+// through the process-wide memoised kernels.
+func compareValues(cfg depgraph.Config, ra, rb *model.Record, attr model.Attr, x, y model.Sym) float64 {
+	if x == 0 || y == 0 {
 		return 0
 	}
 	switch attr {
 	case model.FirstName, model.Surname:
-		return strsim.NameSim(x, y)
+		return simcache.NameSim(x, y)
 	case model.Address:
-		if x == ra.Address() && y == rb.Address() && ra.Lat != 0 && rb.Lat != 0 {
+		if x == ra.Addr && y == rb.Addr && ra.Lat != 0 && rb.Lat != 0 {
 			return strsim.GeoSim(ra.Lat, ra.Lon, rb.Lat, rb.Lon, cfg.GeoMaxKm)
 		}
-		return strsim.Jaccard(x, y)
+		return simcache.Jaccard(x, y)
 	case model.Occupation:
-		return strsim.TokenJaccard(x, y)
+		return simcache.TokenJaccard(x, y)
 	}
 	return 0
 }

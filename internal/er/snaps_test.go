@@ -288,7 +288,7 @@ func TestDisambiguationSimMonotone(t *testing.T) {
 	r := NewResolver(g, DefaultConfig())
 	// Craft two nodes: one with a very common name combination, one rare.
 	common, rare := -1, -1
-	freq := map[string]int{}
+	freq := map[nameComboKey]int{}
 	for i := range d.Records {
 		freq[nameCombo(&d.Records[i])]++
 	}

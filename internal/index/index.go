@@ -27,6 +27,7 @@ import (
 
 	"github.com/snaps/snaps/internal/obs"
 	"github.com/snaps/snaps/internal/pedigree"
+	"github.com/snaps/snaps/internal/simcache"
 	"github.com/snaps/snaps/internal/strsim"
 	"github.com/snaps/snaps/internal/symbol"
 )
@@ -119,9 +120,11 @@ type Similarity struct {
 	// the stripe (exact value included, first).
 	shards [NumFields][memoShards]memoShard
 	// bigramPost[field][bigram] lists the symbol ids of values containing
-	// the bigram, delta+varint compressed in ascending id order.
+	// the bigram, delta+varint compressed in ascending id order. Bigrams
+	// are keyed by their packed integer form (strsim.BigramID) rather than
+	// two-byte strings, so probing never hashes string keys.
 	// Read-only after Build — scanned without locks.
-	bigramPost [NumFields]map[string]symList
+	bigramPost [NumFields]map[strsim.BigramID]symList
 }
 
 // shardOf stripes a value by FNV-1a hash.
@@ -168,7 +171,7 @@ func BuildSubset(g *pedigree.Graph, keep func(pedigree.NodeID) bool, simThreshol
 			s.shards[f][i].sims = map[string][]SimilarValue{}
 			s.shards[f][i].inflight = map[string]*memoCall{}
 		}
-		s.bigramPost[f] = map[string]symList{}
+		s.bigramPost[f] = map[strsim.BigramID]symList{}
 	}
 
 	add := func(f Field, v string, id pedigree.NodeID) {
@@ -214,12 +217,13 @@ func BuildSubset(g *pedigree.Graph, keep func(pedigree.NodeID) bool, simThreshol
 
 	// Bigram postings for all string fields, as sorted symbol-id lists.
 	// Every indexed value is an interned record attribute, so Intern here
-	// is a map hit, not an insert.
+	// is a map hit, not an insert, and the value's bigram signature comes
+	// straight from the per-symbol feature slab.
 	for _, f := range []Field{FieldFirstName, FieldSurname, FieldLocation} {
-		bgRaw := map[string][]symbol.ID{}
+		bgRaw := map[strsim.BigramID][]symbol.ID{}
 		for v := range k.postings[f] {
 			id := symbol.Intern(v)
-			for _, bg := range strsim.BigramSet(v) {
+			for _, bg := range simcache.Feat(id).Bigrams {
 				bgRaw[bg] = append(bgRaw[bg], id)
 			}
 		}
@@ -401,9 +405,24 @@ func (s *Similarity) Memoised(f Field, value string) bool {
 // computeSimilar scans the bigram postings for candidate values and keeps
 // those with Jaro-Winkler similarity at or above the threshold. bigramPost
 // is immutable after Build, so no lock is held while computing.
+//
+// A probe that is already an interned symbol (every indexed value, and any
+// query value matching one) is scored through the symbol-native simcache
+// kernels, reusing cached features and the process-wide memo. Arbitrary
+// query strings are NEVER interned here — an attacker-controlled query
+// stream must not grow the symbol table — so unknown probes fall back to
+// the plain string kernels, which compute identical scores.
 func (s *Similarity) computeSimilar(f Field, value string) []SimilarValue {
+	probe, interned := symbol.Lookup(value)
+	var bgBuf [64]strsim.BigramID
+	var bgs []strsim.BigramID
+	if interned {
+		bgs = simcache.Feat(probe).Bigrams
+	} else {
+		bgs = strsim.AppendBigramIDs(bgBuf[:0], value)
+	}
 	cand := map[symbol.ID]bool{}
-	for _, bg := range strsim.BigramSet(value) {
+	for _, bg := range bgs {
 		for it := s.bigramPost[f][bg].iter(); ; {
 			id, ok := it.next()
 			if !ok {
@@ -415,7 +434,12 @@ func (s *Similarity) computeSimilar(f Field, value string) []SimilarValue {
 	out := make([]SimilarValue, 0, len(cand))
 	for id := range cand {
 		v := symbol.Str(id)
-		sim := strsim.NameSim(value, v)
+		var sim float64
+		if interned {
+			sim = simcache.NameSim(probe, id)
+		} else {
+			sim = strsim.NameSim(value, v)
+		}
 		if sim >= s.threshold {
 			out = append(out, SimilarValue{Value: v, Sim: sim})
 		}

@@ -19,6 +19,7 @@ import (
 	"github.com/snaps/snaps/internal/model"
 	"github.com/snaps/snaps/internal/obs"
 	"github.com/snaps/snaps/internal/pedigree"
+	"github.com/snaps/snaps/internal/simcache"
 	"github.com/snaps/snaps/internal/strsim"
 	"github.com/snaps/snaps/internal/symbol"
 )
@@ -338,7 +339,7 @@ func updateSimilarity(k, prevK *Keyword, prevS *Similarity, simThreshold float64
 			s.shards[f][i].sims = map[string][]SimilarValue{}
 			s.shards[f][i].inflight = map[string]*memoCall{}
 		}
-		s.bigramPost[f] = map[string]symList{}
+		s.bigramPost[f] = map[strsim.BigramID]symList{}
 	}
 
 	for _, f := range simFields {
@@ -351,14 +352,16 @@ func updateSimilarity(k, prevK *Keyword, prevS *Similarity, simThreshold float64
 			removedSet[v] = true
 			removedIDs[symbol.Intern(v)] = true
 		}
-		changed := map[string]bool{}
+		// Diff values are (or were) indexed, hence interned; their bigram
+		// signatures come from the feature slab.
+		changed := map[strsim.BigramID]bool{}
 		for _, v := range added {
-			for _, bg := range strsim.BigramSet(v) {
+			for _, bg := range simcache.Feat(symbol.Intern(v)).Bigrams {
 				changed[bg] = true
 			}
 		}
 		for _, v := range removed {
-			for _, bg := range strsim.BigramSet(v) {
+			for _, bg := range simcache.Feat(symbol.Intern(v)).Bigrams {
 				changed[bg] = true
 			}
 		}
@@ -367,8 +370,8 @@ func updateSimilarity(k, prevK *Keyword, prevS *Similarity, simThreshold float64
 		// decoded and rebuilt (removed values filtered out, added values
 		// appended, re-sorted, re-encoded); the rest share the previous
 		// generation's immutable encoded bytes.
-		bp := make(map[string]symList, len(prevS.bigramPost[f]))
-		work := map[string][]symbol.ID{}
+		bp := make(map[strsim.BigramID]symList, len(prevS.bigramPost[f]))
+		work := map[strsim.BigramID][]symbol.ID{}
 		for bg, vals := range prevS.bigramPost[f] {
 			if !changed[bg] {
 				bp[bg] = vals
@@ -388,7 +391,7 @@ func updateSimilarity(k, prevK *Keyword, prevS *Similarity, simThreshold float64
 		}
 		for _, a := range added {
 			aid := symbol.Intern(a)
-			for _, bg := range strsim.BigramSet(a) {
+			for _, bg := range simcache.Feat(aid).Bigrams {
 				work[bg] = append(work[bg], aid)
 			}
 		}
@@ -438,7 +441,7 @@ func updateSimilarity(k, prevK *Keyword, prevS *Similarity, simThreshold float64
 		// appear in.
 		for _, r := range removed {
 			cand := map[symbol.ID]bool{}
-			for _, bg := range strsim.BigramSet(r) {
+			for _, bg := range simcache.Feat(symbol.Intern(r)).Bigrams {
 				for it := prevS.bigramPost[f][bg].iter(); ; {
 					id, ok := it.next()
 					if !ok {
@@ -543,12 +546,21 @@ func valueDiff(cur, prev map[string]postingList) (added, removed []string) {
 }
 
 // touchesChanged reports whether any bigram of v is in the changed set,
-// i.e. whether v's similarity candidates may have changed.
-func touchesChanged(v string, changed map[string]bool) bool {
+// i.e. whether v's similarity candidates may have changed. v may be a
+// non-indexed probe value, so it is looked up (never interned) and falls
+// back to computing bigram ids on the stack when unknown.
+func touchesChanged(v string, changed map[strsim.BigramID]bool) bool {
 	if len(changed) == 0 {
 		return false
 	}
-	for _, bg := range strsim.BigramSet(v) {
+	var bgBuf [64]strsim.BigramID
+	var bgs []strsim.BigramID
+	if id, ok := symbol.Lookup(v); ok {
+		bgs = simcache.Feat(id).Bigrams
+	} else {
+		bgs = strsim.AppendBigramIDs(bgBuf[:0], v)
+	}
+	for _, bg := range bgs {
 		if changed[bg] {
 			return true
 		}

@@ -200,12 +200,12 @@ func TestUpdateSimilarityRemovesValues(t *testing.T) {
 			prevS.shards[f][i].sims = map[string][]SimilarValue{}
 			prevS.shards[f][i].inflight = map[string]*memoCall{}
 		}
-		prevS.bigramPost[f] = map[string]symList{}
+		prevS.bigramPost[f] = map[strsim.BigramID]symList{}
 	}
-	bgRaw := map[string][]symbol.ID{}
+	bgRaw := map[strsim.BigramID][]symbol.ID{}
 	for v := range prevK.postings[FieldSurname] {
 		id := symbol.Intern(v)
-		for _, bg := range strsim.BigramSet(v) {
+		for _, bg := range strsim.AppendBigramIDs(nil, v) {
 			bgRaw[bg] = append(bgRaw[bg], id)
 		}
 	}

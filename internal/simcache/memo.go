@@ -1,0 +1,149 @@
+package simcache
+
+import (
+	"sync"
+
+	"github.com/snaps/snaps/internal/obs"
+	"github.com/snaps/snaps/internal/symbol"
+)
+
+var (
+	mMemoHits = obs.Default.Counter("snaps_simkernel_memo_hits_total",
+		"Symbol-pair similarity kernel calls answered from the process-wide memo.")
+	mMemoMisses = obs.Default.Counter("snaps_simkernel_memo_misses_total",
+		"Symbol-pair similarity kernel calls that computed and stored a fresh score.")
+)
+
+// PackKey packs a canonical (unordered) symbol pair into one uint64. All
+// memoised kernels are symmetric, so (a,b) and (b,a) share a slot. Both
+// symbols must be non-None, which guarantees the key is never zero — the
+// open-addressed tables use zero as the empty-slot sentinel.
+func PackKey(a, b symbol.ID) uint64 {
+	if b < a {
+		a, b = b, a
+	}
+	return uint64(a)<<32 | uint64(b)
+}
+
+// memoTable is a sharded open-addressed uint64→float64 hash table. Shards
+// take an RWMutex: scoring is read-mostly after warm-up (Zipf-repeated
+// value pairs are the whole point of memoising), so readers share. Probing
+// is linear over power-of-two tables; keys are pre-mixed with splitmix64 so
+// the low bits used for slots and the high bits used for shard selection
+// are independently distributed.
+type memoTable struct {
+	shards [memoShardCount]memoShard
+}
+
+const memoShardCount = 128
+
+type memoShard struct {
+	mu   sync.RWMutex
+	keys []uint64
+	vals []float64
+	n    int
+}
+
+// mix is the splitmix64 finaliser, the same mixer the blocking layer seeds
+// its MinHash permutations with.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (t *memoTable) get(key uint64) (float64, bool) {
+	h := mix(key)
+	s := &t.shards[(h>>57)&(memoShardCount-1)]
+	s.mu.RLock()
+	if len(s.keys) == 0 {
+		s.mu.RUnlock()
+		return 0, false
+	}
+	mask := h & uint64(len(s.keys)-1)
+	for i := mask; ; i = (i + 1) & uint64(len(s.keys)-1) {
+		k := s.keys[i]
+		if k == key {
+			v := s.vals[i]
+			s.mu.RUnlock()
+			return v, true
+		}
+		if k == 0 {
+			break
+		}
+	}
+	s.mu.RUnlock()
+	return 0, false
+}
+
+func (t *memoTable) put(key uint64, v float64) {
+	h := mix(key)
+	s := &t.shards[(h>>57)&(memoShardCount-1)]
+	s.mu.Lock()
+	if len(s.keys) == 0 {
+		s.keys = make([]uint64, 1024)
+		s.vals = make([]float64, 1024)
+	} else if 10*(s.n+1) >= 7*len(s.keys) {
+		s.grow()
+	}
+	s.insert(h, key, v)
+	s.mu.Unlock()
+}
+
+// insert places key under mixed hash h; racing writers of the same key
+// (both missed before either published) store identical values, so keeping
+// the first copy is correct.
+func (s *memoShard) insert(h, key uint64, v float64) {
+	mask := uint64(len(s.keys) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		switch s.keys[i] {
+		case 0:
+			s.keys[i] = key
+			s.vals[i] = v
+			s.n++
+			return
+		case key:
+			return
+		}
+	}
+}
+
+func (s *memoShard) grow() {
+	oldKeys, oldVals := s.keys, s.vals
+	s.keys = make([]uint64, 2*len(oldKeys))
+	s.vals = make([]float64, 2*len(oldVals))
+	s.n = 0
+	for i, k := range oldKeys {
+		if k != 0 {
+			s.insert(mix(k), k, oldVals[i])
+		}
+	}
+}
+
+// Entries returns the number of memoised pairs across all shards (for
+// tests and footprint accounting).
+func (t *memoTable) entries() int {
+	total := 0
+	for i := range t.shards {
+		t.shards[i].mu.RLock()
+		total += t.shards[i].n
+		t.shards[i].mu.RUnlock()
+	}
+	return total
+}
+
+// One table per kernel: the same symbol pair means different things under
+// NameSim, bigram Jaccard, and token Jaccard. NameSim is shared by the
+// first-name and surname attributes — it is the same pure function of the
+// two strings, so cross-attribute hits are free wins.
+var (
+	nameMemo  memoTable
+	jacMemo   memoTable
+	tokenMemo memoTable
+)
+
+// MemoEntries reports the total memoised pair count across all kernels.
+func MemoEntries() int {
+	return nameMemo.entries() + jacMemo.entries() + tokenMemo.entries()
+}

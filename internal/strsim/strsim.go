@@ -8,10 +8,20 @@
 // means completely different, matching the convention of the paper.
 package strsim
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // Jaro returns the Jaro similarity between two strings. It operates on
 // bytes, which is adequate for the ASCII historical-records domain.
+//
+// The kernel is allocation-free: strings up to 64 bytes (virtually every
+// name in the vital-records domain) track their matched positions in two
+// uint64 bitmasks; longer strings fall back to pooled []bool scratch. Both
+// paths run the identical match/transposition schedule, so the returned
+// float is bit-for-bit the classic implementation's (locked in by
+// FuzzJaroBitmaskEquivalence).
 func Jaro(a, b string) float64 {
 	if a == b {
 		if a == "" {
@@ -23,12 +33,80 @@ func Jaro(a, b string) float64 {
 	if la == 0 || lb == 0 {
 		return 0
 	}
+	if la <= 64 && lb <= 64 {
+		return jaroBitmask(a, b)
+	}
+	return jaroScratch(a, b)
+}
+
+// jaroBitmask is the ≤64-byte fast path: matched-position flags live in two
+// registers instead of two heap slices.
+func jaroBitmask(a, b string) float64 {
+	la, lb := len(a), len(b)
 	matchDist := max(la, lb)/2 - 1
 	if matchDist < 0 {
 		matchDist = 0
 	}
-	aMatched := make([]bool, la)
-	bMatched := make([]bool, lb)
+	var aMatched, bMatched uint64
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := max(0, i-matchDist)
+		hi := min(lb-1, i+matchDist)
+		for j := lo; j <= hi; j++ {
+			if bMatched&(1<<uint(j)) != 0 || a[i] != b[j] {
+				continue
+			}
+			aMatched |= 1 << uint(i)
+			bMatched |= 1 << uint(j)
+			matches++
+			break
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	// Count transpositions among matched characters.
+	transposes := 0
+	j := 0
+	for i := 0; i < la; i++ {
+		if aMatched&(1<<uint(i)) == 0 {
+			continue
+		}
+		for bMatched&(1<<uint(j)) == 0 {
+			j++
+		}
+		if a[i] != b[j] {
+			transposes++
+		}
+		j++
+	}
+	m := float64(matches)
+	t := float64(transposes) / 2
+	return (m/float64(la) + m/float64(lb) + (m-t)/m) / 3
+}
+
+// jaroPool recycles the matched-flag scratch of the >64-byte path.
+var jaroPool = sync.Pool{New: func() any { s := make([]bool, 256); return &s }}
+
+// jaroScratch is the long-string path, identical to the classic
+// implementation except that the matched-flag slices are pooled.
+func jaroScratch(a, b string) float64 {
+	la, lb := len(a), len(b)
+	matchDist := max(la, lb)/2 - 1
+	if matchDist < 0 {
+		matchDist = 0
+	}
+	sp := jaroPool.Get().(*[]bool)
+	scratch := *sp
+	if cap(scratch) < la+lb {
+		scratch = make([]bool, la+lb)
+	}
+	scratch = scratch[:cap(scratch)]
+	for i := range scratch[:la+lb] {
+		scratch[i] = false
+	}
+	aMatched := scratch[:la]
+	bMatched := scratch[la : la+lb]
 	matches := 0
 	for i := 0; i < la; i++ {
 		lo := max(0, i-matchDist)
@@ -44,6 +122,8 @@ func Jaro(a, b string) float64 {
 		}
 	}
 	if matches == 0 {
+		*sp = scratch
+		jaroPool.Put(sp)
 		return 0
 	}
 	// Count transpositions among matched characters.
@@ -61,6 +141,8 @@ func Jaro(a, b string) float64 {
 		}
 		j++
 	}
+	*sp = scratch
+	jaroPool.Put(sp)
 	m := float64(matches)
 	t := float64(transposes) / 2
 	return (m/float64(la) + m/float64(lb) + (m-t)/m) / 3
@@ -143,6 +225,68 @@ func BigramSet(s string) []string {
 		out = append(out, g)
 	}
 	return out
+}
+
+// BigramID packs a two-byte substring into an integer: the first byte in
+// the high bits. Working over IDs instead of two-byte strings keeps bigram
+// signatures allocation-free and makes set operations a linear merge over
+// sorted integer slices.
+type BigramID uint16
+
+// MakeBigramID packs two bytes into a BigramID.
+func MakeBigramID(a, b byte) BigramID { return BigramID(a)<<8 | BigramID(b) }
+
+// AppendBigramIDs appends the distinct bigram IDs of s to dst, sorted
+// ascending, and returns the extended slice. A string shorter than two
+// bytes contributes nothing. The result is the integer form of BigramSet.
+func AppendBigramIDs(dst []BigramID, s string) []BigramID {
+	start := len(dst)
+	for i := 0; i+2 <= len(s); i++ {
+		dst = append(dst, MakeBigramID(s[i], s[i+1]))
+	}
+	tail := dst[start:]
+	if len(tail) < 2 {
+		return dst
+	}
+	// Insertion sort: bigram signatures are short (one per input byte).
+	for i := 1; i < len(tail); i++ {
+		for j := i; j > 0 && tail[j] < tail[j-1]; j-- {
+			tail[j], tail[j-1] = tail[j-1], tail[j]
+		}
+	}
+	// Deduplicate in place.
+	out := tail[:1]
+	for _, g := range tail[1:] {
+		if g != out[len(out)-1] {
+			out = append(out, g)
+		}
+	}
+	return dst[:start+len(out)]
+}
+
+// JaccardBigramIDs returns |A ∩ B| / |A ∪ B| over two sorted distinct
+// bigram-ID slices — the merge-based form of Jaccard's map intersection.
+// Either side empty yields 0, matching Jaccard on sub-bigram strings.
+func JaccardBigramIDs(a, b []BigramID) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	inter := 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			inter++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
 }
 
 // ShareBigram reports whether two strings have at least one bigram in
@@ -350,6 +494,15 @@ func SymMongeElkan(a, b string) float64 {
 	return symMongeElkanTokens(fields(a), fields(b))
 }
 
+// SymMongeElkanTokens is SymMongeElkan over pre-split token slices, the
+// entry point for callers (internal/simcache) that cache token splits per
+// interned value and must not pay the re-tokenisation.
+func SymMongeElkanTokens(ta, tb []string) float64 { return symMongeElkanTokens(ta, tb) }
+
+// Fields splits s on spaces and tabs, the tokenisation used by the token-
+// level similarities. The returned substrings share s's backing bytes.
+func Fields(s string) []string { return fields(s) }
+
 // symMongeElkanTokens computes both directed Monge-Elkan scores from one
 // pass over the token similarity matrix (Jaro-Winkler is symmetric, so
 // JW(x,y) serves both directions) and returns their minimum.
@@ -357,7 +510,18 @@ func symMongeElkanTokens(ta, tb []string) float64 {
 	if len(ta) == 0 || len(tb) == 0 {
 		return 0
 	}
-	colBest := make([]float64, len(tb))
+	// Multi-token names rarely exceed a handful of tokens; a stack buffer
+	// keeps the per-call column maxima allocation-free.
+	var colBuf [8]float64
+	var colBest []float64
+	if len(tb) <= len(colBuf) {
+		colBest = colBuf[:len(tb)]
+		for i := range colBest {
+			colBest[i] = 0
+		}
+	} else {
+		colBest = make([]float64, len(tb))
+	}
 	sumRow := 0.0
 	for _, x := range ta {
 		rowBest := 0.0

@@ -10,6 +10,15 @@
 #                                vs incremental Update of the new generation
 #   BenchmarkExtend              incremental re-resolution (flush ER path)
 #
+# The kernels section tracks the symbol-native similarity hot paths:
+#
+#   BenchmarkJaroKernel          bitmask (<=64 bytes) vs pooled-scratch Jaro
+#   BenchmarkCompareAttrHot      all four compared attributes per candidate,
+#                                feature slab and symbol-pair memo warm
+#                                (must stay 0 allocs/op)
+#   BenchmarkBuildGraphStream    chunked streamed build vs materialised
+#                                candidate slice, same dataset
+#
 # The memdiet section tracks the DS-scale memory-diet tiers (interned
 # records, compressed postings, compact snapshots): bytes-per-record
 # before/after the diet, heap around the build stages, and v01-gob vs
@@ -31,8 +40,9 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${BENCHTIME:-3x}"
 OUT="${OUT:-BENCH_offline.json}"
 RAW="$(mktemp)"
+KERNELS="$(mktemp)"
 MEMDIET="$(mktemp)"
-trap 'rm -f "$RAW" "$MEMDIET"' EXIT
+trap 'rm -f "$RAW" "$KERNELS" "$MEMDIET"' EXIT
 
 go test -run '^$' -bench 'BenchmarkOfflineRunWorkers|BenchmarkExtend$' \
     -benchtime "$BENCHTIME" . | tee "$RAW"
@@ -40,6 +50,13 @@ go test -run '^$' -bench 'BenchmarkEmitPairs' \
     -benchtime "$BENCHTIME" ./internal/blocking | tee -a "$RAW"
 go test -run '^$' -bench 'BenchmarkIndexUpdate' \
     -benchtime "$BENCHTIME" ./internal/index | tee -a "$RAW"
+
+go test -run '^$' -bench 'BenchmarkJaroKernel' \
+    -benchtime "$BENCHTIME" ./internal/strsim | tee "$KERNELS"
+go test -run '^$' -bench 'BenchmarkCompareAttr' \
+    -benchtime "$BENCHTIME" ./internal/depgraph | tee -a "$KERNELS"
+go test -run '^$' -bench 'BenchmarkBuildGraphStream' \
+    -benchtime "$BENCHTIME" . | tee -a "$KERNELS"
 
 go run ./cmd/experiments -exp memdiet -certs 100000 | tee "$MEMDIET"
 if [ "${TIERS:-}" = "full" ]; then
@@ -72,18 +89,36 @@ GOMAXPROCS_VAL="${GOMAXPROCS:-$(nproc)}"
     END { printf "\n" }
   ' "$RAW"
   printf '  ],\n'
+  printf '  "kernels": [\n'
+  awk '
+    /^Benchmark/ {
+      name = $1; sub(/-[0-9]+$/, "", name)
+      ns = "null"; bytes = "null"; allocs = "null"
+      for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i-1)
+        if ($i == "B/op")      bytes = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+      }
+      printf "%s    {\"name\":\"%s\",\"iters\":%s,\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}", sep, name, $2, ns, bytes, allocs
+      sep = ",\n"
+    }
+    END { printf "\n" }
+  ' "$KERNELS"
+  printf '  ],\n'
   printf '  "memdiet": [\n'
-  # Each experiment line is already a JSON object; join with commas.
-  awk '{ printf "%s    %s", sep, $0; sep = ",\n" } END { printf "\n" }' "$MEMDIET"
+  # Each experiment line is already a JSON object; join with commas,
+  # skipping the runner's human-readable status lines.
+  awk '/^\{/ { printf "%s    %s", sep, $0; sep = ",\n" } END { printf "\n" }' "$MEMDIET"
   printf '  ],\n'
   # pairHint sizing re-audit (see TestPairHintSizingAudit and the
   # env-guarded BenchmarkEmitPairsScale in internal/blocking): measured
   # distinct-pair fractions of the worst-case hint, which set the
-  # emitShard map sizing to pairHint/4.
+  # emitShard dedup-table sizing to pairHint/4 (now a pooled pairSet
+  # reset, not a fresh map, per span).
   printf '  "emit_pairs_sizing_audit": {\n'
   printf '    "distinct_fraction_ios": 0.182,\n'
   printf '    "distinct_fraction_ds_scale": 0.407,\n'
-  printf '    "seen_map_hint": "pairHint/4 (was pairHint/8; under-sized at both profiles, two rehashes at DS density)",\n'
+  printf '    "seen_map_hint": "pairHint/4 (pooled pairSet reset per span; was a fresh map per span)",\n'
   printf '    "regression_bench": "SNAPS_BENCH_SCALE=1M go test -bench EmitPairsScale -benchtime 1x ./internal/blocking"\n'
   printf '  },\n'
   printf '  "baseline_pre_pr": [\n'
